@@ -1,0 +1,621 @@
+// Benchmark harness: one benchmark per experiment of the DESIGN.md index
+// (E1–E16), regenerating every figure and in-text quantitative claim of
+// the RESCUE paper. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Key series are emitted via b.ReportMetric (visible in plain bench
+// output); the full row/series detail is printed with b.Logf (-v).
+package rescue_test
+
+import (
+	"testing"
+
+	"rescue/internal/aging"
+	"rescue/internal/atpg"
+	"rescue/internal/autosoc"
+	"rescue/internal/cdn"
+	"rescue/internal/circuits"
+	"rescue/internal/core"
+	"rescue/internal/cpu"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/fidetect"
+	"rescue/internal/fusa"
+	"rescue/internal/gpgpu"
+	"rescue/internal/lfi"
+	"rescue/internal/ml"
+	"rescue/internal/netlist"
+	"rescue/internal/puf"
+	"rescue/internal/rsn"
+	"rescue/internal/sbst"
+	"rescue/internal/sca"
+	"rescue/internal/seu"
+	"rescue/internal/slicing"
+	"rescue/internal/sram"
+	"rescue/internal/xlayer"
+)
+
+// BenchmarkE01_Fig1Distribution regenerates the Fig. 1 bubble chart from
+// the publication registry.
+func BenchmarkE01_Fig1Distribution(b *testing.B) {
+	var bubbles []core.Bubble
+	for i := 0; i < b.N; i++ {
+		bubbles = core.Distribution()
+	}
+	b.ReportMetric(float64(len(bubbles)), "clusters")
+	b.ReportMetric(float64(len(core.Publications)), "publications")
+	b.Logf("Fig.1 distribution:\n%s", core.RenderFig1())
+}
+
+// BenchmarkE02_Fig2HolisticFlow pushes one design through the full
+// quality→reliability→safety→security flow.
+func BenchmarkE02_Fig2HolisticFlow(b *testing.B) {
+	var rep *core.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = core.RunFlow(core.FlowConfig{
+			Netlist:     circuits.RippleCarryAdder(8),
+			Environment: seu.SeaLevel,
+			Technology:  seu.Node28,
+			Years:       10,
+			Patterns:    100,
+			Seed:        3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Quality.TestCoverage*100, "coverage_%")
+	b.ReportMetric(rep.Reliability.SlicedSpeedup, "slicing_x")
+	b.Logf("holistic flow:\n%s", rep.Render())
+}
+
+// BenchmarkE03_GPGPUSBST reproduces the Section III.A GPGPU result:
+// application kernels miss scheduler faults; the SBST suite catches the
+// whole fault list.
+func BenchmarkE03_GPGPUSBST(b *testing.B) {
+	cfg := gpgpu.DefaultConfig
+	faults := sbst.GPUFaultList(cfg)
+	var appCov, sbstCov float64
+	for i := 0; i < b.N; i++ {
+		apps, err := sbst.RunGPUCampaign(cfg, sbst.ApplicationGPUSuite(), faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tests, err := sbst.RunGPUCampaign(cfg, sbst.StandardGPUSuite(), faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		appCov, sbstCov = apps.Coverage(), tests.Coverage()
+	}
+	b.ReportMetric(appCov*100, "app_coverage_%")
+	b.ReportMetric(sbstCov*100, "sbst_coverage_%")
+	b.Logf("GPGPU faults=%d  application-kernel coverage=%.1f%%  SBST coverage=%.1f%%",
+		len(faults), appCov*100, sbstCov*100)
+}
+
+// BenchmarkE04_UntestableFaults quantifies coverage correction from
+// functionally-untestable fault identification.
+func BenchmarkE04_UntestableFaults(b *testing.B) {
+	// A circuit with deliberate redundancy.
+	build := func() (*fault.List, *atpg.Result, error) {
+		n := circuits.RandomCombinational(circuits.RandomOptions{Inputs: 12, Gates: 200, Outputs: 10, Seed: 12})
+		faults := fault.Collapse(n, fault.AllStuckAt(n))
+		res, err := atpg.GenerateTests(n, faults, atpg.FlowOptions{RandomPatterns: 128, Seed: 5, Compact: true})
+		return &faults, res, err
+	}
+	var res *atpg.Result
+	var faults *fault.List
+	for i := 0; i < b.N; i++ {
+		var err error
+		faults, res, err = build()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Coverage.Raw()*100, "raw_coverage_%")
+	b.ReportMetric(res.Coverage.Effective()*100, "effective_coverage_%")
+	b.ReportMetric(float64(res.Coverage.Untestable), "untestable")
+	b.Logf("faults=%d untestable=%d raw=%.2f%% effective=%.2f%%",
+		len(*faults), res.Coverage.Untestable, res.Coverage.Raw()*100, res.Coverage.Effective()*100)
+}
+
+// BenchmarkE05_CPUSBST evaluates the deterministic CPU self-test library.
+func BenchmarkE05_CPUSBST(b *testing.B) {
+	faults := sbst.CPUFaultList()
+	var rep *sbst.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = sbst.RunCPUCampaign(sbst.StandardCPUSuite(), faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.EffectiveCoverage()*100, "coverage_%")
+	b.ReportMetric(float64(rep.Safe), "safe_faults")
+	b.Logf("CPU SBST: %d faults, %d detected, %d safe, effective coverage %.1f%%; per-program %v %v",
+		rep.Faults, rep.Detected, rep.Safe, rep.EffectiveCoverage()*100, rep.Programs, rep.PerProgram)
+}
+
+// BenchmarkE06_FITBudget reproduces the ISO 26262 budget claim: raw FIT
+// of a realistic design overshoots 10 FIT by orders of magnitude; the
+// derating + protection chain brings it back under budget.
+func BenchmarkE06_FITBudget(b *testing.B) {
+	var raw, residual float64
+	for i := 0; i < b.N; i++ {
+		mem := seu.Component{
+			Name:     "sram-10Mbit",
+			RawFIT:   seu.RawFIT(seu.SeaLevel, seu.Node28.BitCrossSectionCm2, 10*1024*1024),
+			Derating: seu.Derating{Architectural: 0.3},
+			Coverage: 0.999,
+		}
+		ff := seu.Component{
+			Name:     "flops-500k",
+			RawFIT:   seu.RawFIT(seu.SeaLevel, seu.Node28.FFCrossSectionCm2, 500_000),
+			Derating: seu.Derating{Timing: 0.5, Architectural: 0.2},
+			Coverage: 0.97,
+		}
+		budget := seu.Budget{Components: []seu.Component{mem, ff}, TargetFIT: seu.ASILDTargetFIT}
+		raw, residual = budget.TotalRaw(), budget.TotalResidual()
+	}
+	b.ReportMetric(raw, "raw_FIT")
+	b.ReportMetric(residual, "residual_FIT")
+	b.Logf("FIT/Mbit(28nm, ground) = %.0f; raw total %.0f FIT (%.0fx over ASIL-D) -> residual %.2f FIT",
+		seu.MemoryFITPerMbit(seu.SeaLevel, seu.Node28), raw, raw/seu.ASILDTargetFIT, residual)
+}
+
+// BenchmarkE07_ExhaustiveVsRandom reproduces the exhaustive-vs-random
+// fault injection cost/accuracy trade-off over growing design size.
+func BenchmarkE07_ExhaustiveVsRandom(b *testing.B) {
+	n := circuits.LFSR(16, []int{16, 15, 13, 4})
+	stimuli := faultsim.RandomPatterns(n, 24, 7)
+	faults := fault.AllSEU(n)
+	var exact, sampled *faultsim.TransientReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		exact, err = faultsim.ExhaustiveTransient(n, stimuli, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampled, err = faultsim.RandomTransient(n, stimuli, faults, 60, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := faultsim.WilsonCI(sampled.Counts[faultsim.SDC], sampled.Injections, 1.96)
+	b.ReportMetric(exact.SDCRate(), "exact_SDC")
+	b.ReportMetric(sampled.SDCRate(), "sampled_SDC")
+	b.ReportMetric(float64(exact.GateEvals)/float64(sampled.GateEvals), "cost_ratio")
+	b.Logf("exhaustive: %d injections SDC=%.3f; random: %d injections SDC=%.3f CI95=[%.3f,%.3f]; cost ratio %.1fx; n(1%%CI)=%d",
+		exact.Injections, exact.SDCRate(), sampled.Injections, sampled.SDCRate(), lo, hi,
+		float64(exact.GateEvals)/float64(sampled.GateEvals), faultsim.SampleSizeForMargin(0.01, 1.96))
+}
+
+// BenchmarkE08_ClockSET sweeps clock frequency and technology for the
+// CDN SET functional failure rate.
+func BenchmarkE08_ClockSET(b *testing.B) {
+	tree := cdn.Tree{Depth: 6, FFsPerLeaf: 32, Tech: seu.Node28}
+	freqs := []float64{0.5, 1, 2, 4}
+	var sweep []cdn.Analysis
+	for i := 0; i < b.N; i++ {
+		sweep = cdn.FrequencySweep(tree, seu.SeaLevel, freqs, 0.1)
+	}
+	b.ReportMetric(sweep[len(sweep)-1].TotalFIT, "FIT_at_4GHz")
+	for i, a := range sweep {
+		b.Logf("%.1f GHz: CDN FIT = %.4g (latch prob %.3f)", freqs[i], a.TotalFIT, a.LatchProb)
+	}
+	mc := cdn.SimulateStrikes(tree, 2, 0.1, 20000, 5)
+	b.Logf("Monte-Carlo cross-check at 2 GHz: failure fraction %.4f over %d strikes", mc.FailureFraction(), mc.Strikes)
+}
+
+// BenchmarkE09_MLFailureRate trains the GCN-feature ridge model against
+// fault-injection ground truth and reports accuracy and speedup.
+func BenchmarkE09_MLFailureRate(b *testing.B) {
+	n := circuits.LFSR(16, []int{16, 15, 13, 4})
+	stimuli := faultsim.RandomPatterns(n, 24, 6)
+	var metrics ml.Metrics
+	var simCost, mlCost float64
+	for i := 0; i < b.N; i++ {
+		truth := make([]float64, len(n.DFFs))
+		var evals int64
+		for fi, ff := range n.DFFs {
+			rep, err := faultsim.ExhaustiveTransient(n, stimuli, fault.List{{Kind: fault.SEU, Gate: ff}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			truth[fi] = rep.SDCRate()
+			evals += rep.GateEvals
+		}
+		feat, err := ml.GateFeatures(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := ml.GraphConvolve(n, feat, 2).Select(n.DFFs)
+		trainIdx, testIdx := ml.TrainTestSplit(len(rows), 4)
+		var xs [][]float64
+		var ys []float64
+		for _, idx := range trainIdx {
+			xs = append(xs, rows[idx])
+			ys = append(ys, truth[idx])
+		}
+		model := ml.Ridge{Lambda: 1e-2}
+		if err := model.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+		var pred, ref []float64
+		for _, idx := range testIdx {
+			pred = append(pred, model.Predict(rows[idx]))
+			ref = append(ref, truth[idx])
+		}
+		metrics = ml.Evaluate(pred, ref)
+		simCost = float64(evals)
+		mlCost = float64(len(rows) * len(rows[0]))
+	}
+	b.ReportMetric(metrics.MAE, "MAE")
+	b.ReportMetric(simCost/mlCost, "speedup_x")
+	b.Logf("held-out MAE=%.3f RMSE=%.3f Spearman=%.2f; FI cost %.0f gate-evals vs ML cost %.0f MACs (%.0fx)",
+		metrics.MAE, metrics.RMSE, metrics.Spearman, simCost, mlCost, simCost/mlCost)
+}
+
+// BenchmarkE10_CrossLayer compares the fault-management policies.
+func BenchmarkE10_CrossLayer(b *testing.B) {
+	events := xlayer.GenerateStream(xlayer.StreamOptions{Events: 5000, Units: 8, Seed: 11, DegradingUnit: 3})
+	var local, global, mitm xlayer.Report
+	for i := 0; i < b.N; i++ {
+		local = xlayer.NewSystem(xlayer.LocalOnly, 8).Process(events)
+		global = xlayer.NewSystem(xlayer.GlobalOnly, 8).Process(events)
+		mitm = xlayer.NewSystem(xlayer.MeetInTheMiddle, 8).Process(events)
+	}
+	b.ReportMetric(mitm.AvgLatency(), "mitm_latency_cyc")
+	b.ReportMetric(global.AvgLatency()/mitm.AvgLatency(), "latency_gain_x")
+	b.Logf("policy            coverage  avg-latency  prevented")
+	for _, r := range []xlayer.Report{local, global, mitm} {
+		b.Logf("%-18s %.3f     %10.1f  %d", r.Policy, r.HandledFraction(), r.AvgLatency(), r.PreventedFailures)
+	}
+}
+
+// BenchmarkE11_SEUMonitor runs the SRAM-based monitor and the
+// pulse-stretching detector across environments.
+func BenchmarkE11_SEUMonitor(b *testing.B) {
+	m := seu.Monitor{Bits: 1 << 20, ScrubIntervalH: 10, Tech: seu.Node28}
+	var reps []seu.MonitorReport
+	for i := 0; i < b.N; i++ {
+		reps = reps[:0]
+		for _, env := range []seu.Environment{seu.SeaLevel, seu.Avionics, seu.LEO, seu.GEO} {
+			reps = append(reps, m.Simulate(env, 200, 42))
+		}
+	}
+	for _, r := range reps {
+		b.Logf("flux %8.0f /cm²h -> %6d upsets, estimate %8.0f (err %.1f%%)",
+			r.TrueFlux, r.TotalUpsets, r.EstimatedFlux, r.RelativeError()*100)
+	}
+	b.ReportMetric(reps[2].RelativeError()*100, "LEO_est_err_%")
+	det := seu.PulseDetector{Stages: 8, StretchPsStage: 60, CaptureMinPs: 400, Tech: seu.Node28}
+	dr := det.Simulate(10000, 9)
+	bare := seu.PulseDetector{Stages: 0, StretchPsStage: 0, CaptureMinPs: 400, Tech: seu.Node28}
+	br := bare.Simulate(10000, 9)
+	b.ReportMetric(dr.Efficiency()*100, "detector_eff_%")
+	b.Logf("pulse detector: bare %.1f%% -> 8-stage chain %.1f%%", br.Efficiency()*100, dr.Efficiency()*100)
+}
+
+// BenchmarkE12_FuSaToolConfidence seeds classifier bugs and measures the
+// cross-check catch rate, plus the dynamic-slicing campaign speedup.
+func BenchmarkE12_FuSaToolConfidence(b *testing.B) {
+	n := circuits.RandomCombinational(circuits.RandomOptions{Inputs: 16, Gates: 1200, Outputs: 8, Seed: 5})
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	pats := faultsim.RandomPatterns(n, 50, 3)
+	var speedup float64
+	var caught, seeded int
+	for i := 0; i < b.N; i++ {
+		acc, err := slicing.AcceleratedRun(n, faults, pats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = acc.Speedup()
+		// Tool-confidence on a compact redundant design.
+		sc, cls, f2 := confidenceFixture(b)
+		seeded = 0
+		caught = 0
+		for fi := range f2 {
+			bad := append([]fusa.FaultClass(nil), cls...)
+			if cls[fi] == fusa.MultiPointLatent {
+				bad[fi] = fusa.Residual // seeded misclassification
+			} else if cls[fi] == fusa.SinglePoint {
+				bad[fi] = fusa.Safe
+			} else {
+				continue
+			}
+			seeded++
+			sus, err := fusa.CrossCheck(sc, f2, bad, atpg.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range sus {
+				if s.FaultIndex == fi {
+					caught++
+					break
+				}
+			}
+		}
+	}
+	b.ReportMetric(speedup, "slicing_speedup_x")
+	b.ReportMetric(float64(caught)/float64(seeded)*100, "bug_catch_%")
+	b.Logf("dynamic slicing speedup %.1fx; cross-check caught %d/%d seeded tool bugs", speedup, caught, seeded)
+}
+
+func confidenceFixture(b *testing.B) (*fusa.SafetyCircuit, []fusa.FaultClass, fault.List) {
+	b.Helper()
+	n, err := redundantNetlist()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := &fusa.SafetyCircuit{N: n, FunctionalOutputs: n.Outputs}
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	pats := faultsim.RandomPatterns(n, 64, 2)
+	cls, err := fusa.Classify(sc, faults, pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc, cls, faults
+}
+
+// BenchmarkE13_RSN runs the RSN suite: generation, test length, fault
+// coverage, diagnosis resolution and aging of hot SIBs.
+func BenchmarkE13_RSN(b *testing.B) {
+	var covered, total, bits int
+	var agedFactor float64
+	for i := 0; i < b.N; i++ {
+		net, err := rsn.RandomNetwork("bench", 4, 2, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Reset()
+		seq, err := rsn.GenerateTest(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bits = seq.BitCount()
+		covered, total = 0, 0
+		for _, cand := range rsn.AllFaults(net) {
+			total++
+			dut := net.Clone()
+			_ = dut.InjectFault(cand.Node, cand.Fault)
+			if step, _ := rsn.ApplyTest(dut, seq); step != -1 {
+				covered++
+			}
+		}
+		// Aging: open the hot path for many CSUs, age the duty profile.
+		use := net.Clone()
+		use.Reset()
+		for c := 0; c < 50; c++ {
+			_, _ = use.CSU(use.ConfigVector(map[string]bool{"sib_0_3": true}, false))
+		}
+		duty := use.UsageDuty()
+		var worst float64
+		p := aging.DefaultBTI()
+		for _, d := range duty {
+			v := p.DeltaVth(1-d, 10)
+			if v2 := p.DeltaVth(d, 10); v2 > v {
+				v = v2
+			}
+			if f := p.DelayFactor(v); f > agedFactor {
+				agedFactor = f
+			}
+			_ = worst
+		}
+	}
+	b.ReportMetric(float64(covered)/float64(total)*100, "fault_coverage_%")
+	b.ReportMetric(float64(bits), "test_bits")
+	b.ReportMetric(agedFactor, "aged_delay_x")
+	b.Logf("RSN: %d/%d faults detected, %d shifted bits, 10-year hot-SIB delay factor %.3fx",
+		covered, total, bits, agedFactor)
+}
+
+// BenchmarkE14_MemoryAgingDFT runs the address-decoder mitigation and
+// the March-vs-sensor FinFET DfT comparison.
+func BenchmarkE14_MemoryAgingDFT(b *testing.B) {
+	var before, after aging.DecoderReport
+	var marchOnly, combined int
+	const totalDefects = 6
+	for i := 0; i < b.N; i++ {
+		// Unbalanced access trace: a loop over low addresses.
+		arr := sram.New(64, 8)
+		for k := 0; k < 2000; k++ {
+			_, _ = arr.ReadBit(k%8, k%8)
+		}
+		duty := arr.AddressDutyCycles()
+		p := aging.DefaultBTI()
+		before = aging.AnalyzeDecoder(duty, 10, p)
+		after = aging.AnalyzeDecoder(aging.BalancedAccessDuty(duty, 0.2), 10, p)
+
+		// DfT comparison on seeded defects.
+		arr2 := sram.New(64, 8)
+		defects := []sram.Defect{
+			{Word: 1, Bit: 1, Kind: sram.StuckAt0},
+			{Word: 2, Bit: 2, Kind: sram.StuckAt1},
+			{Word: 3, Bit: 3, Kind: sram.TransitionUp},
+			{Word: 4, Bit: 4, Kind: sram.CouplingInv},
+			{Word: 5, Bit: 5, Kind: sram.FinCrack},
+			{Word: 6, Bit: 6, Kind: sram.BendedFin},
+		}
+		for _, d := range defects {
+			_ = arr2.InjectDefect(d)
+		}
+		fails, err := sram.RunMarch(arr2, sram.MarchCMinus())
+		if err != nil {
+			b.Fatal(err)
+		}
+		marchCells := sram.FailingCells(fails)
+		sensor := sram.SensorScreen(arr2, sram.SensorConfig{Threshold: 0.10, Seed: 7})
+		marchOnly, combined = 0, 0
+		for _, d := range defects {
+			key := [2]int{d.Word, d.Bit}
+			if marchCells[key] {
+				marchOnly++
+			}
+			if marchCells[key] || sensor[key] {
+				combined++
+			}
+		}
+	}
+	b.ReportMetric(before.WorstDVth*1000, "decoder_dVth_mV")
+	b.ReportMetric(after.WorstDVth*1000, "mitigated_dVth_mV")
+	b.ReportMetric(float64(combined)/totalDefects*100, "combined_coverage_%")
+	b.Logf("decoder aging: worst ΔVth %.1f mV -> %.1f mV with 20%% balanced accesses (skew %.1f -> %.1f mV)",
+		before.WorstDVth*1000, after.WorstDVth*1000, before.WorstSkew*1000, after.WorstSkew*1000)
+	b.Logf("FinFET DfT: March C- %d/%d, March+sensor %d/%d", marchOnly, totalDefects, combined, totalDefects)
+}
+
+// BenchmarkE15_SecurityAttacks runs the three security experiments:
+// laser FI precision vs node, the timing-SCA verification flow, and the
+// neural fault-attack detector.
+func BenchmarkE15_SecurityAttacks(b *testing.B) {
+	var rep250, rep28 lfi.Campaign
+	var leakyT float64
+	var detTPR float64
+	for i := 0; i < b.N; i++ {
+		rep250 = lfi.RunCampaign(lfi.Chip{Rows: 32, Cols: 32, Tech: lfi.Node250}, lfi.TypicalLaser, 10, 10, 100, 1)
+		rep28 = lfi.RunCampaign(lfi.Chip{Rows: 64, Cols: 64, Tech: lfi.Node28}, lfi.TypicalLaser, 20, 20, 100, 1)
+		secret := []byte{0x4b, 0xe7, 0x12, 0x9a}
+		leaky := sca.VerifyTiming("leaky", sca.NewLeakyComparer(secret, 5), secret, 6)
+		leakyT = leaky.TValue
+
+		prog, err := cpu.Assemble(fidetectKernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		golden := goldenFeatures(prog, 40, 1)
+		ae := fidetect.NewAutoencoder(fidetect.FeatureDim, 6, 42)
+		ae.Train(golden, 300, 0.05, 1.5, 7)
+		attacks := attackFeatures(prog, 20, 3)
+		ev := ae.Evaluate(goldenFeatures(prog, 20, 99), attacks)
+		detTPR = ev.TPR()
+	}
+	b.ReportMetric(rep250.Repeatability()*100, "250nm_repeatability_%")
+	b.ReportMetric(rep28.CollateralAvg, "28nm_collateral_cells")
+	b.ReportMetric(detTPR*100, "nn_detection_%")
+	b.Logf("laser: 250nm single-flip repeatability %.0f%%, 28nm collateral %.1f cells/shot",
+		rep250.Repeatability()*100, rep28.CollateralAvg)
+	b.Logf("timing SCA: leaky |t|=%.1f (threshold %.1f); NN detector TPR %.0f%%",
+		leakyT, sca.TVLAThreshold, detTPR*100)
+}
+
+// BenchmarkE16_PUFAutoSoC sweeps PUF reliability vs technology and
+// temperature, and runs the AutoSoC safety-configuration comparison.
+func BenchmarkE16_PUFAutoSoC(b *testing.B) {
+	var planarBER, finfetBER, inter float64
+	var qmDC, asildDC float64
+	for i := 0; i < b.N; i++ {
+		p, f := puf.Planar65, puf.FinFET16
+		p.Seed, f.Seed = 1, 1
+		planarBER = puf.IntraHD(p.Manufacture(0), 85, 10, 2)
+		finfetBER = puf.IntraHD(f.Manufacture(0), 85, 10, 2)
+		var devices []*puf.Device
+		for d := 0; d < 6; d++ {
+			devices = append(devices, f.Manufacture(d))
+		}
+		inter = puf.InterHD(devices)
+
+		app := autosoc.Checksum()
+		qm, err := autosoc.Campaign(autosoc.QM, app, 60, 77)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ad, err := autosoc.Campaign(autosoc.ASILD, app, 60, 77)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qmDC, asildDC = qm.DiagnosticCoverage(), ad.DiagnosticCoverage()
+	}
+	b.ReportMetric(finfetBER*100, "finfet_BER_%")
+	b.ReportMetric(inter*100, "uniqueness_%")
+	b.ReportMetric(asildDC*100, "asild_DC_%")
+	b.Logf("PUF @85°C: planar BER %.2f%%, FinFET BER %.2f%%, uniqueness %.1f%% (ideal 50%%)",
+		planarBER*100, finfetBER*100, inter*100)
+	b.Logf("AutoSoC: QM DC=%.2f -> ASIL-D DC=%.2f", qmDC, asildDC)
+}
+
+// ---------- shared fixtures ----------
+
+func redundantNetlist() (*netlist.Netlist, error) {
+	n := netlist.New("redundant")
+	a, _ := n.AddInput("a")
+	bb, _ := n.AddInput("b")
+	na, _ := n.AddGate("na", netlist.Not, a)
+	c, _ := n.AddGate("c", netlist.And, a, na) // constant 0 (latent site)
+	y, _ := n.AddGate("y", netlist.Or, c, bb)
+	if err := n.MarkOutput(y); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+const fidetectKernel = `
+	l.addi r1, r0, 16
+	l.addi r2, r0, 24
+	l.movhi r3, 0x1337
+	l.ori  r3, r3, 0xbeef
+	l.addi r10, r0, 0
+	l.addi r5, r0, 3
+	l.addi r6, r0, 29
+loop:
+	l.lwz  r4, 0(r1)
+	l.xor  r4, r4, r3
+	l.sll  r7, r4, r5
+	l.srl  r8, r4, r6
+	l.or   r4, r7, r8
+	l.add  r10, r10, r4
+	l.addi r1, r1, 1
+	l.sfltu r1, r2
+	l.bf   loop
+	l.sw   8(r0), r10
+	l.halt
+`
+
+func goldenFeatures(prog *cpu.Program, n int, seed int64) []fidetect.Features {
+	var out []fidetect.Features
+	for i := 0; i < n; i++ {
+		mem := cpu.NewMemory(32)
+		for a := 16; a < 24; a++ {
+			mem.Words[a] = uint32(seed)*2654435761 + uint32(i*a)
+		}
+		c := cpu.New(mem)
+		f, err := fidetect.TraceProgram(c, prog, 2000)
+		if err != nil {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func attackFeatures(prog *cpu.Program, n int, seed int64) []fidetect.Features {
+	var out []fidetect.Features
+	i := 0
+	for len(out) < n {
+		i++
+		mem := cpu.NewMemory(32)
+		for a := 16; a < 24; a++ {
+			mem.Words[a] = uint32(seed)*40503 + uint32(i*a*7)
+		}
+		gold := cpu.NewMemory(32)
+		copy(gold.Words, mem.Words)
+		gc := cpu.New(gold)
+		_ = gc.Run(prog, 2000)
+		c := cpu.New(mem)
+		c.Inject(cpu.Fault{Kind: cpu.FlagFlip, Cycle: int64(10 + (i*13)%60)})
+		f, err := fidetect.TraceProgram(c, prog, 2000)
+		if err != nil {
+			continue
+		}
+		if mem.Words[8] == gold.Words[8] {
+			continue // masked fault: not an effective attack
+		}
+		out = append(out, f)
+		if i > n*50 {
+			break
+		}
+	}
+	return out
+}

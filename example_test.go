@@ -1,0 +1,57 @@
+package rescue_test
+
+import (
+	"fmt"
+
+	"rescue"
+	"rescue/internal/seu"
+)
+
+// ExampleCircuit loads a benchmark circuit from the registry.
+func ExampleCircuit() {
+	n, err := rescue.Circuit("c17")
+	if err != nil {
+		panic(err)
+	}
+	s := n.Stats()
+	fmt.Printf("%s: %d gates, %d inputs, %d outputs\n", s.Name, s.Gates, s.Inputs, s.Outputs)
+	// Output:
+	// c17: 11 gates, 5 inputs, 2 outputs
+}
+
+// ExampleGenerateTests runs the complete ATPG flow on a benchmark.
+func ExampleGenerateTests() {
+	n, _ := rescue.Circuit("c17")
+	faults := rescue.AllStuckAt(n)
+	res, err := rescue.GenerateTests(n, faults, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("faults: %d\n", len(faults))
+	fmt.Printf("effective coverage: %.0f%%\n", res.Coverage.Effective()*100)
+	// Output:
+	// faults: 22
+	// effective coverage: 100%
+}
+
+// ExampleFaultSimulate verifies a test set by fault simulation.
+func ExampleFaultSimulate() {
+	n, _ := rescue.Circuit("c17")
+	faults := rescue.AllStuckAt(n)
+	res, _ := rescue.GenerateTests(n, faults, 1)
+	rep, err := rescue.FaultSimulate(n, faults, res.Tests)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("detected %d/%d\n", rep.Coverage().Detected, rep.Coverage().Total)
+	// Output:
+	// detected 22/22
+}
+
+// ExampleMemoryFITPerMbit computes the Section III.B soft-error figure.
+func ExampleMemoryFITPerMbit() {
+	fit := rescue.MemoryFITPerMbit(seu.SeaLevel, seu.Node28)
+	fmt.Printf("28nm SRAM at ground level: %.0f FIT/Mbit\n", fit)
+	// Output:
+	// 28nm SRAM at ground level: 1908 FIT/Mbit
+}

@@ -1,0 +1,126 @@
+// Security: the hardware-security storyline of paper Section III.F. A
+// device authenticates with an SRAM-PUF key; its firmware compares
+// passphrases with a leaky routine that the PASCAL-style timing flow
+// flags and repairs; a laser fault-injection campaign attacks the key
+// vault's lock bit, defeated by spatially separated TMR; and a neural
+// anomaly detector trained only on golden traces catches the fault
+// attacks on the crypto kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rescue/internal/autosoc"
+	"rescue/internal/cpu"
+	"rescue/internal/fidetect"
+	"rescue/internal/lfi"
+	"rescue/internal/puf"
+	"rescue/internal/sca"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Key material from the SRAM PUF with fuzzy extraction.
+	model := puf.FinFET16
+	model.Seed = 11
+	dev := model.Manufacture(0)
+	enrollment := puf.Enroll(dev, 128, 7, 99)
+	_, ok := puf.Reconstruct(dev, enrollment, 25, 1)
+	fmt.Printf("PUF key: 128-bit, reconstruction ok=%v, raw BER %.3f, key failure rate %.4f\n",
+		ok, puf.IntraHD(dev, 25, 10, 2), puf.KeyFailureRate(dev, enrollment, 25, 100, 5))
+
+	// 2. Timing side channel in the passphrase check: detect, attack,
+	// repair, verify.
+	secret := []byte{0x4b, 0xe7, 0x12, 0x9a}
+	leaky := sca.VerifyTiming("leaky", sca.NewLeakyComparer(secret, 5), secret, 6)
+	fmt.Printf("timing SCA: leaky t=%.1f, secret recovered=%x\n", leaky.TValue, leaky.Recovered)
+	fixed := sca.VerifyTiming("fixed", sca.NewConstantTimeComparer(secret, 5), secret, 6)
+	fmt.Printf("after constant-time repair: t=%.1f, leaky=%v\n", fixed.TValue, fixed.Leaky)
+
+	// 3. Laser attack on the key vault's lock flip-flop.
+	fmt.Println("\nlaser fault injection on the vault lock:")
+	plain := autosoc.NewKeyVault([4]uint32{1, 2, 3, 4}, 0xC0FFEE, false)
+	plain.FlipLockBit(0) // single precise flip (250nm-style attack)
+	if _, err := plain.ReadKey(); err == nil {
+		fmt.Println("  unprotected vault: single flip EXPOSES the key")
+	}
+	hard := autosoc.NewKeyVault([4]uint32{1, 2, 3, 4}, 0xC0FFEE, true)
+	hard.FlipLockBit(1)
+	fmt.Printf("  TMR vault: locked=%v tampered=%v after one flip\n", hard.Locked(), hard.Tampered())
+	chip := lfi.Chip{Rows: 64, Cols: 64, Tech: lfi.Node28}
+	attack := lfi.Laser{SpotFWHM: 1.8, Energy: 4, AimJitter: 0.15}
+	colo := lfi.AttackTMR(chip, attack, lfi.ColocatedTMR(30, 30), 100, 4)
+	sep := lfi.AttackTMR(chip, attack, lfi.SeparatedTMR(chip), 100, 4)
+	fmt.Printf("  placement matters: colocated TMR broken %d/100, separated %d/100\n", colo, sep)
+
+	// 4. Neural anomaly detection of fault attacks on the crypto kernel.
+	prog, err := cpu.Assemble(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := traces(prog, 50, 1, false)
+	ae := fidetect.NewAutoencoder(fidetect.FeatureDim, 6, 42)
+	ae.Train(golden, 400, 0.05, 1.5, 7)
+	ev := ae.Evaluate(traces(prog, 30, 99, false), traces(prog, 30, 3, true))
+	fmt.Printf("\nNN fault-attack detector: TPR %.2f, FPR %.2f (trained on golden traces only)\n",
+		ev.TPR(), ev.FPR())
+}
+
+const kernel = `
+	l.addi r1, r0, 16
+	l.addi r2, r0, 24
+	l.movhi r3, 0x1337
+	l.ori  r3, r3, 0xbeef
+	l.addi r10, r0, 0
+	l.addi r5, r0, 3
+	l.addi r6, r0, 29
+loop:
+	l.lwz  r4, 0(r1)
+	l.xor  r4, r4, r3
+	l.sll  r7, r4, r5
+	l.srl  r8, r4, r6
+	l.or   r4, r7, r8
+	l.add  r10, r10, r4
+	l.addi r1, r1, 1
+	l.sfltu r1, r2
+	l.bf   loop
+	l.sw   8(r0), r10
+	l.halt
+`
+
+func traces(prog *cpu.Program, n int, seed int64, attacked bool) []fidetect.Features {
+	var out []fidetect.Features
+	i := 0
+	for len(out) < n && i < n*60 {
+		i++
+		mem := cpu.NewMemory(32)
+		for a := 16; a < 24; a++ {
+			mem.Words[a] = uint32(seed)*2654435761 + uint32(i*a*13)
+		}
+		var goldWords [32]uint32
+		if attacked {
+			gold := cpu.NewMemory(32)
+			copy(gold.Words, mem.Words)
+			gc := cpu.New(gold)
+			if err := gc.Run(prog, 2000); err != nil {
+				continue
+			}
+			copy(goldWords[:], gold.Words)
+		}
+		c := cpu.New(mem)
+		if attacked {
+			c.Inject(cpu.Fault{Kind: cpu.FlagFlip, Cycle: int64(10 + (i*13)%60)})
+		}
+		f, err := fidetect.TraceProgram(c, prog, 2000)
+		if err != nil {
+			continue
+		}
+		if attacked && mem.Words[8] == goldWords[8] {
+			continue // masked: not an effective attack
+		}
+		out = append(out, f)
+	}
+	return out
+}

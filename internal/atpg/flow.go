@@ -1,0 +1,283 @@
+package atpg
+
+import (
+	"fmt"
+
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+// ScanView converts a sequential circuit into its full-scan combinational
+// view: every flip-flop Q becomes a pseudo primary input and every D pin
+// a pseudo primary output. The returned mapping relates new input indices
+// to original DFF indices.
+type ScanViewResult struct {
+	Comb *netlist.Netlist
+	// PseudoInputs[i] is the index (into Comb.Inputs) of the pseudo input
+	// standing in for original DFF i; PseudoOutputs[i] likewise for the
+	// D-pin observation point.
+	PseudoInputs  []int
+	PseudoOutputs []int
+}
+
+// ScanView builds the full-scan view. Combinational circuits are returned
+// unchanged (with empty mappings).
+func ScanView(n *netlist.Netlist) (*ScanViewResult, error) {
+	if !n.IsSequential() {
+		return &ScanViewResult{Comb: n}, nil
+	}
+	c := netlist.New(n.Name + "_scan")
+	oldToNew := make([]int, n.NumGates())
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	res := &ScanViewResult{Comb: c}
+	// Original inputs first, preserving order.
+	for _, id := range n.Inputs {
+		nid, err := c.AddInput(n.Gate(id).Name)
+		if err != nil {
+			return nil, err
+		}
+		oldToNew[id] = nid
+	}
+	// One pseudo input per DFF.
+	for di, id := range n.DFFs {
+		nid, err := c.AddInput(n.Gate(id).Name + "_scan")
+		if err != nil {
+			return nil, err
+		}
+		oldToNew[id] = nid
+		res.PseudoInputs = append(res.PseudoInputs, len(c.Inputs)-1)
+		_ = di
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		g := n.Gate(id)
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = oldToNew[f]
+			if fanin[i] < 0 {
+				return nil, fmt.Errorf("atpg: scan view: fanin %q of %q not yet mapped",
+					n.Gate(f).Name, g.Name)
+			}
+		}
+		nid, err := c.AddGate(g.Name, g.Type, fanin...)
+		if err != nil {
+			return nil, err
+		}
+		oldToNew[id] = nid
+	}
+	for _, id := range n.Outputs {
+		if err := c.MarkOutput(oldToNew[id]); err != nil {
+			return nil, err
+		}
+	}
+	// D-pin observation points become pseudo outputs. A DFF whose D is
+	// driven by another DFF or a PI observes that mapped gate directly.
+	// MarkOutput deduplicates (two DFFs may share a driver, or the driver
+	// may already be a functional PO), so resolve the index afterwards.
+	for _, id := range n.DFFs {
+		d := oldToNew[n.Gate(id).Fanin[0]]
+		if err := c.MarkOutput(d); err != nil {
+			return nil, err
+		}
+		idx := -1
+		for oi, o := range c.Outputs {
+			if o == d {
+				idx = oi
+				break
+			}
+		}
+		res.PseudoOutputs = append(res.PseudoOutputs, idx)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Result is the outcome of a full test-generation flow.
+type Result struct {
+	Tests    []logic.Vector
+	Status   []fault.Status // parallel to the fault list
+	Coverage fault.Coverage
+	// RandomDetected counts faults removed by the random-pattern phase.
+	RandomDetected int
+	// Backtracks accumulates PODEM backtracks across all targets.
+	Backtracks int
+}
+
+// FlowOptions configures GenerateTests.
+type FlowOptions struct {
+	// RandomPatterns bootstraps the fault list with this many random
+	// patterns before deterministic generation (0 disables the phase).
+	RandomPatterns int
+	Seed           int64
+	PODEM          Options
+	// Compact enables reverse-order static compaction of the test set.
+	Compact bool
+}
+
+// GenerateTests runs the full ATPG flow on a combinational circuit:
+// random-pattern bootstrap with fault dropping, PODEM per remaining
+// fault, classification of untestable faults and optional compaction.
+func GenerateTests(n *netlist.Netlist, faults fault.List, opt FlowOptions) (*Result, error) {
+	res := &Result{Status: make([]fault.Status, len(faults))}
+	for i := range res.Status {
+		res.Status[i] = fault.NotSimulated
+	}
+	remaining := make([]int, 0, len(faults))
+
+	if opt.RandomPatterns > 0 {
+		pats := faultsim.RandomPatterns(n, opt.RandomPatterns, opt.Seed)
+		rep, err := faultsim.Run(n, faults, pats)
+		if err != nil {
+			return nil, err
+		}
+		used := make(map[int]bool)
+		for i, s := range rep.Status {
+			if s == fault.Detected {
+				res.Status[i] = fault.Detected
+				res.RandomDetected++
+				if !used[rep.DetectedBy[i]] {
+					used[rep.DetectedBy[i]] = true
+					res.Tests = append(res.Tests, pats[rep.DetectedBy[i]])
+				}
+			} else {
+				remaining = append(remaining, i)
+			}
+		}
+	} else {
+		for i := range faults {
+			remaining = append(remaining, i)
+		}
+	}
+
+	eng, err := NewEngine(n, opt.PODEM)
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range remaining {
+		vec, out := eng.Generate(faults[fi])
+		res.Backtracks += eng.backtracks
+		switch out {
+		case TestFound:
+			res.Status[fi] = fault.Detected
+			res.Tests = append(res.Tests, fillX(vec, opt.Seed+int64(fi)))
+		case ProvenUntestable:
+			res.Status[fi] = fault.Untestable
+		case AbortedLimit:
+			res.Status[fi] = fault.Aborted
+		}
+	}
+	if opt.Compact && len(res.Tests) > 1 {
+		compacted, err := CompactTests(n, faults, res.Tests)
+		if err != nil {
+			return nil, err
+		}
+		res.Tests = compacted
+	}
+	// Final verification pass: coverage measured by fault simulation.
+	rep, err := faultsim.Run(n, faults, res.Tests)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range rep.Status {
+		if s == fault.Detected {
+			res.Status[i] = fault.Detected
+		}
+	}
+	cov := fault.Coverage{Total: len(faults)}
+	for _, s := range res.Status {
+		switch s {
+		case fault.Detected:
+			cov.Detected++
+		case fault.Untestable:
+			cov.Untestable++
+		case fault.Aborted:
+			cov.Aborted++
+		}
+	}
+	res.Coverage = cov
+	return res, nil
+}
+
+// fillX replaces don't-cares with deterministic pseudo-random values so
+// tests are fully specified (required by the packed fault simulator's
+// detection comparison and by tester hand-off).
+func fillX(vec logic.Vector, seed int64) logic.Vector {
+	out := vec.Clone()
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i, v := range out {
+		if !v.Known() {
+			state = state*2862933555777941757 + 3037000493
+			out[i] = logic.FromBool(state&(1<<32) != 0)
+		}
+	}
+	return out
+}
+
+// CompactTests performs reverse-order static compaction: patterns are
+// fault-simulated in reverse insertion order with fault dropping, and any
+// pattern that detects no not-yet-detected fault is discarded.
+func CompactTests(n *netlist.Netlist, faults fault.List, tests []logic.Vector) ([]logic.Vector, error) {
+	detected := make([]bool, len(faults))
+	var kept []logic.Vector
+	for i := len(tests) - 1; i >= 0; i-- {
+		var pending fault.List
+		var pendingIdx []int
+		for fi := range faults {
+			if !detected[fi] {
+				pending = append(pending, faults[fi])
+				pendingIdx = append(pendingIdx, fi)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		rep, err := faultsim.Run(n, pending, []logic.Vector{tests[i]})
+		if err != nil {
+			return nil, err
+		}
+		newDetect := false
+		for j, s := range rep.Status {
+			if s == fault.Detected {
+				detected[pendingIdx[j]] = true
+				newDetect = true
+			}
+		}
+		if newDetect {
+			kept = append(kept, tests[i])
+		}
+	}
+	// Restore original relative order.
+	for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+		kept[l], kept[r] = kept[r], kept[l]
+	}
+	return kept, nil
+}
+
+// IdentifyUntestable classifies each fault as testable, untestable or
+// aborted using PODEM with the given backtrack limit. This implements the
+// "functionally untestable fault identification" step of Section III.A:
+// excluding proven-untestable faults corrects the coverage denominator
+// and removes wasted fault-simulation effort.
+func IdentifyUntestable(n *netlist.Netlist, faults fault.List, opt Options) ([]Outcome, error) {
+	eng, err := NewEngine(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(faults))
+	for i, f := range faults {
+		_, out[i] = eng.Generate(f)
+	}
+	return out, nil
+}

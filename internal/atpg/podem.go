@@ -1,0 +1,495 @@
+// Package atpg implements automatic test pattern generation for stuck-at
+// faults: the PODEM algorithm with SCOAP-guided backtrace, a random-
+// pattern bootstrap phase, functionally-untestable fault identification
+// (Section III.A of the RESCUE paper) and static test-set compaction.
+// Sequential circuits are handled through a full-scan view in which every
+// flip-flop becomes a pseudo input/output pair.
+package atpg
+
+import (
+	"fmt"
+
+	"rescue/internal/fault"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+// Outcome reports the result of one PODEM run.
+type Outcome uint8
+
+const (
+	// TestFound means a test vector was generated.
+	TestFound Outcome = iota
+	// ProvenUntestable means the search space was exhausted: no input
+	// assignment detects the fault (it is redundant).
+	ProvenUntestable
+	// AbortedLimit means the backtrack limit was hit before a verdict.
+	AbortedLimit
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case TestFound:
+		return "test-found"
+	case ProvenUntestable:
+		return "untestable"
+	case AbortedLimit:
+		return "aborted"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Options configures PODEM.
+type Options struct {
+	// BacktrackLimit bounds the search; 0 means DefaultBacktrackLimit.
+	// Searches that exhaust the space below the limit prove untestability.
+	BacktrackLimit int
+}
+
+// DefaultBacktrackLimit is ample for the benchmark circuits in this repo.
+const DefaultBacktrackLimit = 20000
+
+// Engine generates tests for one circuit. It is not safe for concurrent
+// use; create one Engine per goroutine.
+type Engine struct {
+	n     *netlist.Netlist
+	order []int
+	cc    *Controllability
+	gv    []logic.V // good-machine values
+	fv    []logic.V // faulty-machine values
+	piVal []logic.V // current PI assignment, indexed like n.Inputs
+	piIdx map[int]int
+
+	target     fault.Fault
+	backtracks int
+	limit      int
+}
+
+// NewEngine builds an ATPG engine for a combinational circuit. For
+// sequential circuits construct a ScanView first.
+func NewEngine(n *netlist.Netlist, opt Options) (*Engine, error) {
+	if n.IsSequential() {
+		return nil, fmt.Errorf("atpg: sequential circuit %q: build a ScanView first", n.Name)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	cc, err := ComputeControllability(n)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		n: n, order: order, cc: cc,
+		gv:    make([]logic.V, n.NumGates()),
+		fv:    make([]logic.V, n.NumGates()),
+		piVal: make([]logic.V, len(n.Inputs)),
+		piIdx: make(map[int]int, len(n.Inputs)),
+		limit: opt.BacktrackLimit,
+	}
+	if e.limit <= 0 {
+		e.limit = DefaultBacktrackLimit
+	}
+	for i, id := range n.Inputs {
+		e.piIdx[id] = i
+	}
+	return e, nil
+}
+
+// Generate runs PODEM for the fault. On TestFound the returned vector has
+// one value per primary input, with X marking don't-cares.
+func (e *Engine) Generate(f fault.Fault) (logic.Vector, Outcome) {
+	if f.Kind != fault.StuckAt {
+		return nil, AbortedLimit
+	}
+	e.target = f
+	e.backtracks = 0
+	for i := range e.piVal {
+		e.piVal[i] = logic.X
+	}
+
+	type frame struct {
+		pi      int
+		val     logic.V
+		flipped bool
+	}
+	var stack []frame
+	// backtrack flips the most recent unflipped assignment; it reports
+	// false when the whole search space is exhausted.
+	backtrack := func() (bool, Outcome) {
+		for {
+			if len(stack) == 0 {
+				return false, ProvenUntestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				e.backtracks++
+				if e.backtracks > e.limit {
+					return false, AbortedLimit
+				}
+				top.val = logic.Not(top.val)
+				top.flipped = true
+				e.piVal[top.pi] = top.val
+				return true, TestFound
+			}
+			e.piVal[top.pi] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for {
+		e.imply()
+		switch e.state() {
+		case stateDetected:
+			return append(logic.Vector(nil), e.piVal...), TestFound
+		case stateConflict:
+			ok, why := backtrack()
+			if !ok {
+				return nil, why
+			}
+			continue
+		}
+		// Undetermined: pick a new objective and backtrace to a PI.
+		objGate, objVal, ok := e.objective()
+		if !ok {
+			// No achievable objective left with current assignments.
+			okBT, why := backtrack()
+			if !okBT {
+				return nil, why
+			}
+			continue
+		}
+		pi, v := e.backtrace(objGate, objVal)
+		if e.piVal[pi].Known() {
+			// Backtrace landed on an assigned PI: heuristic dead end.
+			okBT, why := backtrack()
+			if !okBT {
+				return nil, why
+			}
+			continue
+		}
+		e.piVal[pi] = v
+		stack = append(stack, frame{pi: pi, val: v})
+	}
+}
+
+type searchState uint8
+
+const (
+	stateDetected searchState = iota
+	stateConflict
+	stateUndetermined
+)
+
+// imply simulates both machines under the current PI assignment.
+func (e *Engine) imply() {
+	for i, id := range e.n.Inputs {
+		e.gv[id] = e.piVal[i]
+		e.fv[id] = e.piVal[i]
+	}
+	f := e.target
+	// Input-site fault on a primary input.
+	getG := func(id int) logic.V { return e.gv[id] }
+	getF := func(id int) logic.V { return e.fv[id] }
+	for _, id := range e.order {
+		g := e.n.Gate(id)
+		if g.Type == netlist.Input {
+			if f.Pin < 0 && f.Gate == id {
+				e.fv[id] = f.Value
+			}
+			continue
+		}
+		e.gv[id] = sim.EvalGate(g, getG)
+		if f.Gate == id && f.Pin >= 0 {
+			e.fv[id] = evalWithPin(g, getF, f.Pin, f.Value)
+		} else {
+			e.fv[id] = sim.EvalGate(g, getF)
+		}
+		if f.Gate == id && f.Pin < 0 {
+			e.fv[id] = f.Value
+		}
+	}
+}
+
+// evalWithPin evaluates g in the faulty machine with pin forced to v.
+func evalWithPin(g *netlist.Gate, get func(int) logic.V, pin int, v logic.V) logic.V {
+	vals := make([]logic.V, len(g.Fanin))
+	for i, fi := range g.Fanin {
+		vals[i] = get(fi)
+	}
+	vals[pin] = v
+	return evalFromValues(g, vals)
+}
+
+// evalFromValues evaluates a gate given positional fanin values.
+func evalFromValues(g *netlist.Gate, vals []logic.V) logic.V {
+	switch g.Type {
+	case netlist.Buf:
+		return logic.Buf(vals[0])
+	case netlist.Not:
+		return logic.Not(vals[0])
+	case netlist.Mux:
+		return logic.Mux(vals[0], vals[1], vals[2])
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			acc = logic.And(acc, v)
+		case netlist.Or, netlist.Nor:
+			acc = logic.Or(acc, v)
+		case netlist.Xor, netlist.Xnor:
+			acc = logic.Xor(acc, v)
+		}
+	}
+	switch g.Type {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = logic.Not(acc)
+	}
+	return acc
+}
+
+// faultSiteGood returns the good-machine value at the faulty line.
+func (e *Engine) faultSiteGood() logic.V {
+	if e.target.Pin < 0 {
+		return e.gv[e.target.Gate]
+	}
+	return e.gv[e.n.Gate(e.target.Gate).Fanin[e.target.Pin]]
+}
+
+// state classifies the current search position.
+func (e *Engine) state() searchState {
+	// Detected: any PO differs with both values known.
+	for _, o := range e.n.Outputs {
+		if e.gv[o].Known() && e.fv[o].Known() && e.gv[o] != e.fv[o] {
+			return stateDetected
+		}
+	}
+	site := e.faultSiteGood()
+	if site.Known() && site == e.target.Value {
+		return stateConflict // fault can no longer be activated
+	}
+	if site.Known() {
+		// Activated: require a non-empty D-frontier with an X-path.
+		if len(e.dFrontier()) == 0 {
+			return stateConflict
+		}
+		if !e.xPathExists() {
+			return stateConflict
+		}
+	}
+	return stateUndetermined
+}
+
+// dFrontier lists gates whose output is undetermined in at least one
+// machine while some fanin already carries a D/D' discrepancy. For an
+// input-pin fault the discrepancy materialises inside the faulted gate
+// (the driving net itself carries equal values in both machines), so that
+// gate seeds the frontier once the fault is activated.
+func (e *Engine) dFrontier() []int {
+	var frontier []int
+	for _, g := range e.n.Gates {
+		if g.Type == netlist.Input {
+			continue
+		}
+		if e.gv[g.ID].Known() && e.fv[g.ID].Known() {
+			continue
+		}
+		if e.target.Pin >= 0 && g.ID == e.target.Gate {
+			if site := e.faultSiteGood(); site.Known() && site != e.target.Value {
+				frontier = append(frontier, g.ID)
+				continue
+			}
+		}
+		for _, fi := range g.Fanin {
+			if e.gv[fi].Known() && e.fv[fi].Known() && e.gv[fi] != e.fv[fi] {
+				frontier = append(frontier, g.ID)
+				break
+			}
+		}
+	}
+	return frontier
+}
+
+// xPathExists checks whether any D-frontier gate reaches a primary output
+// through gates whose value is still undetermined.
+func (e *Engine) xPathExists() bool {
+	isOut := make(map[int]bool, len(e.n.Outputs))
+	for _, o := range e.n.Outputs {
+		isOut[o] = true
+	}
+	seen := make(map[int]bool)
+	var dfs func(id int) bool
+	dfs = func(id int) bool {
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		if isOut[id] {
+			return true
+		}
+		for _, fo := range e.n.Gate(id).Fanout {
+			if e.gv[fo].Known() && e.fv[fo].Known() {
+				continue
+			}
+			if dfs(fo) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, g := range e.dFrontier() {
+		seen = make(map[int]bool)
+		if !(e.gv[g].Known() && e.fv[g].Known()) && isOut[g] {
+			return true
+		}
+		if dfs(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// objective returns the next (gate, value) goal: activate the fault if
+// its site is still X, otherwise advance the cheapest D-frontier gate.
+func (e *Engine) objective() (int, logic.V, bool) {
+	site := e.faultSiteGood()
+	if !site.Known() {
+		want := logic.Not(e.target.Value)
+		gate := e.target.Gate
+		if e.target.Pin >= 0 {
+			gate = e.n.Gate(e.target.Gate).Fanin[e.target.Pin]
+		}
+		return gate, want, true
+	}
+	frontier := e.dFrontier()
+	if len(frontier) == 0 {
+		return 0, logic.X, false
+	}
+	// Choose the frontier gate closest to a PO (lowest remaining depth
+	// approximated by highest level) and set one X input to the gate's
+	// non-controlling value.
+	best := frontier[0]
+	for _, g := range frontier[1:] {
+		if e.n.Gate(g).Level > e.n.Gate(best).Level {
+			best = g
+		}
+	}
+	g := e.n.Gate(best)
+	nc, hasNC := nonControlling(g.Type)
+	for pinIdx, fi := range g.Fanin {
+		if e.gv[fi].Known() && e.fv[fi].Known() {
+			continue
+		}
+		if g.Type == netlist.Mux && pinIdx == 0 {
+			// Drive the select towards the side carrying the D.
+			for dataPin, dfi := range g.Fanin[1:] {
+				if e.gv[dfi].Known() && e.fv[dfi].Known() && e.gv[dfi] != e.fv[dfi] {
+					return fi, logic.FromBool(dataPin == 1), true
+				}
+			}
+			return fi, logic.Zero, true
+		}
+		if !hasNC {
+			// XOR-family: any defined value propagates; choose 0.
+			return fi, logic.Zero, true
+		}
+		return fi, nc, true
+	}
+	return 0, logic.X, false
+}
+
+// nonControlling returns the non-controlling input value for a gate type,
+// or ok=false for XOR-family gates that have none.
+func nonControlling(t netlist.GateType) (logic.V, bool) {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return logic.One, true
+	case netlist.Or, netlist.Nor:
+		return logic.Zero, true
+	}
+	return logic.X, false
+}
+
+// backtrace walks an objective (gate, value) back to an unassigned
+// primary input, choosing branches by SCOAP controllability.
+func (e *Engine) backtrace(gate int, val logic.V) (pi int, v logic.V) {
+	id, want := gate, val
+	for {
+		g := e.n.Gate(id)
+		if g.Type == netlist.Input {
+			return e.piIdx[id], want
+		}
+		switch g.Type {
+		case netlist.Not:
+			id, want = g.Fanin[0], logic.Not(want)
+		case netlist.Buf:
+			id = g.Fanin[0]
+		case netlist.Nand, netlist.Nor:
+			want = logic.Not(want)
+			id = e.chooseBranch(g, want)
+		case netlist.And, netlist.Or:
+			id = e.chooseBranch(g, want)
+		case netlist.Xor, netlist.Xnor:
+			// Pick the first X input; aim for 0 on it (heuristic).
+			next := g.Fanin[0]
+			for _, fi := range g.Fanin {
+				if !e.gv[fi].Known() {
+					next = fi
+					break
+				}
+			}
+			id, want = next, logic.Zero
+		case netlist.Mux:
+			// Prefer steering the select if unassigned.
+			if !e.gv[g.Fanin[0]].Known() {
+				id, want = g.Fanin[0], logic.Zero
+			} else if sel, _ := e.gv[g.Fanin[0]].Bool(); sel {
+				id = g.Fanin[2]
+			} else {
+				id = g.Fanin[1]
+			}
+		default:
+			// DFF cannot appear in a combinational engine.
+			return e.piIdx[e.n.Inputs[0]], want
+		}
+	}
+}
+
+// chooseBranch picks which X fanin to pursue for an AND/OR objective.
+// Setting the output to the controlling-derived value needs only one
+// input (choose the easiest); the non-controlling value needs all inputs
+// (choose the hardest first, per the classical heuristic).
+func (e *Engine) chooseBranch(g *netlist.Gate, want logic.V) int {
+	ctrl := logic.Zero // controlling value of AND
+	if g.Type == netlist.Or || g.Type == netlist.Nor {
+		ctrl = logic.One
+	}
+	needOne := want == ctrl // output forced by a single controlling input
+	bestID, bestCost := -1, 0
+	for _, fi := range g.Fanin {
+		if e.gv[fi].Known() {
+			continue
+		}
+		cost := e.cc.CC1[fi]
+		if wantVal(want, ctrl) == logic.Zero {
+			cost = e.cc.CC0[fi]
+		}
+		if bestID < 0 || (needOne && cost < bestCost) || (!needOne && cost > bestCost) {
+			bestID, bestCost = fi, cost
+		}
+	}
+	if bestID < 0 {
+		bestID = g.Fanin[0]
+	}
+	return bestID
+}
+
+// wantVal returns the value an input must take on the chosen branch.
+func wantVal(want, ctrl logic.V) logic.V {
+	if want == ctrl {
+		return ctrl
+	}
+	return logic.Not(ctrl)
+}

@@ -1,0 +1,94 @@
+package atpg
+
+import (
+	"rescue/internal/netlist"
+)
+
+// Controllability holds SCOAP-style testability measures: CC0/CC1 are the
+// minimum numbers of PI assignments needed to set a line to 0/1. They
+// guide PODEM's backtrace towards cheap objectives.
+type Controllability struct {
+	CC0, CC1 []int
+}
+
+const ccInf = 1 << 29
+
+// ComputeControllability calculates SCOAP combinational controllability.
+// DFF outputs are treated as pseudo-primary inputs (cost 1), matching the
+// full-scan assumption used by the test-generation flow.
+func ComputeControllability(n *netlist.Netlist) (*Controllability, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	cc := &Controllability{
+		CC0: make([]int, n.NumGates()),
+		CC1: make([]int, n.NumGates()),
+	}
+	for _, id := range order {
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			cc.CC0[id], cc.CC1[id] = 1, 1
+		case netlist.Buf:
+			cc.CC0[id] = cc.CC0[g.Fanin[0]] + 1
+			cc.CC1[id] = cc.CC1[g.Fanin[0]] + 1
+		case netlist.Not:
+			cc.CC0[id] = cc.CC1[g.Fanin[0]] + 1
+			cc.CC1[id] = cc.CC0[g.Fanin[0]] + 1
+		case netlist.And, netlist.Nand:
+			all1, min0 := 1, ccInf
+			for _, f := range g.Fanin {
+				all1 += cc.CC1[f]
+				if cc.CC0[f] < min0 {
+					min0 = cc.CC0[f]
+				}
+			}
+			if g.Type == netlist.And {
+				cc.CC1[id], cc.CC0[id] = all1, min0+1
+			} else {
+				cc.CC0[id], cc.CC1[id] = all1, min0+1
+			}
+		case netlist.Or, netlist.Nor:
+			all0, min1 := 1, ccInf
+			for _, f := range g.Fanin {
+				all0 += cc.CC0[f]
+				if cc.CC1[f] < min1 {
+					min1 = cc.CC1[f]
+				}
+			}
+			if g.Type == netlist.Or {
+				cc.CC0[id], cc.CC1[id] = all0, min1+1
+			} else {
+				cc.CC1[id], cc.CC0[id] = all0, min1+1
+			}
+		case netlist.Xor, netlist.Xnor:
+			// Two-input approximation extended pairwise.
+			c0, c1 := cc.CC0[g.Fanin[0]], cc.CC1[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				f0, f1 := cc.CC0[f], cc.CC1[f]
+				n0 := minInt(c0+f0, c1+f1) + 1
+				n1 := minInt(c0+f1, c1+f0) + 1
+				c0, c1 = n0, n1
+			}
+			if g.Type == netlist.Xnor {
+				c0, c1 = c1, c0
+			}
+			cc.CC0[id], cc.CC1[id] = c0, c1
+		case netlist.Mux:
+			s0, s1 := cc.CC0[g.Fanin[0]], cc.CC1[g.Fanin[0]]
+			d00, d01 := cc.CC0[g.Fanin[1]], cc.CC1[g.Fanin[1]]
+			d10, d11 := cc.CC0[g.Fanin[2]], cc.CC1[g.Fanin[2]]
+			cc.CC0[id] = minInt(s0+d00, s1+d10) + 1
+			cc.CC1[id] = minInt(s0+d01, s1+d11) + 1
+		}
+	}
+	return cc, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

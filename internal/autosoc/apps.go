@@ -1,0 +1,147 @@
+package autosoc
+
+import "fmt"
+
+// App is one of the representative applications bundled with the
+// AutoSoC benchmark suite (Section IV.B lists "a few representative
+// applications" shipped with the hardware model).
+type App struct {
+	Name string
+	Src  string
+	// Inputs are preloaded at the given addresses before the run.
+	Inputs map[uint32]uint32
+	// OutLo/OutHi delimit the result region compared against golden.
+	OutLo, OutHi uint32
+	Budget       int64
+	MemWords     int
+}
+
+// BubbleSort sorts 8 words in place at addresses 16..23.
+func BubbleSort() App {
+	vals := []uint32{9, 3, 27, 1, 14, 5, 90, 2}
+	in := make(map[uint32]uint32, len(vals))
+	for i, v := range vals {
+		in[uint32(16+i)] = v
+	}
+	return App{
+		Name: "bubble-sort", Inputs: in, OutLo: 16, OutHi: 24,
+		Budget: 20000, MemWords: 64,
+		Src: `
+		l.addi r10, r0, 16    # base
+		l.addi r11, r0, 8     # n
+		l.addi r1, r0, 0      # i
+	outer:
+		l.addi r2, r0, 0      # j
+		l.sub  r12, r11, r1   # n-i
+		l.addi r12, r12, -1   # bound = n-i-1
+	inner:
+		l.add  r3, r10, r2
+		l.lwz  r4, 0(r3)
+		l.lwz  r5, 1(r3)
+		l.sfgtu r4, r5
+		l.bnf  noswap
+		l.sw   0(r3), r5
+		l.sw   1(r3), r4
+	noswap:
+		l.addi r2, r2, 1
+		l.sfltu r2, r12
+		l.bf   inner
+		l.addi r1, r1, 1
+		l.sfltu r1, r11
+		l.bf   outer
+		l.halt
+	`}
+}
+
+// MatMul3 multiplies two 3×3 matrices at 16.. and 25.., result at 40...
+func MatMul3() App {
+	a := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []uint32{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	in := make(map[uint32]uint32)
+	for i := range a {
+		in[uint32(16+i)] = a[i]
+		in[uint32(25+i)] = b[i]
+	}
+	// Unrolled 3x3 multiply keeps the program simple and deterministic.
+	src := ""
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			src += fmt.Sprintf("l.addi r10, r0, 0\n")
+			for k := 0; k < 3; k++ {
+				src += fmt.Sprintf("l.lwz r2, %d(r0)\n", 16+i*3+k)
+				src += fmt.Sprintf("l.lwz r3, %d(r0)\n", 25+k*3+j)
+				src += "l.mul r4, r2, r3\n"
+				src += "l.add r10, r10, r4\n"
+			}
+			src += fmt.Sprintf("l.sw %d(r0), r10\n", 40+i*3+j)
+		}
+	}
+	src += "l.halt\n"
+	return App{
+		Name: "matmul3", Inputs: in, OutLo: 40, OutHi: 49,
+		Budget: 20000, MemWords: 64, Src: src,
+	}
+}
+
+// Checksum computes a rotate-xor checksum over 16 words at 16..31,
+// storing the result at 8 — the telemetry-integrity kernel.
+func Checksum() App {
+	in := make(map[uint32]uint32)
+	for i := 0; i < 16; i++ {
+		in[uint32(16+i)] = uint32(i*2654435761 + 12345)
+	}
+	return App{
+		Name: "checksum", Inputs: in, OutLo: 8, OutHi: 9,
+		Budget: 20000, MemWords: 64,
+		Src: `
+		l.addi r1, r0, 16    # ptr
+		l.addi r2, r0, 32    # end
+		l.addi r10, r0, 0    # acc
+		l.addi r5, r0, 1
+		l.addi r6, r0, 31
+	loop:
+		l.lwz  r3, 0(r1)
+		l.xor  r10, r10, r3
+		l.sll  r7, r10, r5
+		l.srl  r8, r10, r6
+		l.or   r10, r7, r8
+		l.addi r1, r1, 1
+		l.sfltu r1, r2
+		l.bf   loop
+		l.sw   8(r0), r10
+		l.halt
+	`}
+}
+
+// CruiseControl runs 32 steps of a fixed-point proportional controller
+// towards a setpoint — the control-loop workload of the automotive
+// domain. Speed trace is stored at 16..47.
+func CruiseControl() App {
+	return App{
+		Name: "cruise-control", OutLo: 16, OutHi: 48,
+		Budget: 20000, MemWords: 64,
+		Inputs: map[uint32]uint32{8: 100 /* setpoint */, 9: 20 /* initial speed */},
+		Src: `
+		l.lwz  r1, 8(r0)      # setpoint
+		l.lwz  r2, 9(r0)      # speed
+		l.addi r3, r0, 0      # i
+		l.addi r4, r0, 32     # steps
+		l.addi r7, r0, 2      # gain shift (P = err/4)
+	step:
+		l.sub  r5, r1, r2     # err = set - speed
+		l.sra  r6, r5, r7     # err/4 (arithmetic)
+		l.add  r2, r2, r6     # speed += P
+		l.addi r8, r0, 16
+		l.add  r8, r8, r3
+		l.sw   0(r8), r2      # trace[i] = speed
+		l.addi r3, r3, 1
+		l.sfltu r3, r4
+		l.bf   step
+		l.halt
+	`}
+}
+
+// Apps returns the bundled application suite.
+func Apps() []App {
+	return []App{BubbleSort(), MatMul3(), Checksum(), CruiseControl()}
+}

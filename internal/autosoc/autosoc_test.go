@@ -1,0 +1,313 @@
+package autosoc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rescue/internal/cpu"
+)
+
+func TestGoldenApplications(t *testing.T) {
+	// Bubble sort produces a sorted array.
+	out, err := Golden(BubbleSort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		t.Errorf("bubble sort output not sorted: %v", out)
+	}
+	// MatMul3 matches the reference product.
+	out, err = Golden(MatMul3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []uint32{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var want uint32
+			for k := 0; k < 3; k++ {
+				want += a[i*3+k] * b[k*3+j]
+			}
+			if out[i*3+j] != want {
+				t.Fatalf("matmul[%d][%d] = %d, want %d", i, j, out[i*3+j], want)
+			}
+		}
+	}
+	// Cruise control converges to the setpoint.
+	out, err = Golden(CruiseControl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out[len(out)-1]
+	if last < 95 || last > 105 {
+		t.Errorf("cruise control final speed = %d, want ≈100", last)
+	}
+	// Checksum is nonzero and deterministic.
+	c1, err := Golden(Checksum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Golden(Checksum())
+	if c1[0] == 0 || c1[0] != c2[0] {
+		t.Error("checksum must be nonzero and deterministic")
+	}
+}
+
+func TestECCMemoryCorrectsAndDetects(t *testing.T) {
+	m := NewECCMemory(16)
+	if err := m.Store(3, 0xCAFEBABE); err != nil {
+		t.Fatal(err)
+	}
+	// Single flip -> corrected.
+	if err := m.FlipBit(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load(3)
+	if err != nil || v != 0xCAFEBABE {
+		t.Fatalf("single flip: v=%#x err=%v", v, err)
+	}
+	if m.Corrected != 1 {
+		t.Errorf("corrected = %d", m.Corrected)
+	}
+	// The scrub rewrote the word: another load is clean.
+	if _, err := m.Load(3); err != nil {
+		t.Fatal(err)
+	}
+	// Double flip -> uncorrectable.
+	_ = m.FlipBit(3, 1)
+	_ = m.FlipBit(3, 9)
+	if _, err := m.Load(3); err != ErrUncorrectable {
+		t.Errorf("double flip err = %v, want uncorrectable", err)
+	}
+	if _, err := m.Load(99); err == nil {
+		t.Error("out-of-range load must fail")
+	}
+	if err := m.Store(99, 0); err == nil {
+		t.Error("out-of-range store must fail")
+	}
+}
+
+func TestRunOutcomesPerConfig(t *testing.T) {
+	app := Checksum()
+	golden, err := Golden(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-bit flip in the input region read by the app.
+	flip := []MemFlip{{Addr: 20, Bit: 5}}
+	qm, err := Run(QM, app, golden, nil, flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm != SDC {
+		t.Errorf("QM single flip = %v, want SDC", qm)
+	}
+	asilB, err := Run(ASILB, app, golden, nil, flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asilB != CorrectedECC {
+		t.Errorf("ASIL-B single flip = %v, want corrected", asilB)
+	}
+	// Double-bit flip: ECC detects.
+	dbl := []MemFlip{{Addr: 20, Bit: 5, Double: true}}
+	asilB2, err := Run(ASILB, app, golden, nil, dbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asilB2 != DetectedECC {
+		t.Errorf("ASIL-B double flip = %v, want detected-ecc", asilB2)
+	}
+	// CPU transient: lockstep catches it under ASIL-D.
+	cf := []cpu.Fault{{Kind: cpu.RegFlip, Reg: 10, Bit: 3, Cycle: 30}}
+	asilD, err := Run(ASILD, app, golden, cf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asilD != DetectedLockstep {
+		t.Errorf("ASIL-D cpu transient = %v, want detected-lockstep", asilD)
+	}
+}
+
+func TestCampaignCoverageOrdering(t *testing.T) {
+	// E16 shape: diagnostic coverage grows monotonically with the config
+	// level, and the SDC rate shrinks.
+	app := Checksum()
+	var prevDC, prevSDC float64 = -1, 2
+	for _, cfg := range []SafetyConfig{QM, ASILB, ASILD} {
+		res, err := Campaign(cfg, app, 120, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, sdc := res.DiagnosticCoverage(), res.SDCRate()
+		if dc < prevDC {
+			t.Errorf("%v: DC %.2f dropped below previous %.2f", cfg, dc, prevDC)
+		}
+		if sdc > prevSDC {
+			t.Errorf("%v: SDC rate %.2f above previous %.2f", cfg, sdc, prevSDC)
+		}
+		prevDC, prevSDC = dc, sdc
+	}
+	// ASIL-D must be strong in absolute terms.
+	res, err := Campaign(ASILD, app, 120, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiagnosticCoverage() < 0.9 {
+		t.Errorf("ASIL-D DC = %.2f, want >= 0.9 (outcomes %v)", res.DiagnosticCoverage(), res.Outcomes)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	app := BubbleSort()
+	a, err := Campaign(ASILB, app, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(ASILB, app, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, n := range a.Outcomes {
+		if b.Outcomes[o] != n {
+			t.Fatal("same seed must reproduce outcome distribution")
+		}
+	}
+}
+
+func TestKeyVault(t *testing.T) {
+	key := [4]uint32{1, 2, 3, 4}
+	vault := NewKeyVault(key, 0xC0FFEE, false)
+	if _, err := vault.ReadKey(); err == nil {
+		t.Error("locked vault must refuse reads")
+	}
+	if vault.Unlock(0xBAD) {
+		t.Error("wrong pass must not unlock")
+	}
+	if !vault.Unlock(0xC0FFEE) {
+		t.Fatal("correct pass must unlock")
+	}
+	if k, err := vault.ReadKey(); err != nil || k != key {
+		t.Error("unlocked read failed")
+	}
+}
+
+func TestKeyVaultLaserAttack(t *testing.T) {
+	key := [4]uint32{9, 9, 9, 9}
+	// Plain vault: one flipped lock bit silently opens it.
+	plain := NewKeyVault(key, 1, false)
+	plain.FlipLockBit(0)
+	if plain.Locked() {
+		t.Fatal("single flip must open the unprotected vault")
+	}
+	if _, err := plain.ReadKey(); err != nil {
+		t.Error("attack on plain vault must succeed (that is the threat)")
+	}
+	// Redundant vault: single flip neither opens nor goes unnoticed.
+	hard := NewKeyVault(key, 1, true)
+	hard.FlipLockBit(1)
+	if !hard.Locked() {
+		t.Error("TMR vault must stay locked under a single flip")
+	}
+	if !hard.Tampered() {
+		t.Error("TMR vault must raise the tamper alarm")
+	}
+	// Two flips defeat TMR — quantifying the attack-effort increase.
+	hard.FlipLockBit(0)
+	if hard.Locked() {
+		t.Error("two flips defeat TMR (expected, documents the bound)")
+	}
+}
+
+func TestCANFrameCRC(t *testing.T) {
+	f, err := NewCANFrame(0x2A5, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Check() {
+		t.Fatal("fresh frame must pass CRC")
+	}
+	// Every single-bit corruption is detected (CRC-15 has Hamming
+	// distance >= 4 for these lengths).
+	for bit := 0; bit < f.Bits(); bit++ {
+		if f.FlipBit(bit).Check() {
+			t.Errorf("single-bit flip at %d escaped the CRC", bit)
+		}
+	}
+	if _, err := NewCANFrame(0x800, nil); err == nil {
+		t.Error("12-bit id must be rejected")
+	}
+	if _, err := NewCANFrame(1, make([]byte, 9)); err == nil {
+		t.Error("9-byte payload must be rejected")
+	}
+}
+
+func TestCANBusDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f, _ := NewCANFrame(0x123, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	clean := &CANBus{BitErrorRate: 0}
+	for i := 0; i < 100; i++ {
+		if clean.Transmit(f, rng) == nil {
+			t.Fatal("clean bus must deliver")
+		}
+	}
+	noisy := &CANBus{BitErrorRate: 0.01}
+	for i := 0; i < 2000; i++ {
+		noisy.Transmit(f, rng)
+	}
+	if noisy.Rejected == 0 {
+		t.Error("noisy bus must reject corrupted frames")
+	}
+	if noisy.ResidualErrorRate() > 0.001 {
+		t.Errorf("residual error rate %.4f too high for CRC-15", noisy.ResidualErrorRate())
+	}
+	if clean.ResidualErrorRate() != 0 {
+		t.Error("clean bus residual must be zero")
+	}
+}
+
+func TestCANFrameDoubleFlipMostlyDetected(t *testing.T) {
+	// Property-style sweep: all two-bit corruptions of a short frame are
+	// detected (distance >= 4).
+	f, _ := NewCANFrame(0x0F0, []byte{0x55})
+	for b1 := 0; b1 < f.Bits(); b1++ {
+		for b2 := b1 + 1; b2 < f.Bits(); b2++ {
+			if f.FlipBit(b1).FlipBit(b2).Check() {
+				t.Fatalf("double flip (%d,%d) escaped CRC-15", b1, b2)
+			}
+		}
+	}
+}
+
+func TestUARTCleanLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := &UART{ParityEnabled: true}
+	for b := 0; b < 256; b++ {
+		rx, err := u.Transmit(byte(b), rng)
+		if err != nil || rx != byte(b) {
+			t.Fatalf("clean transmit of %#x failed: %v", b, err)
+		}
+	}
+	if u.UndetectedRate() != 0 {
+		t.Error("clean line must have no undetected corruption")
+	}
+}
+
+func TestUARTParityCatchesSingleFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	noParity := &UART{ParityEnabled: false, BitErrorRate: 0.02}
+	parity := &UART{ParityEnabled: true, BitErrorRate: 0.02}
+	for i := 0; i < 5000; i++ {
+		_, _ = noParity.Transmit(byte(i), rng)
+		_, _ = parity.Transmit(byte(i), rng)
+	}
+	if noParity.Undetected == 0 {
+		t.Error("8-N-1 must suffer silent corruption at 2% BER")
+	}
+	if parity.UndetectedRate() >= noParity.UndetectedRate() {
+		t.Errorf("parity must reduce undetected rate: %.4f vs %.4f",
+			parity.UndetectedRate(), noParity.UndetectedRate())
+	}
+}

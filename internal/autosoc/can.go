@@ -1,0 +1,116 @@
+package autosoc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CANFrame is a simplified CAN 2.0A data frame: 11-bit identifier, up to
+// 8 data bytes, 15-bit CRC — the automotive protocol block the AutoSoC
+// architecture analysis found common to all commercial SoCs.
+type CANFrame struct {
+	ID   uint16 // 11 bits
+	Data []byte // 0..8 bytes
+	CRC  uint16 // 15 bits
+}
+
+// can15Poly is the CAN CRC-15 polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1.
+const can15Poly = 0x4599
+
+// crc15 computes the CAN CRC over the frame's ID and data bits.
+func crc15(id uint16, data []byte) uint16 {
+	var crc uint16
+	feed := func(bit uint16) {
+		top := (crc >> 14) & 1
+		crc = (crc << 1) & 0x7FFF
+		if top^bit == 1 {
+			crc ^= can15Poly & 0x7FFF
+		}
+	}
+	for i := 10; i >= 0; i-- {
+		feed((id >> uint(i)) & 1)
+	}
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			feed(uint16(b>>uint(i)) & 1)
+		}
+	}
+	return crc
+}
+
+// NewCANFrame builds a frame with a valid CRC.
+func NewCANFrame(id uint16, data []byte) (CANFrame, error) {
+	if id >= 1<<11 {
+		return CANFrame{}, fmt.Errorf("autosoc: CAN id %#x exceeds 11 bits", id)
+	}
+	if len(data) > 8 {
+		return CANFrame{}, fmt.Errorf("autosoc: CAN payload %d bytes exceeds 8", len(data))
+	}
+	return CANFrame{ID: id, Data: append([]byte(nil), data...), CRC: crc15(id, data)}, nil
+}
+
+// Check reports whether the frame's CRC matches its contents.
+func (f CANFrame) Check() bool { return crc15(f.ID, f.Data) == f.CRC }
+
+// FlipBit corrupts one bit of the frame (0..10 = ID, then data bits, then
+// CRC bits), modelling a bus error or an upset in the mailbox RAM.
+func (f CANFrame) FlipBit(bit int) CANFrame {
+	g := CANFrame{ID: f.ID, Data: append([]byte(nil), f.Data...), CRC: f.CRC}
+	switch {
+	case bit < 11:
+		g.ID ^= 1 << uint(bit)
+	case bit < 11+8*len(f.Data):
+		b := bit - 11
+		g.Data[b/8] ^= 1 << uint(b%8)
+	default:
+		g.CRC ^= 1 << uint((bit-11-8*len(f.Data))%15)
+	}
+	return g
+}
+
+// Bits returns the protected bit count of the frame.
+func (f CANFrame) Bits() int { return 11 + 8*len(f.Data) + 15 }
+
+// CANBus is a lossy frame channel with CRC-based error detection at the
+// receiver.
+type CANBus struct {
+	// BitErrorRate is the probability of each transmitted bit flipping.
+	BitErrorRate float64
+
+	Sent       int
+	Delivered  int
+	Rejected   int // CRC mismatch at receiver
+	Undetected int // corrupted but CRC accidentally matched
+}
+
+// Transmit sends the frame over the noisy bus and returns what the
+// receiver accepted (nil if the frame was rejected by CRC).
+func (bus *CANBus) Transmit(f CANFrame, rng *rand.Rand) *CANFrame {
+	bus.Sent++
+	g := f
+	corrupted := false
+	for bit := 0; bit < f.Bits(); bit++ {
+		if rng.Float64() < bus.BitErrorRate {
+			g = g.FlipBit(bit)
+			corrupted = true
+		}
+	}
+	if !g.Check() {
+		bus.Rejected++
+		return nil
+	}
+	bus.Delivered++
+	if corrupted {
+		bus.Undetected++
+	}
+	return &g
+}
+
+// ResidualErrorRate is the fraction of delivered frames that were
+// corrupted yet passed CRC — the protocol's safety metric.
+func (bus *CANBus) ResidualErrorRate() float64 {
+	if bus.Delivered == 0 {
+		return 0
+	}
+	return float64(bus.Undetected) / float64(bus.Delivered)
+}

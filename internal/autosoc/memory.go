@@ -1,0 +1,83 @@
+package autosoc
+
+import (
+	"fmt"
+
+	"rescue/internal/ecc"
+)
+
+// ECCMemory is a SEC-DED protected data memory implementing cpu.Memory.
+// Every stored word keeps its (39,32) codeword; loads decode, correct
+// single-bit upsets transparently and trap on uncorrectable errors.
+type ECCMemory struct {
+	words []ecc.Codeword
+	code  ecc.Code
+
+	// Corrected counts transparent single-bit repairs; Uncorrectable
+	// counts detected double-bit traps (the safety mechanism firing).
+	Corrected     int
+	Uncorrectable int
+}
+
+// NewECCMemory allocates n protected words.
+func NewECCMemory(n int) *ECCMemory {
+	m := &ECCMemory{words: make([]ecc.Codeword, n), code: ecc.SECDED32}
+	for i := range m.words {
+		m.words[i], _ = m.code.Encode(0)
+	}
+	return m
+}
+
+// Size returns the word count.
+func (m *ECCMemory) Size() int { return len(m.words) }
+
+// ErrUncorrectable is returned when a load hits a double-bit error.
+var ErrUncorrectable = fmt.Errorf("autosoc: uncorrectable memory error")
+
+// Load decodes the word, correcting single-bit errors in place.
+func (m *ECCMemory) Load(addr uint32) (uint32, error) {
+	if int(addr) >= len(m.words) {
+		return 0, fmt.Errorf("autosoc: load from %#x outside %d-word memory", addr, len(m.words))
+	}
+	data, res := ecc.Decode(m.words[addr])
+	switch res {
+	case ecc.Corrected:
+		m.Corrected++
+		m.words[addr], _ = m.code.Encode(data) // scrub
+	case ecc.DetectedUncorrectable:
+		m.Uncorrectable++
+		return 0, ErrUncorrectable
+	}
+	return uint32(data), nil
+}
+
+// Store encodes and writes the word.
+func (m *ECCMemory) Store(addr uint32, v uint32) error {
+	if int(addr) >= len(m.words) {
+		return fmt.Errorf("autosoc: store to %#x outside %d-word memory", addr, len(m.words))
+	}
+	w, err := m.code.Encode(uint64(v))
+	if err != nil {
+		return err
+	}
+	m.words[addr] = w
+	return nil
+}
+
+// FlipBit injects an upset into a stored codeword: bit < 32 flips a data
+// bit, otherwise check bit (bit-32).
+func (m *ECCMemory) FlipBit(addr uint32, bit int) error {
+	if int(addr) >= len(m.words) {
+		return fmt.Errorf("autosoc: flip at %#x outside memory", addr)
+	}
+	if bit < 32 {
+		m.words[addr] = m.words[addr].FlipDataBit(bit)
+	} else {
+		m.words[addr] = m.words[addr].FlipCheckBit(bit - 32)
+	}
+	return nil
+}
+
+// Peek returns the raw (possibly corrupted) data bits without decoding,
+// for test oracles.
+func (m *ECCMemory) Peek(addr uint32) uint32 { return uint32(m.words[addr].Data) }

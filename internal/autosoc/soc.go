@@ -1,0 +1,356 @@
+// Package autosoc implements the AutoSoC open automotive benchmark of
+// Section IV.B: an OR1200-flavoured CPU with memory and representative
+// applications, available in configurations with increasing safety
+// instrumentation — plain (QM), ECC-protected memory (ASIL-B flavour)
+// and ECC plus dual-core lockstep plus watchdog (ASIL-D flavour) — and a
+// security block (tamper-resistant key vault). Fault-injection campaigns
+// over the configurations reproduce the coverage-versus-cost trade-off
+// the benchmark was built to expose.
+package autosoc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rescue/internal/cpu"
+	"rescue/internal/lockstep"
+)
+
+// SafetyConfig selects the SoC configuration.
+type SafetyConfig uint8
+
+const (
+	// QM: no safety mechanisms.
+	QM SafetyConfig = iota
+	// ASILB: SEC-DED ECC on memory plus watchdog.
+	ASILB
+	// ASILD: ECC, dual-core lockstep and watchdog.
+	ASILD
+)
+
+// String names the configuration.
+func (c SafetyConfig) String() string {
+	return [...]string{"QM", "ASIL-B", "ASIL-D"}[c]
+}
+
+// Outcome classifies one fault-injection run.
+type Outcome uint8
+
+const (
+	// Correct: outputs match golden; nothing observed.
+	Correct Outcome = iota
+	// CorrectedECC: outputs match; the ECC corrected at least one upset.
+	CorrectedECC
+	// SDC: silent data corruption — outputs differ, nothing fired.
+	SDC
+	// Hang: the run exceeded its budget with no watchdog to catch it.
+	Hang
+	// DetectedWatchdog / DetectedECC / DetectedLockstep: a safety
+	// mechanism fired before corrupted outputs escaped.
+	DetectedWatchdog
+	DetectedECC
+	DetectedLockstep
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	return [...]string{"correct", "corrected-ecc", "SDC", "hang",
+		"detected-watchdog", "detected-ecc", "detected-lockstep"}[o]
+}
+
+// Detected reports whether a safety mechanism observed the fault.
+func (o Outcome) Detected() bool {
+	return o == DetectedWatchdog || o == DetectedECC || o == DetectedLockstep
+}
+
+// MemFlip is a memory upset injected after input loading.
+type MemFlip struct {
+	Addr   uint32
+	Bit    int
+	Double bool // flip Bit and Bit+1 (uncorrectable for SEC-DED)
+}
+
+// Golden executes the app on a healthy QM SoC and returns its output
+// region.
+func Golden(app App) ([]uint32, error) {
+	prog, err := cpu.Assemble(app.Src)
+	if err != nil {
+		return nil, fmt.Errorf("autosoc: %s: %v", app.Name, err)
+	}
+	mem := cpu.NewMemory(app.MemWords)
+	for a, v := range app.Inputs {
+		mem.Words[a] = v
+	}
+	c := cpu.New(mem)
+	if err := c.Run(prog, app.Budget); err != nil {
+		return nil, err
+	}
+	return append([]uint32(nil), mem.Words[app.OutLo:app.OutHi]...), nil
+}
+
+// Run executes the app under the configuration with the given faults and
+// classifies the outcome against the golden output.
+func Run(cfg SafetyConfig, app App, golden []uint32, cpuFaults []cpu.Fault, flips []MemFlip) (Outcome, error) {
+	prog, err := cpu.Assemble(app.Src)
+	if err != nil {
+		return Correct, err
+	}
+	switch cfg {
+	case QM:
+		return runQM(app, prog, golden, cpuFaults, flips)
+	case ASILB:
+		return runECC(app, prog, golden, cpuFaults, flips, false)
+	default:
+		return runECC(app, prog, golden, cpuFaults, flips, true)
+	}
+}
+
+func runQM(app App, prog *cpu.Program, golden []uint32, cpuFaults []cpu.Fault, flips []MemFlip) (Outcome, error) {
+	mem := cpu.NewMemory(app.MemWords)
+	for a, v := range app.Inputs {
+		mem.Words[a] = v
+	}
+	for _, f := range flips {
+		if int(f.Addr) < len(mem.Words) {
+			mem.Words[f.Addr] ^= 1 << uint(f.Bit%32)
+			if f.Double {
+				mem.Words[f.Addr] ^= 1 << uint((f.Bit+1)%32)
+			}
+		}
+	}
+	c := cpu.New(mem)
+	for _, f := range cpuFaults {
+		c.Inject(f)
+	}
+	err := c.Run(prog, app.Budget)
+	if err == cpu.ErrBudget {
+		return Hang, nil
+	}
+	if err != nil {
+		return Hang, nil // trap without safety net: counts as a hang/crash
+	}
+	return compareOut(mem.Words[app.OutLo:app.OutHi], golden, false), nil
+}
+
+func runECC(app App, prog *cpu.Program, golden []uint32, cpuFaults []cpu.Fault, flips []MemFlip, withLockstep bool) (Outcome, error) {
+	mem := NewECCMemory(app.MemWords)
+	for a, v := range app.Inputs {
+		if err := mem.Store(a, v); err != nil {
+			return Correct, err
+		}
+	}
+	for _, f := range flips {
+		if err := mem.FlipBit(f.Addr, f.Bit%32); err != nil {
+			return Correct, err
+		}
+		if f.Double {
+			if err := mem.FlipBit(f.Addr, (f.Bit+1)%32); err != nil {
+				return Correct, err
+			}
+		}
+	}
+	if !withLockstep {
+		c := cpu.New(mem)
+		for _, f := range cpuFaults {
+			c.Inject(f)
+		}
+		err := c.Run(prog, app.Budget)
+		switch {
+		case err == cpu.ErrBudget:
+			return DetectedWatchdog, nil
+		case err == ErrUncorrectable:
+			return DetectedECC, nil
+		case err != nil:
+			return DetectedWatchdog, nil // memory trap caught by monitor
+		}
+		out := make([]uint32, app.OutHi-app.OutLo)
+		for i := range out {
+			v, err := mem.Load(app.OutLo + uint32(i))
+			if err != nil {
+				return DetectedECC, nil
+			}
+			out[i] = v
+		}
+		return compareOut(out, golden, mem.Corrected > 0), nil
+	}
+	// ASIL-D: lockstep pair; faults go into the master core only. The
+	// checker runs on a private copy of the protected memory.
+	shadow := NewECCMemory(app.MemWords)
+	for a, v := range app.Inputs {
+		if err := shadow.Store(a, v); err != nil {
+			return Correct, err
+		}
+	}
+	pair := lockstep.NewPair(mem, shadow)
+	for _, f := range cpuFaults {
+		pair.Master.Inject(f)
+	}
+	res, err := pair.Run(prog, app.Budget)
+	switch {
+	case err != nil && err.Error() == "lockstep: cycle budget exhausted":
+		return DetectedWatchdog, nil
+	case err == ErrUncorrectable:
+		return DetectedECC, nil
+	case err != nil:
+		return DetectedWatchdog, nil
+	}
+	if res.Outcome == lockstep.MismatchDetected || res.Outcome == lockstep.Unrecoverable {
+		return DetectedLockstep, nil
+	}
+	out := make([]uint32, app.OutHi-app.OutLo)
+	for i := range out {
+		v, err := mem.Load(app.OutLo + uint32(i))
+		if err != nil {
+			return DetectedECC, nil
+		}
+		out[i] = v
+	}
+	return compareOut(out, golden, mem.Corrected > 0), nil
+}
+
+func compareOut(out, golden []uint32, corrected bool) Outcome {
+	for i := range golden {
+		if out[i] != golden[i] {
+			return SDC
+		}
+	}
+	if corrected {
+		return CorrectedECC
+	}
+	return Correct
+}
+
+// CampaignResult aggregates outcomes per configuration.
+type CampaignResult struct {
+	Config   SafetyConfig
+	App      string
+	Runs     int
+	Outcomes map[Outcome]int
+}
+
+// DiagnosticCoverage is detected / (detected + SDC + hang): the fraction
+// of dangerous faults the mechanisms catch.
+func (r CampaignResult) DiagnosticCoverage() float64 {
+	det, bad := 0, 0
+	for o, n := range r.Outcomes {
+		if o.Detected() {
+			det += n
+		}
+		if o == SDC || o == Hang {
+			bad += n
+		}
+	}
+	if det+bad == 0 {
+		return 1
+	}
+	return float64(det) / float64(det+bad)
+}
+
+// SDCRate is the silent-corruption fraction over all runs.
+func (r CampaignResult) SDCRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Outcomes[SDC]) / float64(r.Runs)
+}
+
+// Campaign injects runs random faults (CPU transients, single and double
+// memory upsets) into the app under the configuration.
+func Campaign(cfg SafetyConfig, app App, runs int, seed int64) (CampaignResult, error) {
+	golden, err := Golden(app)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := CampaignResult{Config: cfg, App: app.Name, Runs: runs, Outcomes: make(map[Outcome]int)}
+	for i := 0; i < runs; i++ {
+		var cpuFaults []cpu.Fault
+		var flips []MemFlip
+		switch rng.Intn(3) {
+		case 0: // CPU transient
+			cpuFaults = []cpu.Fault{{
+				Kind:  cpu.RegFlip,
+				Reg:   1 + rng.Intn(12),
+				Bit:   rng.Intn(32),
+				Cycle: int64(rng.Intn(int(app.Budget / 4))),
+			}}
+		case 1: // single-bit memory upset in the working set
+			flips = []MemFlip{{
+				Addr: uint32(rng.Intn(app.MemWords)),
+				Bit:  rng.Intn(32),
+			}}
+		default: // double-bit upset
+			flips = []MemFlip{{
+				Addr:   uint32(rng.Intn(app.MemWords)),
+				Bit:    rng.Intn(31),
+				Double: true,
+			}}
+		}
+		out, err := Run(cfg, app, golden, cpuFaults, flips)
+		if err != nil {
+			return res, err
+		}
+		res.Outcomes[out]++
+	}
+	return res, nil
+}
+
+// ---------- Security block ----------
+
+// KeyVault is the AutoSoC security block: a key store behind a lock that
+// opens only for the correct passphrase. The redundant variant protects
+// the lock state with triple modular redundancy so a single injected
+// bit-flip (the laser attack of Section III.F) cannot silently unlock
+// it, and disagreement raises a tamper alarm.
+type KeyVault struct {
+	key       [4]uint32
+	pass      uint32
+	lockBits  [3]bool
+	Redundant bool
+}
+
+// NewKeyVault builds a locked vault.
+func NewKeyVault(key [4]uint32, pass uint32, redundant bool) *KeyVault {
+	return &KeyVault{key: key, pass: pass, lockBits: [3]bool{true, true, true}, Redundant: redundant}
+}
+
+// Locked evaluates the lock state (majority vote when redundant).
+func (v *KeyVault) Locked() bool {
+	if !v.Redundant {
+		return v.lockBits[0]
+	}
+	n := 0
+	for _, b := range v.lockBits {
+		if b {
+			n++
+		}
+	}
+	return n >= 2
+}
+
+// Tampered reports lock-bit disagreement (redundant vaults only).
+func (v *KeyVault) Tampered() bool {
+	return v.Redundant && (v.lockBits[0] != v.lockBits[1] || v.lockBits[1] != v.lockBits[2])
+}
+
+// Unlock opens the vault given the correct passphrase.
+func (v *KeyVault) Unlock(pass uint32) bool {
+	if pass != v.pass {
+		return false
+	}
+	v.lockBits = [3]bool{false, false, false}
+	return true
+}
+
+// ReadKey returns the key when unlocked.
+func (v *KeyVault) ReadKey() ([4]uint32, error) {
+	if v.Locked() {
+		return [4]uint32{}, fmt.Errorf("autosoc: key vault locked")
+	}
+	return v.key, nil
+}
+
+// FlipLockBit injects a fault into one lock flip-flop (attack model).
+func (v *KeyVault) FlipLockBit(i int) {
+	v.lockBits[i%3] = !v.lockBits[i%3]
+}

@@ -1,0 +1,90 @@
+package autosoc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UART models the AutoSoC serial peripheral at frame level: 8-N-1 or
+// 8-E-1 framing where the parity bit detects single-bit line errors —
+// the simplest of the SoC's protocol-level safety nets.
+type UART struct {
+	// ParityEnabled selects 8-E-1 framing (even parity).
+	ParityEnabled bool
+	// BitErrorRate is the per-bit flip probability on the line.
+	BitErrorRate float64
+
+	Sent       int
+	Accepted   int
+	Rejected   int // parity mismatch at the receiver
+	Undetected int // corrupted byte accepted (parity blind spot)
+}
+
+// frame is the 10/11-bit serialisation of one byte.
+func (u *UART) frame(b byte) []bool {
+	bits := []bool{false} // start bit
+	for i := 0; i < 8; i++ {
+		bits = append(bits, b&(1<<uint(i)) != 0)
+	}
+	if u.ParityEnabled {
+		p := false
+		for i := 0; i < 8; i++ {
+			if b&(1<<uint(i)) != 0 {
+				p = !p
+			}
+		}
+		bits = append(bits, p)
+	}
+	return append(bits, true) // stop bit
+}
+
+// Transmit sends one byte over the noisy line. It returns the byte the
+// receiver accepted, or an error when framing/parity rejected it.
+func (u *UART) Transmit(b byte, rng *rand.Rand) (byte, error) {
+	u.Sent++
+	bits := u.frame(b)
+	corrupted := false
+	for i := range bits {
+		if rng.Float64() < u.BitErrorRate {
+			bits[i] = !bits[i]
+			corrupted = true
+		}
+	}
+	// Receiver: check start/stop framing.
+	if bits[0] || !bits[len(bits)-1] {
+		u.Rejected++
+		return 0, fmt.Errorf("autosoc: uart framing error")
+	}
+	var rx byte
+	for i := 0; i < 8; i++ {
+		if bits[1+i] {
+			rx |= 1 << uint(i)
+		}
+	}
+	if u.ParityEnabled {
+		p := false
+		for i := 0; i < 8; i++ {
+			if rx&(1<<uint(i)) != 0 {
+				p = !p
+			}
+		}
+		if p != bits[9] {
+			u.Rejected++
+			return 0, fmt.Errorf("autosoc: uart parity error")
+		}
+	}
+	u.Accepted++
+	if corrupted && rx != b {
+		u.Undetected++
+	}
+	return rx, nil
+}
+
+// UndetectedRate is the fraction of accepted bytes that were silently
+// corrupted.
+func (u *UART) UndetectedRate() float64 {
+	if u.Accepted == 0 {
+		return 0
+	}
+	return float64(u.Undetected) / float64(u.Accepted)
+}

@@ -1,0 +1,110 @@
+package cdn
+
+import (
+	"testing"
+
+	"rescue/internal/seu"
+)
+
+func testTree() Tree {
+	return Tree{Depth: 6, FFsPerLeaf: 32, Tech: seu.Node28}
+}
+
+func TestTreeGeometry(t *testing.T) {
+	tr := testTree()
+	if tr.Buffers() != 63 {
+		t.Errorf("buffers = %d, want 63", tr.Buffers())
+	}
+	if tr.FFs() != 32*32 {
+		t.Errorf("FFs = %d, want 1024", tr.FFs())
+	}
+	if tr.SubtreeFFs(0) != tr.FFs() {
+		t.Error("root subtree must cover all FFs")
+	}
+	if tr.SubtreeFFs(tr.Depth-1) != tr.FFsPerLeaf {
+		t.Error("leaf subtree must cover one leaf group")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Tree{}).Validate(); err == nil {
+		t.Error("zero tree must fail validation")
+	}
+}
+
+func TestFailureRateGrowsWithFrequency(t *testing.T) {
+	tr := testTree()
+	sweep := FrequencySweep(tr, seu.SeaLevel, []float64{0.5, 1, 2, 4}, 0.1)
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].TotalFIT <= sweep[i-1].TotalFIT {
+			t.Errorf("FIT must grow with frequency: %.3g at %.1fGHz vs %.3g at %.1fGHz",
+				sweep[i].TotalFIT, sweep[i].ClockGHz, sweep[i-1].TotalFIT, sweep[i-1].ClockGHz)
+		}
+	}
+}
+
+func TestFailureRateGrowsWithScaling(t *testing.T) {
+	old := Tree{Depth: 6, FFsPerLeaf: 32, Tech: seu.Node130}
+	new7 := Tree{Depth: 6, FFsPerLeaf: 32, Tech: seu.Node7}
+	a := Analyze(old, seu.SeaLevel, 1, 0.1)
+	b := Analyze(new7, seu.SeaLevel, 1, 0.1)
+	if b.TotalFIT <= a.TotalFIT {
+		t.Errorf("7nm CDN FIT (%.3g) must exceed 130nm (%.3g)", b.TotalFIT, a.TotalFIT)
+	}
+}
+
+func TestRootStrikesDominatePerBuffer(t *testing.T) {
+	// A root strike fans out to every FF, so per-buffer contribution at
+	// level 0 must exceed per-buffer contribution at the leaf level.
+	tr := testTree()
+	a := Analyze(tr, seu.SeaLevel, 2, 0.05)
+	rootPer := a.PerLevelFIT[0] / float64(tr.BuffersAtLevel(0))
+	leafPer := a.PerLevelFIT[tr.Depth-1] / float64(tr.BuffersAtLevel(tr.Depth-1))
+	if rootPer <= leafPer {
+		t.Errorf("root per-buffer FIT %.3g must exceed leaf %.3g", rootPer, leafPer)
+	}
+}
+
+func TestPerLevelSumsToTotal(t *testing.T) {
+	a := Analyze(testTree(), seu.LEO, 1.5, 0.2)
+	sum := 0.0
+	for _, f := range a.PerLevelFIT {
+		sum += f
+	}
+	if diff := sum - a.TotalFIT; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-level sum %.6g != total %.6g", sum, a.TotalFIT)
+	}
+}
+
+func TestMonteCarloAgreesWithTrend(t *testing.T) {
+	tr := testTree()
+	slow := SimulateStrikes(tr, 0.5, 0.1, 20000, 4)
+	fast := SimulateStrikes(tr, 4, 0.1, 20000, 4)
+	if fast.FailureFraction() <= slow.FailureFraction() {
+		t.Errorf("MC failure fraction must grow with frequency: %.4f -> %.4f",
+			slow.FailureFraction(), fast.FailureFraction())
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	tr := testTree()
+	a := SimulateStrikes(tr, 2, 0.1, 5000, 11)
+	b := SimulateStrikes(tr, 2, 0.1, 5000, 11)
+	if a.Failures != b.Failures {
+		t.Error("same seed must reproduce failures")
+	}
+	if (MonteCarlo{}).FailureFraction() != 0 {
+		t.Error("empty MC must be 0")
+	}
+}
+
+func TestZeroActivityMeansNoFailures(t *testing.T) {
+	a := Analyze(testTree(), seu.GEO, 4, 0)
+	if a.TotalFIT != 0 {
+		t.Errorf("no switching activity -> no functional failures, got %.3g", a.TotalFIT)
+	}
+	mc := SimulateStrikes(testTree(), 4, 0, 5000, 2)
+	if mc.Failures != 0 {
+		t.Error("MC with zero activity must see no failures")
+	}
+}

@@ -1,0 +1,437 @@
+// Package circuits provides benchmark netlists for the RESCUE tools:
+// embedded ISCAS-style reference circuits and parametric generators for
+// adders, multipliers, ALUs, parity trees, decoders, counters, LFSRs and
+// random combinational logic. All generators are deterministic.
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rescue/internal/netlist"
+)
+
+// C17 returns the ISCAS-85 c17 benchmark (5 inputs, 2 outputs, 6 NAND).
+func C17() *netlist.Netlist {
+	n, err := netlist.ParseBench("c17", strings.NewReader(c17Src))
+	if err != nil {
+		panic("circuits: embedded c17 invalid: " + err.Error())
+	}
+	return n
+}
+
+const c17Src = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// S27 returns the ISCAS-89 s27 sequential benchmark (4 inputs, 1 output,
+// 3 DFFs).
+func S27() *netlist.Netlist {
+	n, err := netlist.ParseBench("s27", strings.NewReader(s27Src))
+	if err != nil {
+		panic("circuits: embedded s27 invalid: " + err.Error())
+	}
+	return n
+}
+
+const s27Src = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// builder wraps a netlist with panic-on-error helpers; generator circuits
+// are correct by construction, so errors indicate bugs in this package.
+type builder struct{ n *netlist.Netlist }
+
+func newBuilder(name string) *builder { return &builder{n: netlist.New(name)} }
+
+func (b *builder) input(name string) int {
+	id, err := b.n.AddInput(name)
+	if err != nil {
+		panic("circuits: " + err.Error())
+	}
+	return id
+}
+
+func (b *builder) gate(name string, t netlist.GateType, fanin ...int) int {
+	id, err := b.n.AddGate(name, t, fanin...)
+	if err != nil {
+		panic("circuits: " + err.Error())
+	}
+	return id
+}
+
+func (b *builder) output(id int) {
+	if err := b.n.MarkOutput(id); err != nil {
+		panic("circuits: " + err.Error())
+	}
+}
+
+func (b *builder) finish() *netlist.Netlist {
+	if err := b.n.Validate(); err != nil {
+		panic("circuits: generated circuit invalid: " + err.Error())
+	}
+	return b.n
+}
+
+// fullAdder wires a 1-bit full adder and returns (sum, carry) gate IDs.
+func (b *builder) fullAdder(prefix string, a, c, cin int) (sum, cout int) {
+	x1 := b.gate(prefix+"_x1", netlist.Xor, a, c)
+	sum = b.gate(prefix+"_sum", netlist.Xor, x1, cin)
+	a1 := b.gate(prefix+"_a1", netlist.And, a, c)
+	a2 := b.gate(prefix+"_a2", netlist.And, x1, cin)
+	cout = b.gate(prefix+"_cout", netlist.Or, a1, a2)
+	return sum, cout
+}
+
+// RippleCarryAdder generates an n-bit ripple-carry adder with inputs
+// a[0..n), b[0..n), cin and outputs s[0..n), cout.
+func RippleCarryAdder(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("rca%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.input("cin")
+	for i := 0; i < n; i++ {
+		var sum int
+		sum, carry = b.fullAdder(fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		b.output(sum)
+	}
+	b.output(carry)
+	return b.finish()
+}
+
+// ArrayMultiplier generates an n×n-bit unsigned array multiplier with
+// inputs a[0..n), b[0..n) and outputs p[0..2n).
+func ArrayMultiplier(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("mul%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a[j] & b[i].
+	pp := make([][]int, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = b.gate(fmt.Sprintf("pp_%d_%d", i, j), netlist.And, as[j], bs[i])
+		}
+	}
+	// Row-by-row carry-save accumulation.
+	zero := b.gate("zero", netlist.Xor, as[0], as[0]) // constant 0
+	row := make([]int, n+1)                           // running sum bits, row[n] = carry-out
+	for j := 0; j < n; j++ {
+		row[j] = pp[0][j]
+	}
+	row[n] = zero
+	outs := []int{row[0]}
+	for i := 1; i < n; i++ {
+		carry := zero
+		next := make([]int, n+1)
+		for j := 0; j < n; j++ {
+			var s int
+			s, carry = b.fullAdder(fmt.Sprintf("fa_%d_%d", i, j), row[j+1], pp[i][j], carry)
+			next[j] = s
+		}
+		next[n] = carry
+		outs = append(outs, next[0])
+		row = next
+	}
+	for j := 1; j <= n; j++ {
+		outs = append(outs, row[j])
+	}
+	for _, o := range outs {
+		b.output(o)
+	}
+	return b.finish()
+}
+
+// ParityTree generates an n-input XOR tree producing one parity output.
+func ParityTree(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("parity%d", n))
+	layer := make([]int, n)
+	for i := 0; i < n; i++ {
+		layer[i] = b.input(fmt.Sprintf("i%d", i))
+	}
+	depth := 0
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, b.gate(fmt.Sprintf("x_%d_%d", depth, i/2), netlist.Xor, layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+		depth++
+	}
+	b.output(layer[0])
+	return b.finish()
+}
+
+// Decoder generates an n-to-2^n one-hot decoder.
+func Decoder(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("dec%d", n))
+	ins := make([]int, n)
+	invs := make([]int, n)
+	for i := 0; i < n; i++ {
+		ins[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		invs[i] = b.gate(fmt.Sprintf("n%d", i), netlist.Not, ins[i])
+	}
+	for v := 0; v < 1<<uint(n); v++ {
+		terms := make([]int, n)
+		for i := 0; i < n; i++ {
+			if v&(1<<uint(i)) != 0 {
+				terms[i] = ins[i]
+			} else {
+				terms[i] = invs[i]
+			}
+		}
+		// Build a balanced AND tree over the n literals.
+		for len(terms) > 1 {
+			var next []int
+			for i := 0; i+1 < len(terms); i += 2 {
+				next = append(next, b.gate(fmt.Sprintf("d%d_and%d_%d", v, len(terms), i), netlist.And, terms[i], terms[i+1]))
+			}
+			if len(terms)%2 == 1 {
+				next = append(next, terms[len(terms)-1])
+			}
+			terms = next
+		}
+		b.output(terms[0])
+	}
+	return b.finish()
+}
+
+// ALU generates a simple n-bit ALU with two operation-select inputs
+// choosing among AND, OR, XOR and ADD. Outputs are the n result bits.
+func ALU(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("alu%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	s0 := b.input("s0")
+	s1 := b.input("s1")
+	carry := b.gate("c0", netlist.Xor, as[0], as[0]) // constant 0
+	for i := 0; i < n; i++ {
+		andi := b.gate(fmt.Sprintf("and%d", i), netlist.And, as[i], bs[i])
+		ori := b.gate(fmt.Sprintf("or%d", i), netlist.Or, as[i], bs[i])
+		xori := b.gate(fmt.Sprintf("xor%d", i), netlist.Xor, as[i], bs[i])
+		var sum int
+		sum, carry = b.fullAdder(fmt.Sprintf("add%d", i), as[i], bs[i], carry)
+		lo := b.gate(fmt.Sprintf("m0_%d", i), netlist.Mux, s0, andi, ori)
+		hi := b.gate(fmt.Sprintf("m1_%d", i), netlist.Mux, s0, xori, sum)
+		out := b.gate(fmt.Sprintf("r%d", i), netlist.Mux, s1, lo, hi)
+		b.output(out)
+	}
+	return b.finish()
+}
+
+// Counter generates an n-bit synchronous binary counter (DFFs plus
+// increment logic). All state bits are primary outputs.
+func Counter(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("cnt%d", n))
+	en := b.input("en")
+	// Create DFFs with placeholder D pins (wired after the logic exists).
+	qs := make([]int, n)
+	for i := 0; i < n; i++ {
+		qs[i] = b.gate(fmt.Sprintf("q%d", i), netlist.DFF, en)
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		d := b.gate(fmt.Sprintf("d%d", i), netlist.Xor, qs[i], carry)
+		if i+1 < n {
+			carry = b.gate(fmt.Sprintf("c%d", i), netlist.And, qs[i], carry)
+		}
+		// Rewire the DFF's D pin from the placeholder to the real logic.
+		g := b.n.Gate(qs[i])
+		old := g.Fanin[0]
+		g.Fanin[0] = d
+		removeFanout(b.n.Gate(old), qs[i])
+		b.n.Gate(d).Fanout = append(b.n.Gate(d).Fanout, qs[i])
+		b.output(qs[i])
+	}
+	return b.finish()
+}
+
+// LFSR generates an n-bit Fibonacci linear-feedback shift register with
+// the given tap positions (1-based from the output end). The feedback is
+// XOR of the tapped bits; an enable input gates shifting indirectly by
+// XOR-masking the feedback, keeping the structure purely structural.
+func LFSR(n int, taps []int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("lfsr%d", n))
+	seedIn := b.input("scan_in")
+	qs := make([]int, n)
+	for i := 0; i < n; i++ {
+		qs[i] = b.gate(fmt.Sprintf("q%d", i), netlist.DFF, seedIn)
+	}
+	// Feedback = XOR of taps.
+	fb := qs[taps[0]-1]
+	for _, t := range taps[1:] {
+		fb = b.gate(fmt.Sprintf("fb%d", t), netlist.Xor, fb, qs[t-1])
+	}
+	fb = b.gate("fb_in", netlist.Xor, fb, seedIn)
+	// Rewire: q0 <- fb, q[i] <- q[i-1].
+	rewire := func(ff, newD int) {
+		g := b.n.Gate(ff)
+		old := g.Fanin[0]
+		g.Fanin[0] = newD
+		removeFanout(b.n.Gate(old), ff)
+		b.n.Gate(newD).Fanout = append(b.n.Gate(newD).Fanout, ff)
+	}
+	rewire(qs[0], fb)
+	for i := 1; i < n; i++ {
+		rewire(qs[i], qs[i-1])
+	}
+	b.output(qs[n-1])
+	return b.finish()
+}
+
+func removeFanout(g *netlist.Gate, id int) {
+	for i, f := range g.Fanout {
+		if f == id {
+			g.Fanout = append(g.Fanout[:i], g.Fanout[i+1:]...)
+			return
+		}
+	}
+}
+
+// RandomOptions configures RandomCombinational.
+type RandomOptions struct {
+	Inputs   int   // number of primary inputs (>=2)
+	Gates    int   // number of internal gates
+	Outputs  int   // number of primary outputs (<= Gates)
+	Seed     int64 // PRNG seed; same seed -> same circuit
+	MaxArity int   // maximum gate fanin (default 2; Mux not used)
+}
+
+// RandomCombinational generates a random acyclic combinational circuit.
+// Gate i may only consume inputs and earlier gates, guaranteeing a DAG.
+// Outputs are drawn from the last gates so most logic stays observable.
+func RandomCombinational(opt RandomOptions) *netlist.Netlist {
+	if opt.Inputs < 2 {
+		opt.Inputs = 2
+	}
+	if opt.Gates < 1 {
+		opt.Gates = 1
+	}
+	if opt.Outputs < 1 {
+		opt.Outputs = 1
+	}
+	if opt.Outputs > opt.Gates {
+		opt.Outputs = opt.Gates
+	}
+	if opt.MaxArity < 2 {
+		opt.MaxArity = 2
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	b := newBuilder(fmt.Sprintf("rand_i%d_g%d_s%d", opt.Inputs, opt.Gates, opt.Seed))
+	pool := make([]int, 0, opt.Inputs+opt.Gates)
+	for i := 0; i < opt.Inputs; i++ {
+		pool = append(pool, b.input(fmt.Sprintf("i%d", i)))
+	}
+	types := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf,
+	}
+	for i := 0; i < opt.Gates; i++ {
+		t := types[rng.Intn(len(types))]
+		arity := t.MinFanin()
+		if t.MaxFanin() == 0 { // unbounded types
+			arity = 2 + rng.Intn(opt.MaxArity-1)
+		}
+		fanin := make([]int, arity)
+		for j := range fanin {
+			// Bias towards recent gates to grow depth.
+			k := len(pool) - 1 - rng.Intn(min(len(pool), 8+len(pool)/4))
+			fanin[j] = pool[k]
+		}
+		pool = append(pool, b.gate(fmt.Sprintf("g%d", i), t, fanin...))
+	}
+	for i := 0; i < opt.Outputs; i++ {
+		b.output(pool[len(pool)-1-i])
+	}
+	return b.finish()
+}
+
+// Registry maps well-known circuit names to constructors, used by the CLIs.
+var Registry = map[string]func() *netlist.Netlist{
+	"c17":      C17,
+	"s27":      S27,
+	"rca8":     func() *netlist.Netlist { return RippleCarryAdder(8) },
+	"rca16":    func() *netlist.Netlist { return RippleCarryAdder(16) },
+	"rca32":    func() *netlist.Netlist { return RippleCarryAdder(32) },
+	"mul4":     func() *netlist.Netlist { return ArrayMultiplier(4) },
+	"mul8":     func() *netlist.Netlist { return ArrayMultiplier(8) },
+	"parity16": func() *netlist.Netlist { return ParityTree(16) },
+	"parity64": func() *netlist.Netlist { return ParityTree(64) },
+	"dec4":     func() *netlist.Netlist { return Decoder(4) },
+	"alu8":     func() *netlist.Netlist { return ALU(8) },
+	"cnt8":     func() *netlist.Netlist { return Counter(8) },
+	"lfsr16":   func() *netlist.Netlist { return LFSR(16, []int{16, 15, 13, 4}) },
+	"bshift8":  func() *netlist.Netlist { return BarrelShifter(8) },
+	"cmp8":     func() *netlist.Netlist { return Comparator(8) },
+	"tmr8":     func() *netlist.Netlist { return MajorityVoter(8) },
+	"gray4":    func() *netlist.Netlist { return GrayCounter(4) },
+	"prienc8":  func() *netlist.Netlist { return PriorityEncoder(8) },
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	// insertion sort keeps this dependency-free and the list is tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package circuits
+
+import (
+	"testing"
+
+	"rescue/internal/netlist"
+)
+
+func TestEmbeddedCircuitsValid(t *testing.T) {
+	c17 := C17()
+	if s := c17.Stats(); s.Inputs != 5 || s.Outputs != 2 || s.ByType[netlist.Nand] != 6 {
+		t.Errorf("c17 stats = %+v", s)
+	}
+	s27 := S27()
+	if s := s27.Stats(); s.Inputs != 4 || s.Outputs != 1 || s.DFFs != 3 {
+		t.Errorf("s27 stats = %+v", s)
+	}
+	if !s27.IsSequential() || c17.IsSequential() {
+		t.Error("sequential classification wrong")
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	cases := []struct {
+		name       string
+		n          *netlist.Netlist
+		ins, outs  int
+		sequential bool
+	}{
+		{"rca8", RippleCarryAdder(8), 17, 9, false},
+		{"mul4", ArrayMultiplier(4), 8, 8, false},
+		{"parity16", ParityTree(16), 16, 1, false},
+		{"dec3", Decoder(3), 3, 8, false},
+		{"alu8", ALU(8), 18, 8, false},
+		{"cnt8", Counter(8), 1, 8, true},
+		{"lfsr16", LFSR(16, []int{16, 15, 13, 4}), 1, 1, true},
+	}
+	for _, c := range cases {
+		if err := c.n.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		s := c.n.Stats()
+		if s.Inputs != c.ins || s.Outputs != c.outs {
+			t.Errorf("%s: inputs/outputs = %d/%d, want %d/%d", c.name, s.Inputs, s.Outputs, c.ins, c.outs)
+		}
+		if c.n.IsSequential() != c.sequential {
+			t.Errorf("%s: sequential = %v", c.name, c.n.IsSequential())
+		}
+	}
+}
+
+func TestRandomCombinationalDeterministic(t *testing.T) {
+	opt := RandomOptions{Inputs: 12, Gates: 300, Outputs: 10, Seed: 77}
+	a := RandomCombinational(opt)
+	b := RandomCombinational(opt)
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("same seed must give same circuit size")
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gate(i), b.Gate(i)
+		if ga.Type != gb.Type || len(ga.Fanin) != len(gb.Fanin) {
+			t.Fatalf("gate %d differs between same-seed runs", i)
+		}
+		for j := range ga.Fanin {
+			if ga.Fanin[j] != gb.Fanin[j] {
+				t.Fatalf("gate %d fanin differs between same-seed runs", i)
+			}
+		}
+	}
+	c := RandomCombinational(RandomOptions{Inputs: 12, Gates: 300, Outputs: 10, Seed: 78})
+	same := true
+	for i := range a.Gates {
+		if a.Gate(i).Type != c.Gate(i).Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical gate type sequences")
+	}
+}
+
+func TestRandomCombinationalClampsOptions(t *testing.T) {
+	n := RandomCombinational(RandomOptions{Inputs: 0, Gates: 0, Outputs: 99, Seed: 1})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Inputs != 2 || s.Outputs != 1 {
+		t.Errorf("clamped stats = %+v", s)
+	}
+}
+
+func TestRegistryAllBuildable(t *testing.T) {
+	for _, name := range Names() {
+		n := Registry[name]()
+		if err := n.Validate(); err != nil {
+			t.Errorf("registry circuit %s invalid: %v", name, err)
+		}
+	}
+	if len(Names()) < 10 {
+		t.Errorf("registry too small: %d", len(Names()))
+	}
+	// Names must be sorted.
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package circuits
+
+import (
+	"fmt"
+
+	"rescue/internal/netlist"
+)
+
+// BarrelShifter generates an n-bit logarithmic left barrel shifter:
+// data inputs d[0..n), shift-amount inputs s[0..log2 n), outputs o[0..n).
+// Shifted-out positions fill with zero.
+func BarrelShifter(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("bshift%d", n))
+	data := make([]int, n)
+	for i := 0; i < n; i++ {
+		data[i] = b.input(fmt.Sprintf("d%d", i))
+	}
+	stages := 0
+	for (1 << uint(stages)) < n {
+		stages++
+	}
+	sel := make([]int, stages)
+	for i := 0; i < stages; i++ {
+		sel[i] = b.input(fmt.Sprintf("s%d", i))
+	}
+	zero := b.gate("zero", netlist.Xor, data[0], data[0])
+	cur := data
+	for st := 0; st < stages; st++ {
+		shift := 1 << uint(st)
+		next := make([]int, n)
+		for i := 0; i < n; i++ {
+			from := zero
+			if i-shift >= 0 {
+				from = cur[i-shift]
+			}
+			next[i] = b.gate(fmt.Sprintf("m%d_%d", st, i), netlist.Mux, sel[st], cur[i], from)
+		}
+		cur = next
+	}
+	for _, o := range cur {
+		b.output(o)
+	}
+	return b.finish()
+}
+
+// Comparator generates an n-bit unsigned comparator with outputs
+// eq, gt (a > b) and lt (a < b).
+func Comparator(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("cmp%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	// Iterate from MSB: gt/lt latch the first difference.
+	gt := b.gate("gt_init", netlist.Xor, as[0], as[0]) // 0
+	lt := b.gate("lt_init", netlist.Xor, bs[0], bs[0]) // 0
+	for i := n - 1; i >= 0; i-- {
+		nb := b.gate(fmt.Sprintf("nb%d", i), netlist.Not, bs[i])
+		na := b.gate(fmt.Sprintf("na%d", i), netlist.Not, as[i])
+		aw := b.gate(fmt.Sprintf("aw%d", i), netlist.And, as[i], nb) // a_i > b_i
+		bw := b.gate(fmt.Sprintf("bw%d", i), netlist.And, na, bs[i]) // a_i < b_i
+		undecided := b.gate(fmt.Sprintf("ud%d", i), netlist.Nor, gt, lt)
+		gtHere := b.gate(fmt.Sprintf("gth%d", i), netlist.And, undecided, aw)
+		ltHere := b.gate(fmt.Sprintf("lth%d", i), netlist.And, undecided, bw)
+		gt = b.gate(fmt.Sprintf("gt%d", i), netlist.Or, gt, gtHere)
+		lt = b.gate(fmt.Sprintf("lt%d", i), netlist.Or, lt, ltHere)
+	}
+	eq := b.gate("eq", netlist.Nor, gt, lt)
+	b.output(eq)
+	b.output(gt)
+	b.output(lt)
+	return b.finish()
+}
+
+// MajorityVoter generates an m-of-3 TMR voter over w-bit buses:
+// inputs a[0..w), b[0..w), c[0..w); outputs v[0..w) (bitwise majority)
+// and a disagree flag that raises when any replica dissents.
+func MajorityVoter(w int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("tmr%d", w))
+	as := make([]int, w)
+	bs := make([]int, w)
+	cs := make([]int, w)
+	for i := 0; i < w; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		bs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	for i := 0; i < w; i++ {
+		cs[i] = b.input(fmt.Sprintf("c%d", i))
+	}
+	var disagree int = -1
+	for i := 0; i < w; i++ {
+		ab := b.gate(fmt.Sprintf("ab%d", i), netlist.And, as[i], bs[i])
+		ac := b.gate(fmt.Sprintf("ac%d", i), netlist.And, as[i], cs[i])
+		bc := b.gate(fmt.Sprintf("bc%d", i), netlist.And, bs[i], cs[i])
+		t := b.gate(fmt.Sprintf("t%d", i), netlist.Or, ab, ac)
+		v := b.gate(fmt.Sprintf("v%d", i), netlist.Or, t, bc)
+		b.output(v)
+		dab := b.gate(fmt.Sprintf("dab%d", i), netlist.Xor, as[i], bs[i])
+		dac := b.gate(fmt.Sprintf("dac%d", i), netlist.Xor, as[i], cs[i])
+		d := b.gate(fmt.Sprintf("d%d", i), netlist.Or, dab, dac)
+		if disagree < 0 {
+			disagree = d
+		} else {
+			disagree = b.gate(fmt.Sprintf("dis%d", i), netlist.Or, disagree, d)
+		}
+	}
+	b.output(disagree)
+	return b.finish()
+}
+
+// GrayCounter generates an n-bit Gray-code counter: binary core DFFs
+// with XOR output decode, so successive states differ in one output bit.
+func GrayCounter(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("gray%d", n))
+	en := b.input("en")
+	qs := make([]int, n)
+	for i := 0; i < n; i++ {
+		qs[i] = b.gate(fmt.Sprintf("q%d", i), netlist.DFF, en)
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		d := b.gate(fmt.Sprintf("d%d", i), netlist.Xor, qs[i], carry)
+		if i+1 < n {
+			carry = b.gate(fmt.Sprintf("c%d", i), netlist.And, qs[i], carry)
+		}
+		g := b.n.Gate(qs[i])
+		old := g.Fanin[0]
+		g.Fanin[0] = d
+		removeFanout(b.n.Gate(old), qs[i])
+		b.n.Gate(d).Fanout = append(b.n.Gate(d).Fanout, qs[i])
+	}
+	// Gray decode: g_i = q_i XOR q_{i+1}; g_{n-1} = q_{n-1}.
+	for i := 0; i < n-1; i++ {
+		b.output(b.gate(fmt.Sprintf("g%d", i), netlist.Xor, qs[i], qs[i+1]))
+	}
+	b.output(qs[n-1])
+	return b.finish()
+}
+
+// PriorityEncoder generates an n-to-log2(n) priority encoder (highest
+// index wins) with a valid output.
+func PriorityEncoder(n int) *netlist.Netlist {
+	b := newBuilder(fmt.Sprintf("prienc%d", n))
+	ins := make([]int, n)
+	for i := 0; i < n; i++ {
+		ins[i] = b.input(fmt.Sprintf("i%d", i))
+	}
+	bits := 0
+	for (1 << uint(bits)) < n {
+		bits++
+	}
+	// higher[i] = OR of ins[i+1..n)
+	higher := make([]int, n)
+	acc := -1
+	for i := n - 1; i >= 0; i-- {
+		if acc < 0 {
+			higher[i] = b.gate(fmt.Sprintf("h%d", i), netlist.Xor, ins[0], ins[0]) // 0
+		} else {
+			higher[i] = acc
+		}
+		if acc < 0 {
+			acc = ins[i]
+		} else {
+			acc = b.gate(fmt.Sprintf("or%d", i), netlist.Or, acc, ins[i])
+		}
+	}
+	// win[i] = ins[i] AND NOT higher[i]
+	wins := make([]int, n)
+	for i := 0; i < n; i++ {
+		nh := b.gate(fmt.Sprintf("nh%d", i), netlist.Not, higher[i])
+		wins[i] = b.gate(fmt.Sprintf("w%d", i), netlist.And, ins[i], nh)
+	}
+	// Encoded output bit j = OR of wins[i] where bit j of i is set.
+	for j := 0; j < bits; j++ {
+		var terms []int
+		for i := 0; i < n; i++ {
+			if i&(1<<uint(j)) != 0 {
+				terms = append(terms, wins[i])
+			}
+		}
+		o := terms[0]
+		for k, t := range terms[1:] {
+			o = b.gate(fmt.Sprintf("e%d_%d", j, k), netlist.Or, o, t)
+		}
+		b.output(o)
+	}
+	b.output(acc) // valid = any input set
+	return b.finish()
+}

@@ -1,0 +1,219 @@
+package circuits
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+func evalComb(t *testing.T, n *netlist.Netlist, in logic.Vector) logic.Vector {
+	t.Helper()
+	e, err := sim.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Eval(in)
+}
+
+func TestBarrelShifter(t *testing.T) {
+	n := BarrelShifter(8)
+	f := func(d uint8, s uint8) bool {
+		sh := int(s) % 8
+		in := make(logic.Vector, 11)
+		for i := 0; i < 8; i++ {
+			in[i] = logic.FromBool(d&(1<<uint(i)) != 0)
+		}
+		for i := 0; i < 3; i++ {
+			in[8+i] = logic.FromBool(sh&(1<<uint(i)) != 0)
+		}
+		out := evalComb(t, n, in)
+		want := uint8(d) << uint(sh)
+		var got uint8
+		for i := 0; i < 8; i++ {
+			if out[i] == logic.One {
+				got |= 1 << uint(i)
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparator(t *testing.T) {
+	n := Comparator(6)
+	f := func(a, b uint8) bool {
+		av, bv := a&63, b&63
+		in := make(logic.Vector, 12)
+		for i := 0; i < 6; i++ {
+			in[i] = logic.FromBool(av&(1<<uint(i)) != 0)
+			in[6+i] = logic.FromBool(bv&(1<<uint(i)) != 0)
+		}
+		out := evalComb(t, n, in)
+		eq := out[0] == logic.One
+		gt := out[1] == logic.One
+		lt := out[2] == logic.One
+		return eq == (av == bv) && gt == (av > bv) && lt == (av < bv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityVoter(t *testing.T) {
+	n := MajorityVoter(4)
+	f := func(a, b, c uint8) bool {
+		av, bv, cv := a&15, b&15, c&15
+		in := make(logic.Vector, 12)
+		for i := 0; i < 4; i++ {
+			in[i] = logic.FromBool(av&(1<<uint(i)) != 0)
+			in[4+i] = logic.FromBool(bv&(1<<uint(i)) != 0)
+			in[8+i] = logic.FromBool(cv&(1<<uint(i)) != 0)
+		}
+		out := evalComb(t, n, in)
+		var voted uint8
+		for i := 0; i < 4; i++ {
+			if out[i] == logic.One {
+				voted |= 1 << uint(i)
+			}
+		}
+		want := (av & bv) | (av & cv) | (bv & cv)
+		disagree := out[4] == logic.One
+		wantDis := av != bv || av != cv
+		return voted == want && disagree == wantDis
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityVoterMasksSingleReplicaFault(t *testing.T) {
+	// The TMR property: any corruption of ONE replica leaves the voted
+	// output intact and raises the disagree flag.
+	n := MajorityVoter(4)
+	e, err := sim.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three replicas hold the same word (0b0101) — the healthy state.
+	good := make(logic.Vector, 12)
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i < 4; i++ {
+			good[rep*4+i] = logic.FromBool(i%2 == 0)
+		}
+	}
+	ref := e.Eval(good).Clone()
+	for bit := 0; bit < 4; bit++ {
+		bad := good.Clone()
+		bad[4+bit] = logic.Not(bad[4+bit]) // corrupt replica b
+		out := e.Eval(bad)
+		for i := 0; i < 4; i++ {
+			if out[i] != ref[i] {
+				t.Fatalf("voted bit %d changed under single-replica fault", i)
+			}
+		}
+		if out[4] != logic.One {
+			t.Fatal("disagree flag must raise")
+		}
+	}
+}
+
+func TestGrayCounterSingleBitTransitions(t *testing.T) {
+	n := GrayCounter(4)
+	e, err := sim.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetState(logic.Zero)
+	prev := ""
+	seen := map[string]bool{}
+	for cycle := 0; cycle < 16; cycle++ {
+		out := e.Step(logic.Vector{logic.One}).String()
+		if prev != "" {
+			diff := 0
+			for i := range out {
+				if out[i] != prev[i] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("cycle %d: %s -> %s changes %d bits, want 1", cycle, prev, out, diff)
+			}
+		}
+		if seen[out] {
+			t.Fatalf("state %s repeated early", out)
+		}
+		seen[out] = true
+		prev = out
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	n := PriorityEncoder(8)
+	f := func(v uint8) bool {
+		in := make(logic.Vector, 8)
+		for i := 0; i < 8; i++ {
+			in[i] = logic.FromBool(v&(1<<uint(i)) != 0)
+		}
+		out := evalComb(t, n, in)
+		valid := out[3] == logic.One
+		if v == 0 {
+			return !valid
+		}
+		// Highest set bit index.
+		want := 0
+		for i := 7; i >= 0; i-- {
+			if v&(1<<uint(i)) != 0 {
+				want = i
+				break
+			}
+		}
+		got := 0
+		for j := 0; j < 3; j++ {
+			if out[j] == logic.One {
+				got |= 1 << uint(j)
+			}
+		}
+		return valid && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated circuit serialises to .bench and reparses to
+// an equivalent structure.
+func TestGeneratorsBenchRoundTrip(t *testing.T) {
+	builds := []*netlist.Netlist{
+		BarrelShifter(8), Comparator(6), MajorityVoter(4), GrayCounter(4), PriorityEncoder(8),
+	}
+	for _, n := range builds {
+		var buf benchBuffer
+		if err := netlist.WriteBench(&buf, n); err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		n2, err := netlist.ParseBench(n.Name+"_rt", buf.reader())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", n.Name, err)
+		}
+		s1, s2 := n.Stats(), n2.Stats()
+		if s1.Gates != s2.Gates || s1.Inputs != s2.Inputs || s1.Outputs != s2.Outputs || s1.DFFs != s2.DFFs {
+			t.Errorf("%s: round trip changed stats: %+v vs %+v", n.Name, s1, s2)
+		}
+	}
+}
+
+// benchBuffer is a minimal bytes buffer avoiding an extra import cycle.
+type benchBuffer struct{ data []byte }
+
+func (b *benchBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *benchBuffer) reader() *strings.Reader { return strings.NewReader(string(b.data)) }

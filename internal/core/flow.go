@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rescue/internal/aging"
+	"rescue/internal/atpg"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/fusa"
+	"rescue/internal/netlist"
+	"rescue/internal/sca"
+	"rescue/internal/seu"
+	"rescue/internal/slicing"
+)
+
+// FlowConfig parameterises the holistic Fig. 2 flow.
+type FlowConfig struct {
+	Netlist *netlist.Netlist
+	// Functional/Alarm output split for the FuSa stage; when empty, all
+	// outputs are functional and no safety mechanism is assumed.
+	AlarmOutputs []int
+	Environment  seu.Environment
+	Technology   seu.Technology
+	Years        float64 // aging horizon
+	Patterns     int
+	Seed         int64
+	// Secret drives the security stage's timing-leak check.
+	Secret []byte
+}
+
+// QualityReport is the ATPG/test stage outcome.
+type QualityReport struct {
+	Faults       int
+	TestCoverage float64 // effective (untestable-corrected)
+	Untestable   int
+	TestCount    int
+}
+
+// ReliabilityReport is the soft-error/aging stage outcome.
+type ReliabilityReport struct {
+	RawFIT        float64
+	DeratedFIT    float64
+	SDCRate       float64
+	SlicedSpeedup float64
+	AgingSlowdown float64
+}
+
+// SafetyReport is the ISO 26262 stage outcome.
+type SafetyReport struct {
+	SPFM       float64
+	LFM        float64
+	MeetsASILB bool
+	Suspicious int // tool-confidence cross-check findings
+}
+
+// SecurityReport is the side-channel stage outcome.
+type SecurityReport struct {
+	TimingLeaky     bool
+	TValue          float64
+	SecretRecovered bool
+	FixedVerified   bool
+}
+
+// Report is the merged multi-aspect result of one flow run.
+type Report struct {
+	Design      string
+	Years       float64
+	Quality     QualityReport
+	Reliability ReliabilityReport
+	Safety      SafetyReport
+	Security    SecurityReport
+}
+
+// RunFlow drives the Fig. 2 holistic flow: quality (ATPG + untestable
+// identification), reliability (fault-injection SDC rate, FIT budget,
+// sliced campaign, aging), functional safety (classification + metrics +
+// tool cross-check) and security (timing-leak verification), all over
+// one design.
+func RunFlow(cfg FlowConfig) (*Report, error) {
+	if cfg.Netlist == nil {
+		return nil, fmt.Errorf("core: flow needs a netlist")
+	}
+	if cfg.Patterns <= 0 {
+		cfg.Patterns = 200
+	}
+	n := cfg.Netlist
+	rep := &Report{Design: n.Name, Years: cfg.Years}
+
+	// --- Quality stage ---
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	res, err := atpg.GenerateTests(n, faults, atpg.FlowOptions{
+		RandomPatterns: 64, Seed: cfg.Seed, Compact: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: quality stage: %v", err)
+	}
+	rep.Quality = QualityReport{
+		Faults:       len(faults),
+		TestCoverage: res.Coverage.Effective(),
+		Untestable:   res.Coverage.Untestable,
+		TestCount:    len(res.Tests),
+	}
+
+	// --- Reliability stage ---
+	pats := faultsim.RandomPatterns(n, cfg.Patterns, cfg.Seed+1)
+	acc, err := slicing.AcceleratedRun(n, faults, pats)
+	if err != nil {
+		return nil, fmt.Errorf("core: reliability stage: %v", err)
+	}
+	detected := 0
+	for _, s := range acc.Status {
+		if s == fault.Detected {
+			detected++
+		}
+	}
+	sdc := float64(detected) / float64(len(faults))
+	raw := seu.RawFIT(cfg.Environment, cfg.Technology.SETCrossSectionCm2, float64(n.NumGates()))
+	probs, err := aging.SignalProbabilities(n, pats)
+	if err != nil {
+		return nil, err
+	}
+	pathRep, err := aging.AnalyzePaths(n, probs, cfg.Years, aging.DefaultBTI())
+	if err != nil {
+		return nil, err
+	}
+	rep.Reliability = ReliabilityReport{
+		RawFIT:        raw,
+		DeratedFIT:    raw * sdc,
+		SDCRate:       sdc,
+		SlicedSpeedup: acc.Speedup(),
+		AgingSlowdown: pathRep.Slowdown(),
+	}
+
+	// --- Safety stage ---
+	functional := n.Outputs
+	if len(cfg.AlarmOutputs) > 0 {
+		alarmSet := make(map[int]bool)
+		for _, a := range cfg.AlarmOutputs {
+			alarmSet[a] = true
+		}
+		functional = nil
+		for _, o := range n.Outputs {
+			if !alarmSet[o] {
+				functional = append(functional, o)
+			}
+		}
+	}
+	sc := &fusa.SafetyCircuit{N: n, FunctionalOutputs: functional, AlarmOutputs: cfg.AlarmOutputs}
+	classes, err := fusa.Classify(sc, faults, pats)
+	if err != nil {
+		return nil, fmt.Errorf("core: safety stage: %v", err)
+	}
+	metrics := fusa.ComputeMetrics(classes, 0.01)
+	sus, err := fusa.CrossCheck(sc, faults, classes, atpg.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep.Safety = SafetyReport{
+		SPFM: metrics.SPFM, LFM: metrics.LFM,
+		MeetsASILB: metrics.MeetsASIL(fusa.ASILB),
+		Suspicious: len(sus),
+	}
+
+	// --- Security stage ---
+	secret := cfg.Secret
+	if len(secret) == 0 {
+		secret = []byte{0x52, 0x45, 0x53, 0x43} // "RESC"
+	}
+	leaky := sca.VerifyTiming(n.Name+"-leaky", sca.NewLeakyComparer(secret, cfg.Seed), secret, cfg.Seed+2)
+	fixed := sca.VerifyTiming(n.Name+"-ct", sca.NewConstantTimeComparer(secret, cfg.Seed), secret, cfg.Seed+2)
+	rep.Security = SecurityReport{
+		TimingLeaky:     leaky.Leaky,
+		TValue:          leaky.TValue,
+		SecretRecovered: string(leaky.Recovered) == string(secret),
+		FixedVerified:   !fixed.Leaky,
+	}
+	return rep, nil
+}
+
+// Render prints the report as the flow's summary table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RESCUE holistic flow report — design %q\n", r.Design)
+	fmt.Fprintf(&b, "  quality:     %d faults, coverage %.2f%%, %d untestable, %d tests\n",
+		r.Quality.Faults, 100*r.Quality.TestCoverage, r.Quality.Untestable, r.Quality.TestCount)
+	fmt.Fprintf(&b, "  reliability: raw %.3g FIT -> derated %.3g FIT (SDC %.2f), slicing speedup %.1fx, %.0f-year slowdown %.3fx\n",
+		r.Reliability.RawFIT, r.Reliability.DeratedFIT, r.Reliability.SDCRate,
+		r.Reliability.SlicedSpeedup, r.Years, r.Reliability.AgingSlowdown)
+	fmt.Fprintf(&b, "  safety:      SPFM %.3f, LFM %.3f, ASIL-B=%v, %d suspicious classifications\n",
+		r.Safety.SPFM, r.Safety.LFM, r.Safety.MeetsASILB, r.Safety.Suspicious)
+	fmt.Fprintf(&b, "  security:    timing leak=%v (t=%.1f), secret recovered=%v, fix verified=%v\n",
+		r.Security.TimingLeaky, r.Security.TValue, r.Security.SecretRecovered, r.Security.FixedVerified)
+	return b.String()
+}

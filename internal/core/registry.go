@@ -1,0 +1,170 @@
+// Package core is the holistic layer of the RESCUE toolset (Section IV):
+// the registry of the project's collaborative research results that
+// regenerates the Fig. 1 distribution, and the cross-aspect EDA flow of
+// Fig. 2 that drives the quality, reliability and security tools over
+// one design and merges their findings into a single report.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Aspect is one corner of the reliability–security–quality triangle.
+type Aspect uint8
+
+const (
+	// Reliability covers lifetime threats (soft errors, aging).
+	Reliability Aspect = iota
+	// Security covers attacks on IP, data and function.
+	Security
+	// Quality covers time-zero threats (defects, design errors).
+	Quality
+)
+
+// String names the aspect.
+func (a Aspect) String() string {
+	return [...]string{"reliability", "security", "quality"}[a]
+}
+
+// Sector marks who led a result.
+type Sector uint8
+
+const (
+	// Academia-led result.
+	Academia Sector = iota
+	// Industry-led result.
+	Industry
+)
+
+// String names the sector.
+func (s Sector) String() string {
+	return [...]string{"academia", "industry"}[s]
+}
+
+// Publication is one collaborative research result of the project.
+type Publication struct {
+	Ref     int    // reference number in the paper, e.g. 11 for [11]
+	Title   string // abbreviated
+	Cluster string // Fig. 1 bubble the result belongs to
+	Aspects []Aspect
+	Sector  Sector
+}
+
+// Publications is the registry of first-half-period results (references
+// [10]–[58] of the paper) tagged by Fig. 1 cluster.
+var Publications = []Publication{
+	{10, "Current-sensor DfT for FinFET SRAM defects", "FinFET SRAMs", []Aspect{Quality, Reliability}, Industry},
+	{11, "Functional test of the GPGPU scheduler", "Test generation GPUs/CPUs", []Aspect{Quality}, Academia},
+	{12, "UltraScale+ MPSoC single-event characterisation", "Soft-error vulnerability", []Aspect{Reliability}, Industry},
+	{13, "Error-rate estimation for SRAM FPGAs", "Soft-error vulnerability", []Aspect{Reliability}, Industry},
+	{14, "Heavy-ion characterisation of MPSoC", "Soft-error vulnerability", []Aspect{Reliability}, Industry},
+	{15, "Semi-formal RSN test sequences", "RSN test/validation", []Aspect{Quality}, Academia},
+	{16, "RSN test-sequence generation", "RSN test/validation", []Aspect{Quality}, Academia},
+	{17, "Comparing RSN test approaches", "RSN test/validation", []Aspect{Quality}, Academia},
+	{18, "Laser fault-injection setups", "Laser fault injection", []Aspect{Security}, Academia},
+	{19, "Formal methods for ISO 26262 fault lists", "Functional safety (ISO 26262)", []Aspect{Reliability, Quality}, Industry},
+	{20, "Confidence in FuSa simulation tools", "Functional safety (ISO 26262)", []Aspect{Reliability, Quality}, Industry},
+	{21, "Towards multidimensional verification", "Multidimensional verification", []Aspect{Quality, Reliability, Security}, Academia},
+	{23, "Mixed-level fault redundancy identification", "Test generation GPUs/CPUs", []Aspect{Quality}, Academia},
+	{24, "Software mitigation of address-decoder aging", "Memory aging (BTI)", []Aspect{Reliability}, Academia},
+	{25, "SEU effects in GPGPUs", "Soft-error vulnerability", []Aspect{Reliability}, Academia},
+	{26, "DfT for hard-to-detect FinFET SRAM faults", "FinFET SRAMs", []Aspect{Quality}, Academia},
+	{27, "DfT scheme for FinFET SRAMs", "FinFET SRAMs", []Aspect{Quality}, Academia},
+	{28, "Deterministic + pseudo-exhaustive SBST for RISC", "Test generation GPUs/CPUs", []Aspect{Quality}, Academia},
+	{29, "Post-silicon validation of IEEE 1687 RSNs", "RSN test/validation", []Aspect{Quality}, Academia},
+	{30, "Reducing RSN test duration", "RSN test/validation", []Aspect{Quality}, Academia},
+	{31, "ML for transient/soft-error analysis", "ML for failure-rate analysis", []Aspect{Reliability}, Industry},
+	{33, "Safe faults in processor-based systems", "Test generation GPUs/CPUs", []Aspect{Quality, Reliability}, Academia},
+	{34, "PASCAL: timing SCA resistant design flow", "Timing side channels", []Aspect{Security}, Academia},
+	{35, "Understanding multidimensional verification", "Multidimensional verification", []Aspect{Quality, Reliability, Security}, Academia},
+	{36, "NBTI aging of IEEE 1687 RSNs", "RSN test/validation", []Aspect{Reliability}, Academia},
+	{37, "Reliability assessment in autonomous systems", "Functional safety (ISO 26262)", []Aspect{Reliability}, Academia},
+	{38, "SRAM-based low-cost SEU monitor", "Cross-layer fault tolerance", []Aspect{Reliability}, Academia},
+	{39, "Pulse-stretching inverter-chain detector", "Cross-layer fault tolerance", []Aspect{Reliability}, Academia},
+	{40, "Extended GPGPU reliability model", "Soft-error vulnerability", []Aspect{Reliability}, Academia},
+	{41, "In-field test of GPGPU scheduler memory", "Test generation GPUs/CPUs", []Aspect{Quality}, Academia},
+	{42, "Testing GPGPU pipeline registers", "Test generation GPUs/CPUs", []Aspect{Quality}, Academia},
+	{43, "Open-source embedded GPGPU SEU model", "Soft-error vulnerability", []Aspect{Reliability}, Academia},
+	{44, "Compact RSN test via evolutionary search", "RSN test/validation", []Aspect{Quality}, Academia},
+	{45, "Sequence generation for RSN diagnosis", "RSN test/validation", []Aspect{Quality}, Academia},
+	{46, "Untestable fault identification in GPGPUs", "Test generation GPUs/CPUs", []Aspect{Quality}, Industry},
+	{47, "Equivalence checking of 1687 ICL vs RTL", "RSN test/validation", []Aspect{Quality}, Academia},
+	{48, "Combining fault-analysis tools for ISO 26262", "Functional safety (ISO 26262)", []Aspect{Reliability, Quality}, Industry},
+	{49, "Fault injection with HDL slicing", "Functional safety (ISO 26262)", []Aspect{Reliability, Quality}, Industry},
+	{50, "Efficient ISO 26262 FuSa verification", "Functional safety (ISO 26262)", []Aspect{Reliability, Quality}, Industry},
+	{51, "Dynamic HDL slicing for FI campaigns", "Functional safety (ISO 26262)", []Aspect{Reliability, Quality}, Industry},
+	{52, "Low-latency reconfiguration of internal units", "Cross-layer fault tolerance", []Aspect{Reliability}, Academia},
+	{53, "Configurable fault-tolerant circuits", "Cross-layer fault tolerance", []Aspect{Reliability}, Academia},
+	{54, "Functional failure rate from clock-network SETs", "Soft-error vulnerability", []Aspect{Reliability}, Industry},
+	{55, "ML estimation of functional failure rate", "ML for failure-rate analysis", []Aspect{Reliability}, Industry},
+	{56, "GCNs for functional de-rating prediction", "ML for failure-rate analysis", []Aspect{Reliability}, Industry},
+	{57, "ML for transient and soft errors", "ML for failure-rate analysis", []Aspect{Reliability}, Industry},
+	{58, "Graph-model gate-level feature validation", "ML for failure-rate analysis", []Aspect{Reliability}, Industry},
+}
+
+// Bubble is one Fig. 1 cluster with its size and position weights.
+type Bubble struct {
+	Cluster      string
+	Publications int
+	// AspectWeight is the normalised pull towards each triangle corner,
+	// derived from the aspect tags of the cluster's publications.
+	AspectWeight map[Aspect]float64
+	AcademiaLed  int
+	IndustryLed  int
+}
+
+// Distribution recomputes the Fig. 1 bubble chart from the registry.
+func Distribution() []Bubble {
+	byCluster := make(map[string][]Publication)
+	for _, p := range Publications {
+		byCluster[p.Cluster] = append(byCluster[p.Cluster], p)
+	}
+	var out []Bubble
+	for cluster, pubs := range byCluster {
+		b := Bubble{Cluster: cluster, Publications: len(pubs), AspectWeight: make(map[Aspect]float64)}
+		total := 0.0
+		for _, p := range pubs {
+			share := 1.0 / float64(len(p.Aspects))
+			for _, a := range p.Aspects {
+				b.AspectWeight[a] += share
+				total += share
+			}
+			if p.Sector == Academia {
+				b.AcademiaLed++
+			} else {
+				b.IndustryLed++
+			}
+		}
+		for a := range b.AspectWeight {
+			b.AspectWeight[a] /= total
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Publications != out[j].Publications {
+			return out[i].Publications > out[j].Publications
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	return out
+}
+
+// RenderFig1 prints the distribution as a text table (bubble area ∝
+// publication count, as in the paper's figure).
+func RenderFig1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %4s  %-9s %s\n", "cluster", "pubs", "lead", "aspect mix (R/S/Q)")
+	for _, bub := range Distribution() {
+		lead := "academia"
+		if bub.IndustryLed > bub.AcademiaLed {
+			lead = "industry"
+		}
+		fmt.Fprintf(&b, "%-34s %4d  %-9s %.2f/%.2f/%.2f %s\n",
+			bub.Cluster, bub.Publications, lead,
+			bub.AspectWeight[Reliability], bub.AspectWeight[Security], bub.AspectWeight[Quality],
+			strings.Repeat("●", bub.Publications))
+	}
+	return b.String()
+}

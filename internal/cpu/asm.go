@@ -1,0 +1,273 @@
+package cpu
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses OR1K-style assembly into a Program. Supported syntax:
+//
+//	label:
+//	l.add  r3, r1, r2      # comment
+//	l.addi r3, r1, -5
+//	l.movhi r4, 0xdead
+//	l.lwz  r5, 4(r2)
+//	l.sw   4(r2), r5
+//	l.bf   label
+//	l.halt
+//
+// Registers are r0..r31 (r0 reads as zero). Immediates accept decimal and
+// 0x-prefixed hex.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: make(map[string]int)}
+	type fixup struct {
+		inst  int
+		label string
+		line  int
+	}
+	var fixups []fixup
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("asm:%d: bad label %q", lineNo, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("asm:%d: duplicate label %q", lineNo, label)
+			}
+			p.Labels[label] = len(p.Insts)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+		var args []string
+		if len(fields) > 1 {
+			for _, a := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("asm:%d: unknown mnemonic %q", lineNo, mnemonic)
+		}
+		inst := Inst{Op: op}
+		var err error
+		switch op {
+		case NOP, HALT:
+			// no operands
+		case ADD, SUB, AND, OR, XOR, MUL, SLL, SRL, SRA:
+			err = parse3R(args, &inst)
+		case ADDI, ANDI, ORI, XORI:
+			err = parse2RImm(args, &inst)
+		case MOVHI:
+			err = parseRImm(args, &inst)
+		case LW:
+			err = parseLoad(args, &inst)
+		case SW:
+			err = parseStore(args, &inst)
+		case SFEQ, SFNE, SFGTU, SFLTU:
+			err = parse2R(args, &inst)
+		case BF, BNF, JMP:
+			if len(args) != 1 {
+				err = fmt.Errorf("want 1 label operand")
+			} else {
+				fixups = append(fixups, fixup{inst: len(p.Insts), label: args[0], line: lineNo})
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("asm:%d: %s: %v", lineNo, mnemonic, err)
+		}
+		p.Insts = append(p.Insts, inst)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm:%d: undefined label %q", f.line, f.label)
+		}
+		p.Insts[f.inst].Target = target
+	}
+	return p, nil
+}
+
+func opByName(name string) (Opcode, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Opcode(op), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (int, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+func parse3R(args []string, inst *Inst) error {
+	if len(args) != 3 {
+		return fmt.Errorf("want rD, rA, rB")
+	}
+	var err error
+	if inst.D, err = parseReg(args[0]); err != nil {
+		return err
+	}
+	if inst.A, err = parseReg(args[1]); err != nil {
+		return err
+	}
+	inst.B, err = parseReg(args[2])
+	return err
+}
+
+func parse2R(args []string, inst *Inst) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want rA, rB")
+	}
+	var err error
+	if inst.A, err = parseReg(args[0]); err != nil {
+		return err
+	}
+	inst.B, err = parseReg(args[1])
+	return err
+}
+
+func parse2RImm(args []string, inst *Inst) error {
+	if len(args) != 3 {
+		return fmt.Errorf("want rD, rA, imm")
+	}
+	var err error
+	if inst.D, err = parseReg(args[0]); err != nil {
+		return err
+	}
+	if inst.A, err = parseReg(args[1]); err != nil {
+		return err
+	}
+	inst.Imm, err = parseImm(args[2])
+	return err
+}
+
+func parseRImm(args []string, inst *Inst) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want rD, imm")
+	}
+	var err error
+	if inst.D, err = parseReg(args[0]); err != nil {
+		return err
+	}
+	inst.Imm, err = parseImm(args[1])
+	return err
+}
+
+// parseLoad handles "rD, off(rA)".
+func parseLoad(args []string, inst *Inst) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want rD, off(rA)")
+	}
+	var err error
+	if inst.D, err = parseReg(args[0]); err != nil {
+		return err
+	}
+	inst.Imm, inst.A, err = parseMemOperand(args[1])
+	return err
+}
+
+// parseStore handles "off(rA), rB".
+func parseStore(args []string, inst *Inst) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want off(rA), rB")
+	}
+	var err error
+	inst.Imm, inst.A, err = parseMemOperand(args[0])
+	if err != nil {
+		return err
+	}
+	inst.B, err = parseReg(args[1])
+	return err
+}
+
+func parseMemOperand(s string) (imm int32, reg int, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	imm, err = parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err = parseReg(strings.TrimSpace(s[open+1 : close]))
+	return imm, reg, err
+}
+
+// Disassemble renders a program listing (for debugging and reports).
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	labelAt := make(map[int][]string)
+	for name, idx := range p.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	for i, inst := range p.Insts {
+		for _, l := range labelAt[i] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %-8s", inst.Op)
+		switch inst.Op {
+		case ADD, SUB, AND, OR, XOR, MUL, SLL, SRL, SRA:
+			fmt.Fprintf(&b, " r%d, r%d, r%d", inst.D, inst.A, inst.B)
+		case ADDI, ANDI, ORI, XORI:
+			fmt.Fprintf(&b, " r%d, r%d, %d", inst.D, inst.A, inst.Imm)
+		case MOVHI:
+			fmt.Fprintf(&b, " r%d, %d", inst.D, inst.Imm)
+		case LW:
+			fmt.Fprintf(&b, " r%d, %d(r%d)", inst.D, inst.Imm, inst.A)
+		case SW:
+			fmt.Fprintf(&b, " %d(r%d), r%d", inst.Imm, inst.A, inst.B)
+		case SFEQ, SFNE, SFGTU, SFLTU:
+			fmt.Fprintf(&b, " r%d, r%d", inst.A, inst.B)
+		case BF, BNF, JMP:
+			fmt.Fprintf(&b, " @%d", inst.Target)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,331 @@
+// Package cpu implements a compact OR1200-flavoured 32-bit RISC
+// instruction-set simulator: the AutoSoC processing element (Section
+// IV.B) and the target of the software-based self-test flows (Section
+// III.A). The model exposes microarchitectural fault-injection hooks —
+// stuck bits in the register file, decoder mutations and transient PC or
+// flag upsets — so SBST coverage can be quantified the way the paper's
+// GPGPU/CPU campaigns do.
+package cpu
+
+import (
+	"fmt"
+)
+
+// Opcode enumerates the supported instructions (an OR1K-style subset).
+type Opcode uint8
+
+// Instruction set. Register operands are D (dest), A and B; immediate
+// forms use Imm. Branches use Target (resolved instruction index).
+const (
+	NOP   Opcode = iota
+	ADD          // rD = rA + rB
+	SUB          // rD = rA - rB
+	AND          // rD = rA & rB
+	OR           // rD = rA | rB
+	XOR          // rD = rA ^ rB
+	MUL          // rD = rA * rB
+	SLL          // rD = rA << (rB & 31)
+	SRL          // rD = rA >> (rB & 31), logical
+	SRA          // rD = rA >> (rB & 31), arithmetic
+	ADDI         // rD = rA + imm
+	ANDI         // rD = rA & imm
+	ORI          // rD = rA | imm
+	XORI         // rD = rA ^ imm
+	MOVHI        // rD = imm << 16
+	LW           // rD = mem[rA + imm]
+	SW           // mem[rA + imm] = rB
+	SFEQ         // flag = rA == rB
+	SFNE         // flag = rA != rB
+	SFGTU        // flag = rA > rB (unsigned)
+	SFLTU        // flag = rA < rB (unsigned)
+	BF           // if flag: pc = Target
+	BNF          // if !flag: pc = Target
+	JMP          // pc = Target
+	HALT         // stop execution
+	numOpcodes
+)
+
+var opNames = [...]string{
+	NOP: "l.nop", ADD: "l.add", SUB: "l.sub", AND: "l.and", OR: "l.or",
+	XOR: "l.xor", MUL: "l.mul", SLL: "l.sll", SRL: "l.srl", SRA: "l.sra",
+	ADDI: "l.addi", ANDI: "l.andi", ORI: "l.ori", XORI: "l.xori",
+	MOVHI: "l.movhi", LW: "l.lwz", SW: "l.sw", SFEQ: "l.sfeq",
+	SFNE: "l.sfne", SFGTU: "l.sfgtu", SFLTU: "l.sfltu", BF: "l.bf",
+	BNF: "l.bnf", JMP: "l.j", HALT: "l.halt",
+}
+
+// String returns the assembler mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op     Opcode
+	D      int   // destination register
+	A, B   int   // source registers
+	Imm    int32 // immediate
+	Target int   // branch/jump target (instruction index)
+}
+
+// Program is an assembled instruction sequence.
+type Program struct {
+	Insts  []Inst
+	Labels map[string]int
+}
+
+// Memory is the data-memory port of the CPU. Implementations include the
+// plain RAM below and the ECC-protected memory of the AutoSoC.
+type Memory interface {
+	Load(addr uint32) (uint32, error)
+	Store(addr uint32, v uint32) error
+}
+
+// RAM is a bounds-checked word-addressed data memory.
+type RAM struct {
+	Words []uint32
+}
+
+// NewMemory allocates a plain RAM of n words.
+func NewMemory(n int) *RAM { return &RAM{Words: make([]uint32, n)} }
+
+// Load reads a word; out-of-range addresses return an error.
+func (m *RAM) Load(addr uint32) (uint32, error) {
+	if int(addr) >= len(m.Words) {
+		return 0, fmt.Errorf("cpu: load from %#x outside %d-word memory", addr, len(m.Words))
+	}
+	return m.Words[addr], nil
+}
+
+// Store writes a word.
+func (m *RAM) Store(addr uint32, v uint32) error {
+	if int(addr) >= len(m.Words) {
+		return fmt.Errorf("cpu: store to %#x outside %d-word memory", addr, len(m.Words))
+	}
+	m.Words[addr] = v
+	return nil
+}
+
+// FaultKind enumerates microarchitectural fault models.
+type FaultKind uint8
+
+const (
+	// RegStuck0 forces a register bit to 0 permanently.
+	RegStuck0 FaultKind = iota
+	// RegStuck1 forces a register bit to 1 permanently.
+	RegStuck1
+	// RegFlip flips a register bit once at a given cycle (SEU).
+	RegFlip
+	// DecoderSwap makes the decoder execute Op2 whenever Op1 is fetched —
+	// a permanent decoder fault.
+	DecoderSwap
+	// FlagFlip inverts the compare flag once at a given cycle.
+	FlagFlip
+	// PCFlip flips a PC bit once at a given cycle.
+	PCFlip
+)
+
+// Fault is one injected microarchitectural fault.
+type Fault struct {
+	Kind     FaultKind
+	Reg      int    // register index for Reg* kinds
+	Bit      int    // bit index for Reg*/PCFlip kinds
+	Op1, Op2 Opcode // DecoderSwap mapping
+	Cycle    int64  // activation cycle for transient kinds
+}
+
+// CPU is the architectural state plus fault bookkeeping.
+type CPU struct {
+	R      [32]uint32
+	PC     int
+	Flag   bool
+	Mem    Memory
+	Halted bool
+	Cycles int64
+
+	permanent []Fault
+	transient []Fault
+	fired     []bool // transient i already fired (one-shot: an SEU is a
+	// wall-clock event and must not recur when a rollback replays cycles)
+}
+
+// New builds a CPU bound to a data memory.
+func New(mem Memory) *CPU { return &CPU{Mem: mem} }
+
+// Reset clears architectural state but keeps injected faults; pending
+// transient faults are re-armed for the new run.
+func (c *CPU) Reset() {
+	c.R = [32]uint32{}
+	c.PC = 0
+	c.Flag = false
+	c.Halted = false
+	c.Cycles = 0
+	for i := range c.fired {
+		c.fired[i] = false
+	}
+}
+
+// Inject adds a fault. Permanent kinds apply from now on; transient kinds
+// fire at their Cycle.
+func (c *CPU) Inject(f Fault) {
+	switch f.Kind {
+	case RegStuck0, RegStuck1, DecoderSwap:
+		c.permanent = append(c.permanent, f)
+	default:
+		c.transient = append(c.transient, f)
+		c.fired = append(c.fired, false)
+	}
+}
+
+// ClearFaults removes all injected faults.
+func (c *CPU) ClearFaults() {
+	c.permanent = nil
+	c.transient = nil
+	c.fired = nil
+}
+
+// applyRegFaults enforces stuck bits on the register file.
+func (c *CPU) applyRegFaults() {
+	for _, f := range c.permanent {
+		switch f.Kind {
+		case RegStuck0:
+			c.R[f.Reg] &^= 1 << uint(f.Bit)
+		case RegStuck1:
+			c.R[f.Reg] |= 1 << uint(f.Bit)
+		}
+	}
+	c.R[0] = 0 // r0 is hardwired zero
+}
+
+// decode applies decoder faults to the fetched opcode.
+func (c *CPU) decode(op Opcode) Opcode {
+	for _, f := range c.permanent {
+		if f.Kind == DecoderSwap && f.Op1 == op {
+			return f.Op2
+		}
+	}
+	return op
+}
+
+// fireTransients applies any transient faults scheduled for this cycle.
+func (c *CPU) fireTransients() {
+	for i, f := range c.transient {
+		if c.fired[i] || f.Cycle > c.Cycles {
+			continue
+		}
+		c.fired[i] = true
+		switch f.Kind {
+		case RegFlip:
+			c.R[f.Reg] ^= 1 << uint(f.Bit)
+		case FlagFlip:
+			c.Flag = !c.Flag
+		case PCFlip:
+			c.PC ^= 1 << uint(f.Bit)
+		}
+	}
+	c.R[0] = 0
+}
+
+// Step executes one instruction. Reaching past the program end halts.
+func (c *CPU) Step(p *Program) error {
+	if c.Halted {
+		return nil
+	}
+	c.fireTransients()
+	if c.PC < 0 || c.PC >= len(p.Insts) {
+		c.Halted = true
+		return nil
+	}
+	inst := p.Insts[c.PC]
+	op := c.decode(inst.Op)
+	next := c.PC + 1
+	rA, rB := c.R[inst.A], c.R[inst.B]
+	switch op {
+	case NOP:
+	case ADD:
+		c.R[inst.D] = rA + rB
+	case SUB:
+		c.R[inst.D] = rA - rB
+	case AND:
+		c.R[inst.D] = rA & rB
+	case OR:
+		c.R[inst.D] = rA | rB
+	case XOR:
+		c.R[inst.D] = rA ^ rB
+	case MUL:
+		c.R[inst.D] = rA * rB
+	case SLL:
+		c.R[inst.D] = rA << (rB & 31)
+	case SRL:
+		c.R[inst.D] = rA >> (rB & 31)
+	case SRA:
+		c.R[inst.D] = uint32(int32(rA) >> (rB & 31))
+	case ADDI:
+		c.R[inst.D] = rA + uint32(inst.Imm)
+	case ANDI:
+		c.R[inst.D] = rA & uint32(inst.Imm)
+	case ORI:
+		c.R[inst.D] = rA | uint32(inst.Imm)
+	case XORI:
+		c.R[inst.D] = rA ^ uint32(inst.Imm)
+	case MOVHI:
+		c.R[inst.D] = uint32(inst.Imm) << 16
+	case LW:
+		v, err := c.Mem.Load(rA + uint32(inst.Imm))
+		if err != nil {
+			return err
+		}
+		c.R[inst.D] = v
+	case SW:
+		if err := c.Mem.Store(rA+uint32(inst.Imm), rB); err != nil {
+			return err
+		}
+	case SFEQ:
+		c.Flag = rA == rB
+	case SFNE:
+		c.Flag = rA != rB
+	case SFGTU:
+		c.Flag = rA > rB
+	case SFLTU:
+		c.Flag = rA < rB
+	case BF:
+		if c.Flag {
+			next = inst.Target
+		}
+	case BNF:
+		if !c.Flag {
+			next = inst.Target
+		}
+	case JMP:
+		next = inst.Target
+	case HALT:
+		c.Halted = true
+	default:
+		return fmt.Errorf("cpu: illegal opcode %d at pc %d", op, c.PC)
+	}
+	c.applyRegFaults()
+	c.PC = next
+	c.Cycles++
+	return nil
+}
+
+// Run executes until halt or the cycle budget is exhausted. It returns
+// an error for illegal memory accesses or opcodes; exceeding the budget
+// is reported as ErrBudget so callers can classify hangs.
+func (c *CPU) Run(p *Program, maxCycles int64) error {
+	for !c.Halted {
+		if c.Cycles >= maxCycles {
+			return ErrBudget
+		}
+		if err := c.Step(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrBudget reports a cycle-budget overrun (a hang under fault).
+var ErrBudget = fmt.Errorf("cpu: cycle budget exhausted")

@@ -1,0 +1,315 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArithmetic(t *testing.T) {
+	p := mustAssemble(t, `
+		l.addi r1, r0, 7
+		l.addi r2, r0, 5
+		l.add  r3, r1, r2
+		l.sub  r4, r1, r2
+		l.mul  r5, r1, r2
+		l.and  r6, r1, r2
+		l.or   r7, r1, r2
+		l.xor  r8, r1, r2
+		l.halt
+	`)
+	c := New(NewMemory(16))
+	if err := c.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint32{3: 12, 4: 2, 5: 35, 6: 5, 7: 7, 8: 2}
+	for r, v := range want {
+		if c.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.R[r], v)
+		}
+	}
+}
+
+func TestShiftsAndMovhi(t *testing.T) {
+	p := mustAssemble(t, `
+		l.movhi r1, 0x8000
+		l.addi  r2, r0, 4
+		l.srl   r3, r1, r2
+		l.sra   r4, r1, r2
+		l.addi  r5, r0, 1
+		l.sll   r6, r5, r2
+		l.halt
+	`)
+	c := New(NewMemory(4))
+	if err := c.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[3] != 0x08000000 {
+		t.Errorf("srl = %#x", c.R[3])
+	}
+	if c.R[4] != 0xF8000000 {
+		t.Errorf("sra = %#x", c.R[4])
+	}
+	if c.R[6] != 16 {
+		t.Errorf("sll = %d", c.R[6])
+	}
+}
+
+func TestLoadStoreAndR0(t *testing.T) {
+	p := mustAssemble(t, `
+		l.addi r1, r0, 42
+		l.sw   3(r0), r1
+		l.lwz  r2, 3(r0)
+		l.addi r0, r0, 99   # writes to r0 must be discarded
+		l.halt
+	`)
+	mem := NewMemory(8)
+	c := New(mem)
+	if err := c.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Words[3] != 42 || c.R[2] != 42 {
+		t.Error("load/store roundtrip failed")
+	}
+	if c.R[0] != 0 {
+		t.Error("r0 must stay zero")
+	}
+}
+
+func TestBranchLoopSumsArithmeticSeries(t *testing.T) {
+	// sum = 1..10 via a branch loop.
+	p := mustAssemble(t, `
+		l.addi r1, r0, 0     # sum
+		l.addi r2, r0, 1     # i
+		l.addi r3, r0, 11    # bound
+	loop:
+		l.add  r1, r1, r2
+		l.addi r2, r2, 1
+		l.sfne r2, r3
+		l.bf   loop
+		l.halt
+	`)
+	c := New(NewMemory(4))
+	if err := c.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[1] != 55 {
+		t.Errorf("sum = %d, want 55", c.R[1])
+	}
+}
+
+func TestCompareFamily(t *testing.T) {
+	f := func(a, b uint32) bool {
+		p := mustAssembleQ(`
+			l.sfgtu r1, r2
+			l.halt
+		`)
+		c := New(NewMemory(1))
+		c.R[1], c.R[2] = a, b
+		if err := c.Run(p, 10); err != nil {
+			return false
+		}
+		return c.Flag == (a > b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustAssembleQ(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestHaltOnProgramEndAndBudget(t *testing.T) {
+	p := mustAssemble(t, `l.addi r1, r0, 1`)
+	c := New(NewMemory(1))
+	if err := c.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Error("running off the end must halt")
+	}
+	// Infinite loop must trip the budget.
+	loop := mustAssemble(t, "spin:\n l.j spin")
+	c2 := New(NewMemory(1))
+	if err := c2.Run(loop, 100); err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	p := mustAssemble(t, `
+		l.movhi r1, 1
+		l.lwz   r2, 0(r1)
+		l.halt
+	`)
+	c := New(NewMemory(8))
+	if err := c.Run(p, 10); err == nil {
+		t.Error("out-of-range load must error")
+	}
+	p2 := mustAssemble(t, `
+		l.movhi r1, 1
+		l.sw    0(r1), r1
+		l.halt
+	`)
+	c2 := New(NewMemory(8))
+	if err := c2.Run(p2, 10); err == nil {
+		t.Error("out-of-range store must error")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"l.frobnicate r1, r2, r3",
+		"l.add r1, r2",
+		"l.add r99, r1, r2",
+		"l.addi r1, r0, zz",
+		"l.bf nowhere",
+		"dup: l.nop\ndup: l.nop",
+		"l.lwz r1, 4[r2]",
+		": l.nop",
+	}
+	for i, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("case %d (%q): expected error", i, src)
+		}
+	}
+}
+
+func TestRegStuckFault(t *testing.T) {
+	p := mustAssemble(t, `
+		l.addi r1, r0, 0
+		l.addi r1, r1, 5   # r1 = 5 (bit 0 and 2)
+		l.halt
+	`)
+	c := New(NewMemory(1))
+	c.Inject(Fault{Kind: RegStuck0, Reg: 1, Bit: 0})
+	if err := c.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[1] != 4 {
+		t.Errorf("r1 with bit0 stuck-0 = %d, want 4", c.R[1])
+	}
+	c2 := New(NewMemory(1))
+	c2.Inject(Fault{Kind: RegStuck1, Reg: 2, Bit: 3})
+	p2 := mustAssemble(t, "l.addi r2, r0, 0\nl.halt")
+	if err := c2.Run(p2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c2.R[2] != 8 {
+		t.Errorf("r2 with bit3 stuck-1 = %d, want 8", c2.R[2])
+	}
+}
+
+func TestDecoderSwapFault(t *testing.T) {
+	p := mustAssemble(t, `
+		l.addi r1, r0, 6
+		l.addi r2, r0, 2
+		l.add  r3, r1, r2
+		l.halt
+	`)
+	c := New(NewMemory(1))
+	c.Inject(Fault{Kind: DecoderSwap, Op1: ADD, Op2: SUB})
+	if err := c.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[3] != 4 {
+		t.Errorf("decoder-swapped add = %d, want 4 (6-2)", c.R[3])
+	}
+}
+
+func TestTransientRegFlip(t *testing.T) {
+	p := mustAssemble(t, `
+		l.addi r1, r0, 0
+		l.nop
+		l.nop
+		l.sw   0(r0), r1
+		l.halt
+	`)
+	mem := NewMemory(2)
+	c := New(mem)
+	c.Inject(Fault{Kind: RegFlip, Reg: 1, Bit: 4, Cycle: 2})
+	if err := c.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Words[0] != 16 {
+		t.Errorf("stored value = %d, want 16 after SEU at cycle 2", mem.Words[0])
+	}
+}
+
+func TestTransientFlagFlipChangesControlFlow(t *testing.T) {
+	src := `
+		l.sfeq r0, r0     # flag = true
+		l.bf   taken
+		l.addi r1, r0, 1  # fallthrough marker
+		l.halt
+	taken:
+		l.addi r1, r0, 2
+		l.halt
+	`
+	clean := New(NewMemory(1))
+	if err := clean.Run(mustAssembleQ(src), 20); err != nil {
+		t.Fatal(err)
+	}
+	faulty := New(NewMemory(1))
+	faulty.Inject(Fault{Kind: FlagFlip, Cycle: 1})
+	if err := faulty.Run(mustAssembleQ(src), 20); err != nil {
+		t.Fatal(err)
+	}
+	if clean.R[1] == faulty.R[1] {
+		t.Error("flag flip before branch must change the path")
+	}
+}
+
+func TestResetKeepsPermanentFaults(t *testing.T) {
+	c := New(NewMemory(1))
+	c.Inject(Fault{Kind: RegStuck1, Reg: 5, Bit: 0})
+	c.Reset()
+	p := mustAssemble(t, "l.addi r5, r0, 0\nl.halt")
+	if err := c.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[5] != 1 {
+		t.Error("permanent fault must survive Reset")
+	}
+	c.ClearFaults()
+	c.Reset()
+	if err := c.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[5] != 0 {
+		t.Error("ClearFaults must remove the stuck bit")
+	}
+}
+
+func TestDisassembleRoundTripMnemonic(t *testing.T) {
+	src := `
+	start:
+		l.addi r1, r0, 3
+		l.lwz  r2, 4(r1)
+		l.sw   4(r1), r2
+		l.sfeq r1, r2
+		l.bf   start
+		l.halt
+	`
+	p := mustAssemble(t, src)
+	listing := Disassemble(p)
+	for _, m := range []string{"l.addi", "l.lwz", "l.sw", "l.sfeq", "l.bf", "l.halt", "start:"} {
+		if !strings.Contains(listing, m) {
+			t.Errorf("disassembly missing %q:\n%s", m, listing)
+		}
+	}
+}

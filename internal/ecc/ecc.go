@@ -1,0 +1,160 @@
+// Package ecc implements the Hamming SEC-DED (single-error-correct,
+// double-error-detect) codes used by the AutoSoC memory safety mechanisms
+// (Section IV.B): (39,32) for word-width data paths and (72,64) for wide
+// memories, plus simple parity. Encoders and decoders operate on uint64
+// payloads with explicit check-bit words so fault injectors can flip any
+// stored bit.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Code describes a SEC-DED configuration.
+type Code struct {
+	DataBits  int // 32 or 64
+	CheckBits int // Hamming bits + overall parity
+}
+
+// Standard codes.
+var (
+	// SECDED32 is the (39,32) Hamming code: 6 Hamming bits + parity.
+	SECDED32 = Code{DataBits: 32, CheckBits: 7}
+	// SECDED64 is the (72,64) Hamming code: 7 Hamming bits + parity.
+	SECDED64 = Code{DataBits: 64, CheckBits: 8}
+)
+
+// Codeword is an encoded value: Data holds the payload bits, Check the
+// check bits (Hamming syndrome bits plus overall parity in the MSB).
+type Codeword struct {
+	Data  uint64
+	Check uint8
+	code  Code
+}
+
+// Code returns the configuration the word was encoded with.
+func (w Codeword) Code() Code { return w.code }
+
+// hammingBits returns the number of Hamming check bits (excluding the
+// overall parity bit).
+func (c Code) hammingBits() int { return c.CheckBits - 1 }
+
+// dataPosition returns the 1-based codeword position of data bit j in the
+// classical Hamming layout, where power-of-two positions carry check
+// bits and all other positions carry data bits in order.
+func dataPosition(j int) int {
+	pos := 0
+	for count := -1; count < j; {
+		pos++
+		if pos&(pos-1) != 0 { // not a power of two -> data position
+			count++
+		}
+	}
+	return pos
+}
+
+// Encode produces a codeword for data (upper bits beyond DataBits must be
+// zero).
+func (c Code) Encode(data uint64) (Codeword, error) {
+	if c.DataBits < 64 && data>>uint(c.DataBits) != 0 {
+		return Codeword{}, fmt.Errorf("ecc: data %#x exceeds %d bits", data, c.DataBits)
+	}
+	return Codeword{Data: data, Check: c.computeCheck(data), code: c}, nil
+}
+
+// computeCheck derives the Hamming check bits (bit i covers codeword
+// positions whose binary index has bit i set) and the overall parity in
+// the MSB.
+func (c Code) computeCheck(data uint64) uint8 {
+	syndrome := 0
+	for j := 0; j < c.DataBits; j++ {
+		if (data>>uint(j))&1 == 1 {
+			syndrome ^= dataPosition(j)
+		}
+	}
+	check := uint8(syndrome)
+	h := c.hammingBits()
+	total := uint8(bits.OnesCount64(data)) + uint8(bits.OnesCount8(check&((1<<uint(h))-1)))
+	check |= (total & 1) << uint(h)
+	return check
+}
+
+// DecodeResult classifies a decode.
+type DecodeResult uint8
+
+const (
+	// OK: no error detected.
+	OK DecodeResult = iota
+	// Corrected: a single-bit error was corrected.
+	Corrected
+	// DetectedUncorrectable: a double-bit error was detected.
+	DetectedUncorrectable
+)
+
+// String names the decode result.
+func (r DecodeResult) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DetectedUncorrectable:
+		return "uncorrectable"
+	}
+	return fmt.Sprintf("DecodeResult(%d)", uint8(r))
+}
+
+// Decode checks and (if possible) corrects the codeword, returning the
+// corrected data and the classification. SEC-DED semantics: any
+// single-bit error (data, Hamming or parity bit) is corrected; double-bit
+// errors are flagged uncorrectable.
+func Decode(w Codeword) (data uint64, result DecodeResult) {
+	c := w.code
+	h := c.hammingBits()
+	hammingMask := uint8(1<<uint(h)) - 1
+	expected := c.computeCheck(w.Data)
+	syndrome := int((w.Check ^ expected) & hammingMask)
+	// Overall parity across data and stored Hamming bits vs the stored
+	// parity bit: a flipped parity bit or any single flipped data/check
+	// bit toggles this comparison.
+	total := uint8(bits.OnesCount64(w.Data)) + uint8(bits.OnesCount8(w.Check&hammingMask))
+	parityErr := (total & 1) != (w.Check>>uint(h))&1
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return w.Data, OK
+	case syndrome == 0 && parityErr:
+		return w.Data, Corrected // the parity bit itself flipped
+	case parityErr:
+		// Single-bit error at codeword position = syndrome.
+		if syndrome&(syndrome-1) == 0 {
+			return w.Data, Corrected // a Hamming check bit flipped
+		}
+		for j := 0; j < c.DataBits; j++ {
+			if dataPosition(j) == syndrome {
+				return w.Data ^ (1 << uint(j)), Corrected
+			}
+		}
+		// Syndrome outside the codeword: treat as uncorrectable.
+		return w.Data, DetectedUncorrectable
+	default: // syndrome != 0, parity consistent: even number of flips
+		return w.Data, DetectedUncorrectable
+	}
+}
+
+// FlipDataBit returns a copy with one payload bit flipped (for fault
+// injection).
+func (w Codeword) FlipDataBit(bit int) Codeword {
+	w.Data ^= 1 << uint(bit)
+	return w
+}
+
+// FlipCheckBit returns a copy with one check bit flipped.
+func (w Codeword) FlipCheckBit(bit int) Codeword {
+	w.Check ^= 1 << uint(bit)
+	return w
+}
+
+// Parity returns the even-parity bit of data.
+func Parity(data uint64) uint8 { return uint8(bits.OnesCount64(data) & 1) }

@@ -1,0 +1,148 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, c := range []Code{SECDED32, SECDED64} {
+		f := func(data uint64) bool {
+			if c.DataBits < 64 {
+				data &= (1 << uint(c.DataBits)) - 1
+			}
+			w, err := c.Encode(data)
+			if err != nil {
+				return false
+			}
+			got, res := Decode(w)
+			return got == data && res == OK
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("code %+v: %v", c, err)
+		}
+	}
+}
+
+func TestEncodeRejectsOversizedData(t *testing.T) {
+	if _, err := SECDED32.Encode(1 << 32); err == nil {
+		t.Error("33-bit data must be rejected by (39,32)")
+	}
+}
+
+func TestSingleDataBitErrorsCorrected(t *testing.T) {
+	for _, c := range []Code{SECDED32, SECDED64} {
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 20; trial++ {
+			data := rng.Uint64()
+			if c.DataBits < 64 {
+				data &= (1 << uint(c.DataBits)) - 1
+			}
+			w, _ := c.Encode(data)
+			for bit := 0; bit < c.DataBits; bit++ {
+				got, res := Decode(w.FlipDataBit(bit))
+				if res != Corrected {
+					t.Fatalf("%+v: data bit %d flip: result %v", c, bit, res)
+				}
+				if got != data {
+					t.Fatalf("%+v: data bit %d flip: corrected %#x != %#x", c, bit, got, data)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleCheckBitErrorsCorrected(t *testing.T) {
+	for _, c := range []Code{SECDED32, SECDED64} {
+		w, _ := c.Encode(0xDEADBEEF & ((1 << uint(c.DataBits)) - 1))
+		for bit := 0; bit < c.CheckBits; bit++ {
+			got, res := Decode(w.FlipCheckBit(bit))
+			if res != Corrected {
+				t.Errorf("%+v: check bit %d flip: result %v", c, bit, res)
+			}
+			if got != w.Data {
+				t.Errorf("%+v: check bit %d flip corrupted data", c, bit)
+			}
+		}
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	c := SECDED32
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		data := rng.Uint64() & 0xFFFFFFFF
+		w, _ := c.Encode(data)
+		// Flip two distinct bits across data and check space.
+		total := c.DataBits + c.CheckBits
+		b1 := rng.Intn(total)
+		b2 := rng.Intn(total)
+		for b2 == b1 {
+			b2 = rng.Intn(total)
+		}
+		flip := func(w Codeword, b int) Codeword {
+			if b < c.DataBits {
+				return w.FlipDataBit(b)
+			}
+			return w.FlipCheckBit(b - c.DataBits)
+		}
+		w2 := flip(flip(w, b1), b2)
+		_, res := Decode(w2)
+		if res != DetectedUncorrectable {
+			t.Fatalf("double flip (%d,%d) classified %v", b1, b2, res)
+		}
+	}
+}
+
+func TestDecodeNeverMiscorrectsSingleFlips(t *testing.T) {
+	// Property: for any data and any single flip, Decode returns the
+	// original payload.
+	f := func(data uint64, pos uint8) bool {
+		c := SECDED64
+		w, _ := c.Encode(data)
+		p := int(pos) % (c.DataBits + c.CheckBits)
+		var w2 Codeword
+		if p < c.DataBits {
+			w2 = w.FlipDataBit(p)
+		} else {
+			w2 = w.FlipCheckBit(p - c.DataBits)
+		}
+		got, res := Decode(w2)
+		return res == Corrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataPositionsSkipPowersOfTwo(t *testing.T) {
+	seen := map[int]bool{}
+	for j := 0; j < 64; j++ {
+		p := dataPosition(j)
+		if p&(p-1) == 0 {
+			t.Fatalf("data bit %d mapped to power-of-two position %d", j, p)
+		}
+		if seen[p] {
+			t.Fatalf("position %d reused", p)
+		}
+		seen[p] = true
+	}
+	if dataPosition(0) != 3 {
+		t.Errorf("first data position = %d, want 3", dataPosition(0))
+	}
+}
+
+func TestParity(t *testing.T) {
+	if Parity(0) != 0 || Parity(1) != 1 || Parity(3) != 0 || Parity(7) != 1 {
+		t.Error("parity arithmetic wrong")
+	}
+}
+
+func TestDecodeResultStrings(t *testing.T) {
+	for _, r := range []DecodeResult{OK, Corrected, DetectedUncorrectable} {
+		if r.String() == "" {
+			t.Error("empty result name")
+		}
+	}
+}

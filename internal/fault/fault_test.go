@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+func buildSmall(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("small")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	g, _ := n.AddGate("g", netlist.Nand, a, b)
+	inv, _ := n.AddGate("inv", netlist.Not, g)
+	q, _ := n.AddGate("q", netlist.DFF, inv)
+	_ = n.MarkOutput(q)
+	return n
+}
+
+func TestEnumerationSizes(t *testing.T) {
+	n := buildSmall(t)
+	full := AllStuckAt(n)
+	// 5 gates × 2 output faults + (2+1+1) pins × 2 = 10 + 8 = 18.
+	if len(full) != 18 {
+		t.Errorf("full list = %d, want 18", len(full))
+	}
+	if len(AllSEU(n)) != 1 {
+		t.Errorf("SEU list = %d, want 1 (one DFF)", len(AllSEU(n)))
+	}
+	// SETs on combinational gates only: g and inv.
+	if len(AllSET(n)) != 2 {
+		t.Errorf("SET list = %d, want 2", len(AllSET(n)))
+	}
+}
+
+func TestCollapseRules(t *testing.T) {
+	n := buildSmall(t)
+	collapsed := Collapse(n, AllStuckAt(n))
+	if len(collapsed) >= 18 {
+		t.Fatalf("collapse did not shrink: %d", len(collapsed))
+	}
+	// Classical count check: the NAND's input s-a-0 faults collapse onto
+	// its output s-a-1; the NOT/DFF chain collapses through; fanout-free
+	// driver/load pairs merge. Representatives must still cover both
+	// polarities of the output cone.
+	sawZero, sawOne := false, false
+	for _, f := range collapsed {
+		if f.Kind != StuckAt {
+			t.Fatalf("non-stuck-at fault in collapsed list: %v", f)
+		}
+		if f.Value == logic.Zero {
+			sawZero = true
+		} else {
+			sawOne = true
+		}
+	}
+	if !sawZero || !sawOne {
+		t.Error("collapsed list must keep both polarities")
+	}
+	// Collapse must be idempotent.
+	again := Collapse(n, collapsed)
+	if len(again) != len(collapsed) {
+		t.Errorf("collapse not idempotent: %d -> %d", len(collapsed), len(again))
+	}
+}
+
+func TestCollapsePassesThroughTransients(t *testing.T) {
+	n := buildSmall(t)
+	mixed := append(AllSEU(n), AllSET(n)...)
+	out := Collapse(n, mixed)
+	if len(out) != len(mixed) {
+		t.Errorf("transient faults must pass through collapse: %d -> %d", len(mixed), len(out))
+	}
+}
+
+func TestStringsAndDescribe(t *testing.T) {
+	n := buildSmall(t)
+	f := Fault{Kind: StuckAt, Gate: 2, Pin: 1, Value: logic.One}
+	if !strings.Contains(f.String(), "in1") || !strings.Contains(f.String(), "s-a-1") {
+		t.Errorf("String() = %q", f.String())
+	}
+	d := f.Describe(n)
+	if !strings.Contains(d, "g/") || !strings.Contains(d, "(b)") {
+		t.Errorf("Describe() = %q", d)
+	}
+	seu := Fault{Kind: SEU, Gate: 4}
+	if !strings.Contains(seu.Describe(n), "SEU") {
+		t.Error("SEU describe wrong")
+	}
+	set := Fault{Kind: SET, Gate: 3}
+	if !strings.Contains(set.Describe(n), "SET") {
+		t.Error("SET describe wrong")
+	}
+	for _, k := range []Kind{StuckAt, SEU, SET} {
+		if k.String() == "" {
+			t.Error("kind must have a name")
+		}
+	}
+	for _, s := range []Status{Undetected, Detected, Untestable, Aborted, NotSimulated} {
+		if s.String() == "" {
+			t.Error("status must have a name")
+		}
+	}
+}
+
+func TestCoverageMath(t *testing.T) {
+	c := Coverage{Total: 100, Detected: 90, Untestable: 10}
+	if c.Raw() != 0.9 {
+		t.Errorf("Raw = %v", c.Raw())
+	}
+	if c.Effective() != 1.0 {
+		t.Errorf("Effective = %v", c.Effective())
+	}
+	empty := Coverage{}
+	if empty.Raw() != 0 || empty.Effective() != 0 {
+		t.Error("empty coverage must be zero")
+	}
+	allUntestable := Coverage{Total: 5, Untestable: 5}
+	if allUntestable.Effective() != 0 {
+		t.Error("all-untestable effective must be 0, not NaN")
+	}
+}

@@ -1,0 +1,424 @@
+// Package faultsim implements fault simulation over netlists: a
+// parallel-pattern single-fault-propagation (PPSFP) engine for permanent
+// stuck-at faults, a sequential transient-fault injector for SEU/SET
+// analysis, and campaign drivers (exhaustive and statistical random
+// sampling with confidence intervals) reproducing the cost/accuracy
+// trade-off discussed in Section III.B of the RESCUE paper.
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rescue/internal/fault"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+// Report holds the outcome of a stuck-at fault-simulation campaign.
+type Report struct {
+	Circuit    string
+	Patterns   int
+	Faults     int
+	Status     []fault.Status // parallel to the input fault list
+	DetectedBy []int          // first detecting pattern index, -1 if none
+	// GateEvals counts faulty-machine full passes, the dominant cost
+	// driver; campaign comparisons (E7, E12) report it as "cost".
+	GateEvals int64
+}
+
+// Coverage summarises the report.
+func (r *Report) Coverage() fault.Coverage {
+	c := fault.Coverage{Total: len(r.Status)}
+	for _, s := range r.Status {
+		switch s {
+		case fault.Detected:
+			c.Detected++
+		case fault.Untestable:
+			c.Untestable++
+		case fault.Aborted:
+			c.Aborted++
+		}
+	}
+	return c
+}
+
+// Run fault-simulates the given stuck-at fault list against the pattern
+// set using PPSFP with fault dropping: each 64-pattern block is simulated
+// once fault-free, then every still-undetected fault is injected and its
+// primary outputs compared against the good machine.
+func Run(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Report, error) {
+	if n.IsSequential() {
+		return nil, fmt.Errorf("faultsim: Run handles combinational circuits; use SequentialRun")
+	}
+	good, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Circuit:    n.Name,
+		Patterns:   len(patterns),
+		Faults:     len(faults),
+		Status:     make([]fault.Status, len(faults)),
+		DetectedBy: make([]int, len(faults)),
+	}
+	for i := range rep.Status {
+		rep.Status[i] = fault.NotSimulated
+		rep.DetectedBy[i] = -1
+	}
+	outIDs := n.Outputs
+	for base := 0; base < len(patterns); base += 64 {
+		hi := base + 64
+		if hi > len(patterns) {
+			hi = len(patterns)
+		}
+		block := patterns[base:hi]
+		if err := good.LoadPatterns(block); err != nil {
+			return nil, err
+		}
+		good.Run()
+		blockMask := ^uint64(0)
+		if len(block) < 64 {
+			blockMask = (uint64(1) << uint(len(block))) - 1
+		}
+		for fi := range faults {
+			if rep.Status[fi] == fault.Detected {
+				continue // dropped
+			}
+			f := faults[fi]
+			if f.Kind != fault.StuckAt {
+				continue
+			}
+			if err := bad.LoadPatterns(block); err != nil {
+				return nil, err
+			}
+			bad.RunWithFault(sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
+			rep.GateEvals += int64(n.NumGates())
+			var diff uint64
+			for oi, oid := range outIDs {
+				_ = oi
+				diff |= logic.DiffW(good.Word(oid), bad.Word(oid)) & blockMask
+				if diff != 0 {
+					break
+				}
+			}
+			if diff != 0 {
+				rep.Status[fi] = fault.Detected
+				// Lowest set bit = first detecting pattern in this block.
+				slot := 0
+				for diff&1 == 0 {
+					diff >>= 1
+					slot++
+				}
+				rep.DetectedBy[fi] = base + slot
+			} else if rep.Status[fi] == fault.NotSimulated {
+				rep.Status[fi] = fault.Undetected
+			}
+		}
+	}
+	return rep, nil
+}
+
+// TransientOutcome classifies the effect of one injected transient fault.
+type TransientOutcome uint8
+
+const (
+	// Masked: the fault left no trace — outputs and final state match.
+	Masked TransientOutcome = iota
+	// SDC: silent data corruption — a primary output differed.
+	SDC
+	// Latent: outputs matched but the final flip-flop state differs.
+	Latent
+)
+
+// String names the outcome.
+func (o TransientOutcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "SDC"
+	case Latent:
+		return "latent"
+	}
+	return fmt.Sprintf("TransientOutcome(%d)", uint8(o))
+}
+
+// Injection identifies one transient injection point.
+type Injection struct {
+	Fault fault.Fault
+	Cycle int
+}
+
+// InjectTransient runs the sequential circuit over the stimuli twice —
+// golden and faulty — flipping the target at the given cycle, and
+// classifies the outcome. SEU faults flip a flip-flop's state before the
+// cycle's evaluation; SET faults flip a combinational node's value after
+// evaluation and re-propagate it, modelling a latched glitch.
+func InjectTransient(n *netlist.Netlist, stimuli []logic.Vector, inj Injection) (TransientOutcome, error) {
+	if inj.Cycle < 0 || inj.Cycle >= len(stimuli) {
+		return Masked, fmt.Errorf("faultsim: injection cycle %d out of range", inj.Cycle)
+	}
+	golden, err := sim.New(n)
+	if err != nil {
+		return Masked, err
+	}
+	faulty, err := sim.New(n)
+	if err != nil {
+		return Masked, err
+	}
+	golden.ResetState(logic.Zero)
+	faulty.ResetState(logic.Zero)
+	outcome := Masked
+	for c, in := range stimuli {
+		goldOut := golden.Step(in)
+		var faultOut logic.Vector
+		if c == inj.Cycle {
+			switch inj.Fault.Kind {
+			case fault.SEU:
+				// Flip the FF state before evaluating this cycle.
+				cur := faulty.Value(inj.Fault.Gate)
+				faulty.SetValue(inj.Fault.Gate, logic.Not(cur))
+				faultOut = faulty.Step(in)
+			case fault.SET:
+				// Evaluate, then flip the node and re-propagate so the
+				// glitch can be latched by downstream DFFs.
+				faulty.SetInputs(in)
+				faulty.Run()
+				cur := faulty.Value(inj.Fault.Gate)
+				faulty.SetValue(inj.Fault.Gate, logic.Not(cur))
+				faulty.PropagateFrom(inj.Fault.Gate)
+				faultOut = faulty.Outputs()
+				latchAndAdvance(faulty)
+			default:
+				return Masked, fmt.Errorf("faultsim: InjectTransient needs SEU or SET, got %v", inj.Fault.Kind)
+			}
+		} else {
+			faultOut = faulty.Step(in)
+		}
+		if faultOut.String() != goldOut.String() {
+			return SDC, nil
+		}
+	}
+	if golden.State().String() != faulty.State().String() {
+		outcome = Latent
+	}
+	return outcome, nil
+}
+
+// latchAndAdvance latches D pins into DFFs (the tail end of a Step).
+func latchAndAdvance(e *sim.Evaluator) {
+	n := e.N
+	next := make([]logic.V, len(n.DFFs))
+	for i, id := range n.DFFs {
+		next[i] = e.Value(n.Gate(id).Fanin[0])
+	}
+	for i, id := range n.DFFs {
+		e.SetValue(id, next[i])
+	}
+}
+
+// TransientReport summarises a transient campaign.
+type TransientReport struct {
+	Injections int
+	Counts     map[TransientOutcome]int
+	// GateEvals approximates simulation cost (faulty passes × gates).
+	GateEvals int64
+}
+
+// SDCRate returns the fraction of injections that produced silent data
+// corruption; with FIT scaling this is the architectural derating factor.
+func (r *TransientReport) SDCRate() float64 {
+	if r.Injections == 0 {
+		return 0
+	}
+	return float64(r.Counts[SDC]) / float64(r.Injections)
+}
+
+// MaskRate returns the fraction of fully masked injections.
+func (r *TransientReport) MaskRate() float64 {
+	if r.Injections == 0 {
+		return 0
+	}
+	return float64(r.Counts[Masked]) / float64(r.Injections)
+}
+
+// ExhaustiveTransient injects every fault in the list at every cycle.
+// Cost grows as |faults| × |cycles| × |gates| — the "ultimate in accuracy
+// but very cumbersome" method of Section III.B.
+func ExhaustiveTransient(n *netlist.Netlist, stimuli []logic.Vector, faults fault.List) (*TransientReport, error) {
+	rep := &TransientReport{Counts: make(map[TransientOutcome]int)}
+	for _, f := range faults {
+		for c := range stimuli {
+			out, err := InjectTransient(n, stimuli, Injection{Fault: f, Cycle: c})
+			if err != nil {
+				return nil, err
+			}
+			rep.Counts[out]++
+			rep.Injections++
+			rep.GateEvals += int64(n.NumGates() * len(stimuli))
+		}
+	}
+	return rep, nil
+}
+
+// RandomTransient samples N injections uniformly over faults × cycles
+// using the given seed — the statistical fault injection method.
+func RandomTransient(n *netlist.Netlist, stimuli []logic.Vector, faults fault.List, samples int, seed int64) (*TransientReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rep := &TransientReport{Counts: make(map[TransientOutcome]int)}
+	for i := 0; i < samples; i++ {
+		f := faults[rng.Intn(len(faults))]
+		c := rng.Intn(len(stimuli))
+		out, err := InjectTransient(n, stimuli, Injection{Fault: f, Cycle: c})
+		if err != nil {
+			return nil, err
+		}
+		rep.Counts[out]++
+		rep.Injections++
+		rep.GateEvals += int64(n.NumGates() * len(stimuli))
+	}
+	return rep, nil
+}
+
+// WilsonCI returns the Wilson score interval for k successes out of n
+// trials at confidence level z (1.96 ≈ 95%, 2.58 ≈ 99%).
+func WilsonCI(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	den := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / den
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// SampleSizeForMargin returns the number of random fault injections
+// needed for a two-sided margin of error e at confidence z, using the
+// conservative p=0.5 bound — the classical statistical fault injection
+// sizing formula.
+func SampleSizeForMargin(e, z float64) int {
+	if e <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(z * z * 0.25 / (e * e)))
+}
+
+// RandomPatterns generates count uniformly random fully specified input
+// vectors for the circuit, deterministically from seed.
+func RandomPatterns(n *netlist.Netlist, count int, seed int64) []logic.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]logic.Vector, count)
+	for i := range out {
+		v := make(logic.Vector, len(n.Inputs))
+		for j := range v {
+			v[j] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SequentialResult reports a multi-cycle stuck-at campaign over a
+// sequential circuit (the in-field test scenario: the fault is present
+// from power-on and the test program observes outputs every cycle).
+type SequentialResult struct {
+	Status    []fault.Status
+	GateEvals int64
+}
+
+// Coverage summarises the sequential campaign.
+func (r *SequentialResult) Coverage() fault.Coverage {
+	c := fault.Coverage{Total: len(r.Status)}
+	for _, s := range r.Status {
+		if s == fault.Detected {
+			c.Detected++
+		}
+	}
+	return c
+}
+
+// SequentialRun fault-simulates permanent stuck-at faults on a
+// sequential circuit: golden and faulty machines start from the all-zero
+// reset state and step through the stimuli; a fault is detected on the
+// first cycle a primary output differs. Output faults only (collapsed
+// lists map pin faults onto representatives).
+func SequentialRun(n *netlist.Netlist, faults fault.List, stimuli []logic.Vector) (*SequentialResult, error) {
+	golden, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	golden.ResetState(logic.Zero)
+	goldenOuts := make([]string, len(stimuli))
+	for c, in := range stimuli {
+		goldenOuts[c] = golden.Step(in).String()
+	}
+	res := &SequentialResult{Status: make([]fault.Status, len(faults))}
+	for fi, f := range faults {
+		if f.Kind != fault.StuckAt {
+			res.Status[fi] = fault.NotSimulated
+			continue
+		}
+		faulty, err := sim.New(n)
+		if err != nil {
+			return nil, err
+		}
+		faulty.ResetState(logic.Zero)
+		res.Status[fi] = fault.Undetected
+		for c, in := range stimuli {
+			out := stepWithStuckAt(faulty, f, in)
+			res.GateEvals += int64(n.NumGates())
+			if out.String() != goldenOuts[c] {
+				res.Status[fi] = fault.Detected
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// stepWithStuckAt performs one synchronous cycle with a permanent
+// stuck-at fault forced: the site is overridden after evaluation and the
+// override propagated before outputs are sampled and state is latched.
+func stepWithStuckAt(e *sim.Evaluator, f fault.Fault, in logic.Vector) logic.Vector {
+	e.SetInputs(in)
+	// Force DFF-site faults before evaluation too (state is held wrong).
+	if f.Pin < 0 {
+		e.SetValue(f.Gate, f.Value)
+	}
+	e.Run()
+	if f.Pin < 0 {
+		e.SetValue(f.Gate, f.Value)
+		e.PropagateFrom(f.Gate)
+		e.SetValue(f.Gate, f.Value)
+	}
+	out := e.Outputs()
+	// Latch D pins into DFFs (Step's tail), honouring the forced value.
+	n := e.N
+	next := make([]logic.V, len(n.DFFs))
+	for i, id := range n.DFFs {
+		next[i] = e.Value(n.Gate(id).Fanin[0])
+	}
+	for i, id := range n.DFFs {
+		e.SetValue(id, next[i])
+	}
+	if f.Pin < 0 {
+		e.SetValue(f.Gate, f.Value) // a stuck DFF stays stuck
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package fidetect implements the AI-based fault-attack detector of
+// Section III.F: a neural network "trained with non-faulty traces only"
+// that flags anomalies in the program flow of critical functions. The
+// detector is an autoencoder — a small multilayer perceptron trained to
+// reconstruct golden execution-trace features; reconstruction error above
+// a threshold calibrated on golden data signals a (possibly previously
+// unseen) fault attack.
+package fidetect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rescue/internal/cpu"
+)
+
+// Features is a fixed-length execution-trace descriptor.
+type Features []float64
+
+// FeatureDim is the descriptor length: 8 opcode-class frequencies,
+// branch-taken ratio, mean PC stride, PC stride RMS, halt flag, step
+// count and distinct-PC coverage.
+const FeatureDim = 14
+
+// opClass buckets opcodes into 8 coarse classes.
+func opClass(op cpu.Opcode) int {
+	switch op {
+	case cpu.ADD, cpu.SUB, cpu.MUL:
+		return 0
+	case cpu.AND, cpu.OR, cpu.XOR:
+		return 1
+	case cpu.SLL, cpu.SRL, cpu.SRA:
+		return 2
+	case cpu.ADDI, cpu.ANDI, cpu.ORI, cpu.XORI, cpu.MOVHI:
+		return 3
+	case cpu.LW:
+		return 4
+	case cpu.SW:
+		return 5
+	case cpu.SFEQ, cpu.SFNE, cpu.SFGTU, cpu.SFLTU:
+		return 6
+	default: // branches, jumps, nop, halt
+		return 7
+	}
+}
+
+// TraceProgram executes the program on the (possibly fault-injected) CPU
+// and extracts the feature descriptor of its control flow.
+func TraceProgram(c *cpu.CPU, prog *cpu.Program, budget int64) (Features, error) {
+	if len(prog.Insts) == 0 {
+		return nil, fmt.Errorf("fidetect: empty program")
+	}
+	f := make(Features, FeatureDim)
+	var (
+		steps     float64
+		branches  float64
+		taken     float64
+		strideSum float64
+		strideSq  float64
+		lastPC    = -1
+	)
+	visited := make(map[int]bool)
+	for !c.Halted && c.Cycles < budget {
+		pc := c.PC
+		if pc >= 0 && pc < len(prog.Insts) {
+			visited[pc] = true
+			op := prog.Insts[pc].Op
+			f[opClass(op)]++
+			if op == cpu.BF || op == cpu.BNF {
+				branches++
+			}
+		}
+		if err := c.Step(prog); err != nil {
+			break // traps end the trace; the features still describe it
+		}
+		if lastPC >= 0 {
+			d := float64(c.PC - lastPC)
+			strideSum += d
+			strideSq += d * d
+			if d != 1 {
+				taken++
+			}
+		}
+		lastPC = c.PC
+		steps++
+	}
+	if steps == 0 {
+		return f, fmt.Errorf("fidetect: empty trace")
+	}
+	for i := 0; i < 8; i++ {
+		f[i] /= steps
+	}
+	if branches > 0 {
+		f[8] = taken / steps
+	}
+	f[9] = strideSum / steps / 4 // normalised mean stride
+	f[10] = math.Sqrt(strideSq/steps) / 8
+	if c.Halted {
+		f[11] = 1
+	}
+	f[12] = steps / 256
+	f[13] = float64(len(visited)) / float64(len(prog.Insts))
+	return f, nil
+}
+
+// Autoencoder is a 1-hidden-layer MLP trained to reproduce its input.
+type Autoencoder struct {
+	In, Hidden int
+	W1         [][]float64 // Hidden × In
+	B1         []float64
+	W2         [][]float64 // In × Hidden
+	B2         []float64
+	Threshold  float64 // anomaly threshold on reconstruction error
+}
+
+// NewAutoencoder initialises small random weights deterministically.
+func NewAutoencoder(in, hidden int, seed int64) *Autoencoder {
+	rng := rand.New(rand.NewSource(seed))
+	a := &Autoencoder{In: in, Hidden: hidden,
+		B1: make([]float64, hidden), B2: make([]float64, in)}
+	a.W1 = randMat(rng, hidden, in)
+	a.W2 = randMat(rng, in, hidden)
+	return a
+}
+
+func randMat(rng *rand.Rand, r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * 0.3
+		}
+	}
+	return m
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward returns hidden activations and the reconstruction.
+func (a *Autoencoder) forward(x Features) (h, y []float64) {
+	h = make([]float64, a.Hidden)
+	for i := 0; i < a.Hidden; i++ {
+		s := a.B1[i]
+		for j := 0; j < a.In; j++ {
+			s += a.W1[i][j] * x[j]
+		}
+		h[i] = sigmoid(s)
+	}
+	y = make([]float64, a.In)
+	for i := 0; i < a.In; i++ {
+		s := a.B2[i]
+		for j := 0; j < a.Hidden; j++ {
+			s += a.W2[i][j] * h[j]
+		}
+		y[i] = s // linear output
+	}
+	return h, y
+}
+
+// Error returns the mean squared reconstruction error for one sample.
+func (a *Autoencoder) Error(x Features) float64 {
+	_, y := a.forward(x)
+	e := 0.0
+	for i := range y {
+		d := y[i] - x[i]
+		e += d * d
+	}
+	return e / float64(a.In)
+}
+
+// Train fits the autoencoder on golden samples with plain SGD and then
+// calibrates the anomaly threshold as margin × the maximum golden error.
+func (a *Autoencoder) Train(golden []Features, epochs int, lr, margin float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for e := 0; e < epochs; e++ {
+		for _, idx := range rng.Perm(len(golden)) {
+			x := golden[idx]
+			h, y := a.forward(x)
+			// Output layer gradients (linear): dE/dy = 2(y-x)/n.
+			dy := make([]float64, a.In)
+			for i := range dy {
+				dy[i] = 2 * (y[i] - x[i]) / float64(a.In)
+			}
+			// Hidden layer gradients through sigmoid.
+			dh := make([]float64, a.Hidden)
+			for j := 0; j < a.Hidden; j++ {
+				s := 0.0
+				for i := 0; i < a.In; i++ {
+					s += dy[i] * a.W2[i][j]
+				}
+				dh[j] = s * h[j] * (1 - h[j])
+			}
+			for i := 0; i < a.In; i++ {
+				for j := 0; j < a.Hidden; j++ {
+					a.W2[i][j] -= lr * dy[i] * h[j]
+				}
+				a.B2[i] -= lr * dy[i]
+			}
+			for j := 0; j < a.Hidden; j++ {
+				for i := 0; i < a.In; i++ {
+					a.W1[j][i] -= lr * dh[j] * x[i]
+				}
+				a.B1[j] -= lr * dh[j]
+			}
+		}
+	}
+	maxErr := 0.0
+	for _, x := range golden {
+		if e := a.Error(x); e > maxErr {
+			maxErr = e
+		}
+	}
+	a.Threshold = maxErr * margin
+}
+
+// Anomalous reports whether a trace exceeds the calibrated threshold.
+func (a *Autoencoder) Anomalous(x Features) bool {
+	return a.Error(x) > a.Threshold
+}
+
+// Evaluation summarises detector quality on labelled data.
+type Evaluation struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// TPR returns the true-positive (detection) rate.
+func (e Evaluation) TPR() float64 {
+	if e.TruePositives+e.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(e.TruePositives+e.FalseNegatives)
+}
+
+// FPR returns the false-positive rate.
+func (e Evaluation) FPR() float64 {
+	if e.FalsePositives+e.TrueNegatives == 0 {
+		return 0
+	}
+	return float64(e.FalsePositives) / float64(e.FalsePositives+e.TrueNegatives)
+}
+
+// Evaluate scores the detector on golden and attack traces.
+func (a *Autoencoder) Evaluate(golden, attacks []Features) Evaluation {
+	var ev Evaluation
+	for _, x := range golden {
+		if a.Anomalous(x) {
+			ev.FalsePositives++
+		} else {
+			ev.TrueNegatives++
+		}
+	}
+	for _, x := range attacks {
+		if a.Anomalous(x) {
+			ev.TruePositives++
+		} else {
+			ev.FalseNegatives++
+		}
+	}
+	return ev
+}

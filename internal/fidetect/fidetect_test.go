@@ -1,0 +1,206 @@
+package fidetect
+
+import (
+	"math/rand"
+	"testing"
+
+	"rescue/internal/cpu"
+)
+
+// cryptoKernel is the "critical function" being guarded: a keyed
+// mixing loop over a message block (crypto-engine stand-in).
+const cryptoKernel = `
+	l.addi r1, r0, 16     # msg ptr
+	l.addi r2, r0, 24     # end
+	l.movhi r3, 0x1337
+	l.ori  r3, r3, 0xbeef # key
+	l.addi r10, r0, 0     # acc
+	l.addi r5, r0, 3
+	l.addi r6, r0, 29
+loop:
+	l.lwz  r4, 0(r1)
+	l.xor  r4, r4, r3
+	l.sll  r7, r4, r5
+	l.srl  r8, r4, r6
+	l.or   r4, r7, r8
+	l.add  r10, r10, r4
+	l.addi r1, r1, 1
+	l.sfltu r1, r2
+	l.bf   loop
+	l.sw   8(r0), r10
+	l.halt
+`
+
+// goldenTraces runs the kernel on varying (legitimate) message inputs.
+func goldenTraces(t *testing.T, prog *cpu.Program, n int, seed int64) []Features {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var out []Features
+	for i := 0; i < n; i++ {
+		mem := cpu.NewMemory(32)
+		for a := 16; a < 24; a++ {
+			mem.Words[a] = rng.Uint32()
+		}
+		c := cpu.New(mem)
+		f, err := TraceProgram(c, prog, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// attackTraces injects control-flow faults (flag flips, PC flips) — the
+// laser fault-attack model on the crypto engine's sequencer. Only
+// *effective* attacks are kept: a fault that leaves the architectural
+// result untouched is masked and, by definition, invisible to any
+// program-flow monitor.
+func attackTraces(t *testing.T, prog *cpu.Program, n int, seed int64) []Features {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var out []Features
+	for len(out) < n {
+		var msg [8]uint32
+		for a := range msg {
+			msg[a] = rng.Uint32()
+		}
+		load := func() *cpu.RAM {
+			mem := cpu.NewMemory(32)
+			for a, v := range msg {
+				mem.Words[16+a] = v
+			}
+			return mem
+		}
+		gold := cpu.New(load())
+		if err := gold.Run(prog, 2000); err != nil {
+			t.Fatal(err)
+		}
+		goldMem := load()
+		_ = goldMem
+		mem := load()
+		c := cpu.New(mem)
+		if rng.Intn(2) == 0 {
+			c.Inject(cpu.Fault{Kind: cpu.FlagFlip, Cycle: int64(10 + rng.Intn(60))})
+		} else {
+			c.Inject(cpu.Fault{Kind: cpu.PCFlip, Bit: rng.Intn(3), Cycle: int64(10 + rng.Intn(60))})
+		}
+		f, err := TraceProgram(c, prog, 2000)
+		if err != nil {
+			continue
+		}
+		// Effective only: the mixed checksum must differ from golden.
+		goldRAM := gold.Mem.(*cpu.RAM)
+		if mem.Words[8] == goldRAM.Words[8] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func trainDetector(t *testing.T) (*Autoencoder, *cpu.Program) {
+	t.Helper()
+	prog, err := cpu.Assemble(cryptoKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenTraces(t, prog, 60, 1)
+	ae := NewAutoencoder(FeatureDim, 6, 42)
+	ae.Train(golden, 400, 0.05, 1.5, 7)
+	return ae, prog
+}
+
+func TestDetectorCatchesFaultAttacks(t *testing.T) {
+	ae, prog := trainDetector(t)
+	attacks := attackTraces(t, prog, 40, 3)
+	golden := goldenTraces(t, prog, 40, 99) // unseen golden data
+	ev := ae.Evaluate(golden, attacks)
+	if ev.TPR() < 0.8 {
+		t.Errorf("detection rate = %.2f (%d/%d), want >= 0.8",
+			ev.TPR(), ev.TruePositives, ev.TruePositives+ev.FalseNegatives)
+	}
+	if ev.FPR() > 0.1 {
+		t.Errorf("false positive rate = %.2f, want <= 0.1", ev.FPR())
+	}
+}
+
+func TestDetectsUnseenAttackKind(t *testing.T) {
+	// Trained only on golden traces, the detector must also flag an
+	// attack class it never saw: a decoder swap (permanent fault).
+	ae, prog := trainDetector(t)
+	mem := cpu.NewMemory(32)
+	c := cpu.New(mem)
+	c.Inject(cpu.Fault{Kind: cpu.DecoderSwap, Op1: cpu.BF, Op2: cpu.BNF})
+	f, err := TraceProgram(c, prog, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ae.Anomalous(f) {
+		t.Error("unseen attack class escaped the anomaly detector")
+	}
+}
+
+func TestTrainingReducesError(t *testing.T) {
+	prog, err := cpu.Assemble(cryptoKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenTraces(t, prog, 30, 5)
+	ae := NewAutoencoder(FeatureDim, 6, 13)
+	before := 0.0
+	for _, x := range golden {
+		before += ae.Error(x)
+	}
+	ae.Train(golden, 300, 0.05, 1.5, 3)
+	after := 0.0
+	for _, x := range golden {
+		after += ae.Error(x)
+	}
+	if after >= before {
+		t.Errorf("training must reduce reconstruction error: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestTraceFeaturesSane(t *testing.T) {
+	prog, err := cpu.Assemble(cryptoKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.NewMemory(32))
+	f, err := TraceProgram(c, prog, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != FeatureDim {
+		t.Fatalf("feature dim = %d", len(f))
+	}
+	sum := 0.0
+	for i := 0; i < 8; i++ {
+		if f[i] < 0 || f[i] > 1 {
+			t.Errorf("class frequency %d = %v", i, f[i])
+		}
+		sum += f[i]
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("class frequencies sum to %v, want 1", sum)
+	}
+	if f[11] != 1 {
+		t.Error("halted flag must be set for a completed run")
+	}
+	// Empty program must error.
+	empty := &cpu.Program{}
+	if _, err := TraceProgram(cpu.New(cpu.NewMemory(1)), empty, 10); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestEvaluationMath(t *testing.T) {
+	ev := Evaluation{TruePositives: 8, FalseNegatives: 2, FalsePositives: 1, TrueNegatives: 9}
+	if ev.TPR() != 0.8 || ev.FPR() != 0.1 {
+		t.Error("rates wrong")
+	}
+	if (Evaluation{}).TPR() != 0 || (Evaluation{}).FPR() != 0 {
+		t.Error("empty evaluation must be zero")
+	}
+}

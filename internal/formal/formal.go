@@ -1,0 +1,228 @@
+// Package formal implements the bounded formal analyses that RESCUE ref
+// [19] applies in early ISO 26262 flows: exhaustive reachability over a
+// sequential circuit's state space to prove that critical states are
+// never reached, unreachable-state-based fault-list pruning, and bounded
+// equivalence checking between two sequential implementations. Circuits
+// with up to ~20 flip-flops are handled exactly by explicit-state
+// enumeration over all inputs.
+package formal
+
+import (
+	"fmt"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+// MaxStateBits bounds explicit-state exploration (2^20 states × inputs).
+const MaxStateBits = 20
+
+// stateOf packs the DFF values into an integer key.
+func stateOf(e *sim.Evaluator) uint64 {
+	var key uint64
+	for i, v := range e.State() {
+		if v == logic.One {
+			key |= 1 << uint(i)
+		}
+	}
+	return key
+}
+
+// loadState unpacks a state key into the evaluator.
+func loadState(e *sim.Evaluator, key uint64) {
+	for i := range e.N.DFFs {
+		e.SetState(i, logic.FromBool(key&(1<<uint(i)) != 0))
+	}
+}
+
+// Reachability is the result of an exhaustive exploration from the reset
+// state over all input values.
+type Reachability struct {
+	States    map[uint64]bool // reachable state set
+	Diameter  int             // BFS depth at which the set closed
+	Explored  int             // (state, input) pairs simulated
+	Truncated bool            // hit the safety bound (result is partial)
+}
+
+// Explore enumerates the reachable state space from the all-zero reset
+// state, trying every input vector in every discovered state.
+func Explore(n *netlist.Netlist, maxStates int) (*Reachability, error) {
+	if len(n.DFFs) == 0 {
+		return nil, fmt.Errorf("formal: %q has no state to explore", n.Name)
+	}
+	if len(n.DFFs) > MaxStateBits {
+		return nil, fmt.Errorf("formal: %d flip-flops exceeds the %d-bit explicit-state bound",
+			len(n.DFFs), MaxStateBits)
+	}
+	if len(n.Inputs) > MaxStateBits {
+		return nil, fmt.Errorf("formal: %d inputs exceeds the exhaustive-input bound", len(n.Inputs))
+	}
+	e, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reachability{States: make(map[uint64]bool)}
+	frontier := []uint64{0}
+	r.States[0] = true
+	inputs := 1 << uint(len(n.Inputs))
+	for len(frontier) > 0 {
+		var next []uint64
+		for _, s := range frontier {
+			for in := 0; in < inputs; in++ {
+				if maxStates > 0 && len(r.States) >= maxStates {
+					r.Truncated = true
+					return r, nil
+				}
+				loadState(e, s)
+				e.Step(logic.FromUint64(uint64(in), len(n.Inputs)))
+				r.Explored++
+				ns := stateOf(e)
+				if !r.States[ns] {
+					r.States[ns] = true
+					next = append(next, ns)
+				}
+			}
+		}
+		if len(next) > 0 {
+			r.Diameter++
+		}
+		frontier = next
+	}
+	return r, nil
+}
+
+// ProveUnreachable checks whether any reachable state satisfies the bad
+// predicate (over the DFF state vector). It returns proven=true when the
+// full reachable set excludes all bad states, and a witness state when a
+// bad state is reachable.
+func ProveUnreachable(n *netlist.Netlist, bad func(state logic.Vector) bool, maxStates int) (proven bool, witness logic.Vector, err error) {
+	r, err := Explore(n, maxStates)
+	if err != nil {
+		return false, nil, err
+	}
+	for s := range r.States {
+		vec := logic.FromUint64(s, len(n.DFFs))
+		if bad(vec) {
+			return false, vec, nil
+		}
+	}
+	if r.Truncated {
+		return false, nil, fmt.Errorf("formal: exploration truncated at %d states; no proof", len(r.States))
+	}
+	return true, nil, nil
+}
+
+// PruneByReachability classifies stuck-at faults on DFF outputs whose
+// stuck value equals the flip-flop's value in *every* reachable state:
+// such faults can never change machine behaviour and are formally safe —
+// the fault-list optimisation of ref [19]. It returns the indices of
+// provably safe faults (pass the full campaign list; non-DFF faults are
+// left alone).
+func PruneByReachability(n *netlist.Netlist, faultGate []int, faultValue []logic.V, maxStates int) ([]int, error) {
+	if len(faultGate) != len(faultValue) {
+		return nil, fmt.Errorf("formal: mismatched fault arrays")
+	}
+	r, err := Explore(n, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	if r.Truncated {
+		return nil, fmt.Errorf("formal: exploration truncated; pruning would be unsound")
+	}
+	// Per-DFF value sets across reachable states.
+	dffIndex := make(map[int]int, len(n.DFFs))
+	for i, id := range n.DFFs {
+		dffIndex[id] = i
+	}
+	always0 := make([]bool, len(n.DFFs))
+	always1 := make([]bool, len(n.DFFs))
+	for i := range always0 {
+		always0[i], always1[i] = true, true
+	}
+	for s := range r.States {
+		for i := range n.DFFs {
+			if s&(1<<uint(i)) != 0 {
+				always0[i] = false
+			} else {
+				always1[i] = false
+			}
+		}
+	}
+	var safe []int
+	for fi, gate := range faultGate {
+		di, ok := dffIndex[gate]
+		if !ok {
+			continue
+		}
+		if (faultValue[fi] == logic.Zero && always0[di]) ||
+			(faultValue[fi] == logic.One && always1[di]) {
+			safe = append(safe, fi)
+		}
+	}
+	return safe, nil
+}
+
+// EquivalentBounded checks two sequential circuits for input/output
+// equivalence over all input sequences up to the given depth, starting
+// from reset — the bounded sequential equivalence check used to validate
+// safety-mechanism insertions. It returns a counterexample input
+// sequence when the machines diverge.
+func EquivalentBounded(a, b *netlist.Netlist, depth int) (equal bool, counterexample []logic.Vector, err error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false, nil, fmt.Errorf("formal: interface mismatch (%d/%d inputs, %d/%d outputs)",
+			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
+	}
+	if len(a.Inputs) > 12 {
+		return false, nil, fmt.Errorf("formal: %d inputs too many for exhaustive bounded check", len(a.Inputs))
+	}
+	ea, err := sim.New(a)
+	if err != nil {
+		return false, nil, err
+	}
+	eb, err := sim.New(b)
+	if err != nil {
+		return false, nil, err
+	}
+	// Joint product-state exploration with memoisation of visited
+	// (stateA, stateB) pairs.
+	type pair struct{ sa, sb uint64 }
+	seen := map[pair]bool{}
+	type node struct {
+		p     pair
+		trail []logic.Vector
+	}
+	frontier := []node{{p: pair{0, 0}}}
+	seen[pair{0, 0}] = true
+	inputs := 1 << uint(len(a.Inputs))
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []node
+		for _, nd := range frontier {
+			for in := 0; in < inputs; in++ {
+				vec := logic.FromUint64(uint64(in), len(a.Inputs))
+				ea.ResetState(logic.Zero)
+				eb.ResetState(logic.Zero)
+				loadState(ea, nd.p.sa)
+				loadState(eb, nd.p.sb)
+				oa := ea.Step(vec)
+				ob := eb.Step(vec)
+				if oa.String() != ob.String() {
+					return false, append(append([]logic.Vector{}, nd.trail...), vec), nil
+				}
+				np := pair{stateOf(ea), stateOf(eb)}
+				if !seen[np] {
+					seen[np] = true
+					trail := append(append([]logic.Vector{}, nd.trail...), vec)
+					next = append(next, node{p: np, trail: trail})
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(frontier) > 0 {
+		// State space not closed within depth: the bounded verdict holds
+		// only up to the examined depth.
+		return true, nil, nil
+	}
+	return true, nil, nil
+}

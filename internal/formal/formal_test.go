@@ -1,0 +1,188 @@
+package formal
+
+import (
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+// johnson builds a 3-bit Johnson counter: q0 <- NOT(q2), q1 <- q0,
+// q2 <- q1. From reset 000 it cycles through 6 of the 8 states; 010 and
+// 101 are unreachable.
+func johnson(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("johnson3")
+	// Placeholder fanin (rewired below); need an existing gate first.
+	in, err := n.AddInput("unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0, _ := n.AddGate("q0", netlist.DFF, in)
+	q1, _ := n.AddGate("q1", netlist.DFF, q0)
+	q2, _ := n.AddGate("q2", netlist.DFF, q1)
+	nq2, _ := n.AddGate("nq2", netlist.Not, q2)
+	// Rewire q0's D from the placeholder to NOT(q2).
+	n.Gate(q0).Fanin[0] = nq2
+	n.Gate(in).Fanout = nil
+	n.Gate(nq2).Fanout = append(n.Gate(nq2).Fanout, q0)
+	_ = n.MarkOutput(q2)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestExploreJohnsonCounter(t *testing.T) {
+	n := johnson(t)
+	r, err := Explore(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.States) != 6 {
+		t.Errorf("reachable states = %d, want 6", len(r.States))
+	}
+	if r.Truncated {
+		t.Error("full exploration must not truncate")
+	}
+	for _, bad := range []uint64{0b010, 0b101} {
+		if r.States[bad] {
+			t.Errorf("state %03b must be unreachable", bad)
+		}
+	}
+}
+
+func TestProveUnreachable(t *testing.T) {
+	n := johnson(t)
+	// 010 (q0=0, q1=1, q2=0) is never reached: proof must succeed.
+	proven, witness, err := ProveUnreachable(n, func(s logic.Vector) bool {
+		return s[0] == logic.Zero && s[1] == logic.One && s[2] == logic.Zero
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proven || witness != nil {
+		t.Errorf("proven=%v witness=%v, want proof", proven, witness)
+	}
+	// 111 is reachable: a witness must be produced.
+	proven, witness, err = ProveUnreachable(n, func(s logic.Vector) bool {
+		return s[0] == logic.One && s[1] == logic.One && s[2] == logic.One
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proven || witness == nil {
+		t.Error("reachable bad state must yield a witness")
+	}
+}
+
+func TestExploreCounterReachesAllStates(t *testing.T) {
+	n := circuits.Counter(4)
+	r, err := Explore(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.States) != 16 {
+		t.Errorf("counter reachable states = %d, want 16", len(r.States))
+	}
+	if r.Diameter < 15 {
+		t.Errorf("diameter = %d, want >= 15 (sequential depth of a counter)", r.Diameter)
+	}
+}
+
+func TestExploreBounds(t *testing.T) {
+	if _, err := Explore(circuits.C17(), 0); err == nil {
+		t.Error("combinational circuit must be rejected")
+	}
+	n := circuits.Counter(4)
+	r, err := Explore(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Error("tight state budget must truncate")
+	}
+	if _, _, err := ProveUnreachable(n, func(logic.Vector) bool { return false }, 3); err == nil {
+		t.Error("truncated exploration must refuse to prove")
+	}
+}
+
+func TestPruneByReachability(t *testing.T) {
+	// q <- AND(q, in): from reset 0 the flip-flop never becomes 1, so
+	// q s-a-0 is formally safe while q s-a-1 is not.
+	n := netlist.New("sticky0")
+	in, _ := n.AddInput("in")
+	q, err := n.AddGate("q", netlist.DFF, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, _ := n.AddGate("and", netlist.And, q, in)
+	n.Gate(q).Fanin[0] = and
+	n.Gate(in).Fanout = []int{and}
+	n.Gate(and).Fanout = append(n.Gate(and).Fanout, q)
+	_ = n.MarkOutput(and)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	safe, err := PruneByReachability(n,
+		[]int{q, q, and},
+		[]logic.V{logic.Zero, logic.One, logic.Zero}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(safe) != 1 || safe[0] != 0 {
+		t.Errorf("safe faults = %v, want exactly index 0 (q s-a-0)", safe)
+	}
+}
+
+func TestEquivalentBounded(t *testing.T) {
+	a := circuits.Counter(3)
+	b := circuits.Counter(3)
+	eq, cex, err := EquivalentBounded(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq || cex != nil {
+		t.Error("identical counters must be equivalent")
+	}
+	// A "stuck counter" whose bit1 D-pin is wired to constant 0 diverges
+	// after two increments.
+	c := circuits.Counter(3)
+	q1 := c.DFFs[1]
+	d := c.Gate(q1).Fanin[0]
+	// Build constant 0 = XOR(en, en).
+	zero, _ := c.AddGate("const0", netlist.Xor, c.Inputs[0], c.Inputs[0])
+	c.Gate(q1).Fanin[0] = zero
+	removeFromFanout(c, d, q1)
+	c.Gate(zero).Fanout = append(c.Gate(zero).Fanout, q1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eq, cex, err = EquivalentBounded(a, c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq || cex == nil {
+		t.Error("stuck counter must diverge with a counterexample")
+	}
+	// The counterexample must actually demonstrate the divergence depth:
+	// at least 2 cycles to reach a state where bit1 matters.
+	if len(cex) < 2 {
+		t.Errorf("counterexample length = %d, want >= 2", len(cex))
+	}
+	// Interface mismatch must be rejected.
+	if _, _, err := EquivalentBounded(a, circuits.Counter(4), 4); err == nil {
+		t.Error("interface mismatch must error")
+	}
+}
+
+func removeFromFanout(n *netlist.Netlist, gate, load int) {
+	g := n.Gate(gate)
+	for i, f := range g.Fanout {
+		if f == load {
+			g.Fanout = append(g.Fanout[:i], g.Fanout[i+1:]...)
+			return
+		}
+	}
+}

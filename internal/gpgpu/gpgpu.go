@@ -1,0 +1,375 @@
+// Package gpgpu implements a cycle-approximate SIMT GPGPU model in the
+// spirit of the FlexGrip model that RESCUE "significantly improved and
+// expanded" (Section III.A, refs [11], [42], [43]): warps of parallel
+// lanes, a round-robin warp scheduler, pipeline operand registers and
+// per-lane register files — each of them fault-injectable so that
+// software-based self-test kernels can be evaluated quantitatively, which
+// the paper highlights as a first for an open GPGPU model.
+package gpgpu
+
+import (
+	"fmt"
+)
+
+// Op enumerates kernel instructions.
+type Op uint8
+
+// Instruction set: three-register ALU ops, immediates, global memory
+// access, predicates and warp-uniform branches.
+const (
+	GNOP    Op = iota
+	GADD       // rD = rA + rB
+	GSUB       // rD = rA - rB
+	GMUL       // rD = rA * rB
+	GAND       // rD = rA & rB
+	GOR        // rD = rA | rB
+	GXOR       // rD = rA ^ rB
+	GSHL       // rD = rA << (rB & 31)
+	GSHR       // rD = rA >> (rB & 31)
+	GADDI      // rD = rA + imm
+	GMOVI      // rD = imm
+	GTID       // rD = lane id
+	GWID       // rD = warp id
+	GLD        // rD = mem[rA + imm]
+	GST        // mem[rA + imm] = rB
+	GSETPEQ    // p = rA == rB
+	GSETPNE    // p = rA != rB
+	GSETPLT    // p = rA < rB (unsigned)
+	GSELP      // rD = p ? rA : rB
+	GBRA       // warp-uniform branch to Target when every active lane's p agrees
+	GHALT
+)
+
+// String names the op.
+func (o Op) String() string {
+	names := [...]string{
+		"nop", "add", "sub", "mul", "and", "or", "xor", "shl", "shr",
+		"addi", "movi", "tid", "wid", "ld", "st",
+		"setp.eq", "setp.ne", "setp.lt", "selp", "bra", "halt",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Inst is one kernel instruction. Guarded instructions execute only in
+// lanes whose predicate is set.
+type Inst struct {
+	Op      Op
+	D, A, B int
+	Imm     int32
+	Target  int
+	Guarded bool // execute only where p == true
+}
+
+// Kernel is a straight-line SIMT program with uniform branches.
+type Kernel struct {
+	Name  string
+	Insts []Inst
+}
+
+// Config sizes the GPU.
+type Config struct {
+	Warps    int
+	Lanes    int
+	Regs     int
+	MemWords int
+}
+
+// DefaultConfig mirrors a small FlexGrip configuration.
+var DefaultConfig = Config{Warps: 4, Lanes: 8, Regs: 16, MemWords: 4096}
+
+// FaultKind enumerates the microarchitectural fault sites of the model.
+type FaultKind uint8
+
+const (
+	// SchedulerStuck makes the warp scheduler always restart its scan at
+	// warp 0 instead of rotating — the classic round-robin pointer fault
+	// from the RESCUE scheduler test work ([11]): starvation-prone and
+	// invisible to pure dataflow tests.
+	SchedulerStuck FaultKind = iota
+	// SchedulerSkip makes the scheduler never issue the given warp.
+	SchedulerSkip
+	// PipelineOperandStuck0 / 1 force a bit of the operand-A pipeline
+	// register at execute stage ([42]).
+	PipelineOperandStuck0
+	PipelineOperandStuck1
+	// RegStuck0 / 1 force a bit of one lane register.
+	RegStuck0
+	RegStuck1
+)
+
+// Fault is one injected fault.
+type Fault struct {
+	Kind FaultKind
+	Warp int // SchedulerSkip, Reg*
+	Lane int // Reg*
+	Reg  int // Reg*
+	Bit  int // bit index for stuck faults
+}
+
+// warp holds per-warp execution state.
+type warp struct {
+	pc   int
+	done bool
+	regs [][]uint32 // [lane][reg]
+	pred []bool     // [lane]
+}
+
+// GPU is the SIMT machine.
+type GPU struct {
+	Cfg    Config
+	Mem    []uint32
+	Cycles int64
+
+	warps  []*warp
+	rrNext int // round-robin scheduler pointer
+	faults []Fault
+}
+
+// New builds a GPU.
+func New(cfg Config) *GPU {
+	g := &GPU{Cfg: cfg, Mem: make([]uint32, cfg.MemWords)}
+	g.resetWarps()
+	return g
+}
+
+func (g *GPU) resetWarps() {
+	g.warps = make([]*warp, g.Cfg.Warps)
+	for w := range g.warps {
+		regs := make([][]uint32, g.Cfg.Lanes)
+		for l := range regs {
+			regs[l] = make([]uint32, g.Cfg.Regs)
+		}
+		g.warps[w] = &warp{regs: regs, pred: make([]bool, g.Cfg.Lanes)}
+	}
+	g.rrNext = 0
+	g.Cycles = 0
+}
+
+// Reset clears machine state (registers, memory, cycles) but keeps faults.
+func (g *GPU) Reset() {
+	g.Mem = make([]uint32, g.Cfg.MemWords)
+	g.resetWarps()
+}
+
+// Inject adds a fault.
+func (g *GPU) Inject(f Fault) { g.faults = append(g.faults, f) }
+
+// ClearFaults removes all faults.
+func (g *GPU) ClearFaults() { g.faults = nil }
+
+// schedule picks the next runnable warp honouring scheduler faults. It
+// returns -1 when no warp can be issued.
+func (g *GPU) schedule() int {
+	start := g.rrNext
+	for _, f := range g.faults {
+		if f.Kind == SchedulerStuck {
+			start = 0 // pointer stuck: always scan from warp 0
+		}
+	}
+	for i := 0; i < g.Cfg.Warps; i++ {
+		w := (start + i) % g.Cfg.Warps
+		if g.warps[w].done {
+			continue
+		}
+		skipped := false
+		for _, f := range g.faults {
+			if f.Kind == SchedulerSkip && f.Warp == w {
+				skipped = true
+				break
+			}
+		}
+		if skipped {
+			continue
+		}
+		g.rrNext = (w + 1) % g.Cfg.Warps
+		return w
+	}
+	return -1
+}
+
+// applyRegFaults enforces stuck register bits.
+func (g *GPU) applyRegFaults() {
+	for _, f := range g.faults {
+		switch f.Kind {
+		case RegStuck0:
+			g.warps[f.Warp].regs[f.Lane][f.Reg] &^= 1 << uint(f.Bit)
+		case RegStuck1:
+			g.warps[f.Warp].regs[f.Lane][f.Reg] |= 1 << uint(f.Bit)
+		}
+	}
+}
+
+// pipelineA filters an operand-A value through the pipeline register
+// faults (they affect every lane of every warp — the latch is shared per
+// lane-slice; we model the worst case of a slice-0 latch).
+func (g *GPU) pipelineA(v uint32) uint32 {
+	for _, f := range g.faults {
+		switch f.Kind {
+		case PipelineOperandStuck0:
+			v &^= 1 << uint(f.Bit)
+		case PipelineOperandStuck1:
+			v |= 1 << uint(f.Bit)
+		}
+	}
+	return v
+}
+
+// ErrBudget reports a cycle-budget overrun (hang).
+var ErrBudget = fmt.Errorf("gpgpu: cycle budget exhausted")
+
+// ErrDivergent reports a non-uniform branch, which this model forbids.
+var ErrDivergent = fmt.Errorf("gpgpu: divergent branch (non-uniform predicate)")
+
+// Run executes the kernel on all warps until completion or budget
+// exhaustion. One cycle issues one instruction of one warp across all
+// its lanes (lock-step SIMT).
+func (g *GPU) Run(k *Kernel, maxCycles int64) error {
+	for {
+		w := g.schedule()
+		if w < 0 {
+			// All done, or all remaining warps are starved by a
+			// scheduler fault: starvation with live warps is a hang.
+			for _, wp := range g.warps {
+				if !wp.done {
+					return ErrBudget
+				}
+			}
+			return nil
+		}
+		if g.Cycles >= maxCycles {
+			return ErrBudget
+		}
+		if err := g.step(k, w); err != nil {
+			return err
+		}
+		g.Cycles++
+	}
+}
+
+// step executes one instruction of warp w.
+func (g *GPU) step(k *Kernel, wIdx int) error {
+	wp := g.warps[wIdx]
+	if wp.pc < 0 || wp.pc >= len(k.Insts) {
+		wp.done = true
+		return nil
+	}
+	inst := k.Insts[wp.pc]
+	next := wp.pc + 1
+	switch inst.Op {
+	case GBRA:
+		// Warp-uniform branch on the predicate.
+		first := wp.pred[0]
+		for _, p := range wp.pred[1:] {
+			if p != first {
+				return ErrDivergent
+			}
+		}
+		if first {
+			next = inst.Target
+		}
+	case GHALT:
+		wp.done = true
+	default:
+		for lane := 0; lane < g.Cfg.Lanes; lane++ {
+			if inst.Guarded && !wp.pred[lane] {
+				continue
+			}
+			if err := g.execLane(inst, wIdx, lane); err != nil {
+				return err
+			}
+		}
+	}
+	g.applyRegFaults()
+	wp.pc = next
+	return nil
+}
+
+func (g *GPU) execLane(inst Inst, wIdx, lane int) error {
+	wp := g.warps[wIdx]
+	r := wp.regs[lane]
+	a := g.pipelineA(r[inst.A])
+	b := r[inst.B]
+	switch inst.Op {
+	case GNOP:
+	case GADD:
+		r[inst.D] = a + b
+	case GSUB:
+		r[inst.D] = a - b
+	case GMUL:
+		r[inst.D] = a * b
+	case GAND:
+		r[inst.D] = a & b
+	case GOR:
+		r[inst.D] = a | b
+	case GXOR:
+		r[inst.D] = a ^ b
+	case GSHL:
+		r[inst.D] = a << (b & 31)
+	case GSHR:
+		r[inst.D] = a >> (b & 31)
+	case GADDI:
+		r[inst.D] = a + uint32(inst.Imm)
+	case GMOVI:
+		r[inst.D] = uint32(inst.Imm)
+	case GTID:
+		r[inst.D] = uint32(lane)
+	case GWID:
+		r[inst.D] = uint32(wIdx)
+	case GLD:
+		addr := a + uint32(inst.Imm)
+		if int(addr) >= len(g.Mem) {
+			return fmt.Errorf("gpgpu: warp %d lane %d: load %#x out of range", wIdx, lane, addr)
+		}
+		r[inst.D] = g.Mem[addr]
+	case GST:
+		addr := a + uint32(inst.Imm)
+		if int(addr) >= len(g.Mem) {
+			return fmt.Errorf("gpgpu: warp %d lane %d: store %#x out of range", wIdx, lane, addr)
+		}
+		g.Mem[addr] = b
+	case GSETPEQ:
+		wp.pred[lane] = a == b
+	case GSETPNE:
+		wp.pred[lane] = a != b
+	case GSETPLT:
+		wp.pred[lane] = a < b
+	case GSELP:
+		if wp.pred[lane] {
+			r[inst.D] = a
+		} else {
+			r[inst.D] = b
+		}
+	default:
+		return fmt.Errorf("gpgpu: illegal opcode %v", inst.Op)
+	}
+	return nil
+}
+
+// GlobalID returns the flat thread index for (warp, lane).
+func (g *GPU) GlobalID(warp, lane int) int { return warp*g.Cfg.Lanes + lane }
+
+// Threads returns the total thread count.
+func (g *GPU) Threads() int { return g.Cfg.Warps * g.Cfg.Lanes }
+
+// Signature compacts an output memory region into a 64-bit MISR-style
+// signature for golden/faulty comparison.
+func (g *GPU) Signature(start, words int) uint64 {
+	var sig uint64 = 0xFFFFFFFFFFFFFFFF
+	for i := 0; i < words; i++ {
+		v := uint64(0)
+		if start+i < len(g.Mem) {
+			v = uint64(g.Mem[start+i])
+		}
+		sig ^= v
+		// 64-bit LFSR step (taps 64,63,61,60).
+		msb := sig >> 63
+		sig <<= 1
+		if msb == 1 {
+			sig ^= 0x1B
+		}
+	}
+	return sig
+}

@@ -1,0 +1,228 @@
+package gpgpu
+
+import (
+	"testing"
+)
+
+func loadInputs(g *GPU) {
+	for i := 0; i < g.Threads(); i++ {
+		g.Mem[ABase+i] = uint32(i * 3)
+		g.Mem[BBase+i] = uint32(i * 5)
+	}
+}
+
+func TestVectorAdd(t *testing.T) {
+	g := New(DefaultConfig)
+	loadInputs(g)
+	if err := g.Run(VectorAdd(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Threads(); i++ {
+		if g.Mem[OutBase+i] != uint32(i*8) {
+			t.Fatalf("out[%d] = %d, want %d", i, g.Mem[OutBase+i], i*8)
+		}
+	}
+}
+
+func TestSAXPY(t *testing.T) {
+	g := New(DefaultConfig)
+	loadInputs(g)
+	if err := g.Run(SAXPY(7), 100000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Threads(); i++ {
+		want := uint32(7*i*3 + i*5)
+		if g.Mem[OutBase+i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, g.Mem[OutBase+i], want)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	g := New(DefaultConfig)
+	loadInputs(g)
+	if err := g.Run(ReduceSum(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < g.Cfg.Warps; w++ {
+		want := uint32(0)
+		for l := 0; l < g.Cfg.Lanes; l++ {
+			want += uint32((w*g.Cfg.Lanes + l) * 3)
+		}
+		if g.Mem[SharedBase+w] != want {
+			t.Fatalf("warp %d partial = %d, want %d", w, g.Mem[SharedBase+w], want)
+		}
+	}
+}
+
+func TestDeterministicGoldenSignature(t *testing.T) {
+	run := func() uint64 {
+		g := New(DefaultConfig)
+		loadInputs(g)
+		if err := g.Run(VectorAdd(), 100000); err != nil {
+			t.Fatal(err)
+		}
+		return g.Signature(OutBase, g.Threads())
+	}
+	if run() != run() {
+		t.Error("golden signature must be deterministic")
+	}
+}
+
+func TestRegisterStuckFaultDetectedByMarch(t *testing.T) {
+	golden := New(DefaultConfig)
+	if err := golden.Run(RegisterMarch(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	goldSig := golden.Signature(OutBase, golden.Threads())
+	detected := 0
+	total := 0
+	for _, kind := range []FaultKind{RegStuck0, RegStuck1} {
+		for reg := 4; reg <= 12; reg += 4 {
+			for bit := 0; bit < 32; bit += 7 {
+				total++
+				g := New(DefaultConfig)
+				g.Inject(Fault{Kind: kind, Warp: 1, Lane: 3, Reg: reg, Bit: bit})
+				if err := g.Run(RegisterMarch(), 100000); err != nil {
+					detected++ // hang/error counts as detection
+					continue
+				}
+				if g.Signature(OutBase, g.Threads()) != goldSig {
+					detected++
+				}
+			}
+		}
+	}
+	if detected != total {
+		t.Errorf("register march detected %d/%d stuck faults", detected, total)
+	}
+}
+
+func TestPipelineFaultDetectedByALUPattern(t *testing.T) {
+	golden := New(DefaultConfig)
+	if err := golden.Run(ALUPattern(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	goldSig := golden.Signature(OutBase, golden.Threads())
+	for bit := 0; bit < 32; bit++ {
+		for _, kind := range []FaultKind{PipelineOperandStuck0, PipelineOperandStuck1} {
+			g := New(DefaultConfig)
+			g.Inject(Fault{Kind: kind, Bit: bit})
+			if err := g.Run(ALUPattern(), 100000); err != nil {
+				continue // detected via error
+			}
+			if g.Signature(OutBase, g.Threads()) == goldSig {
+				t.Errorf("pipeline %v bit %d escaped the ALU pattern", kind, bit)
+			}
+		}
+	}
+}
+
+func TestSchedulerFaultInvisibleToDataflowKernels(t *testing.T) {
+	// The paper's key observation ([11]): ordinary dataflow kernels do
+	// not expose scheduler faults because each warp's work is independent.
+	golden := New(DefaultConfig)
+	loadInputs(golden)
+	if err := golden.Run(VectorAdd(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	goldSig := golden.Signature(OutBase, golden.Threads())
+	g := New(DefaultConfig)
+	loadInputs(g)
+	g.Inject(Fault{Kind: SchedulerStuck})
+	if err := g.Run(VectorAdd(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	if g.Signature(OutBase, g.Threads()) != goldSig {
+		t.Error("vecadd should NOT expose the stuck scheduler (independent warps)")
+	}
+}
+
+func TestSchedulerFaultDetectedByProbe(t *testing.T) {
+	sig := func(inject bool) (uint64, error) {
+		g := New(DefaultConfig)
+		if inject {
+			g.Inject(Fault{Kind: SchedulerStuck})
+		}
+		if err := g.Run(SchedulerProbe(), 100000); err != nil {
+			return 0, err
+		}
+		return g.Signature(SharedBase, 64), nil
+	}
+	gold, err := sig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := sig(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gold == faulty {
+		t.Error("scheduler probe must expose the stuck round-robin pointer")
+	}
+}
+
+func TestSchedulerSkipHangsAsDetection(t *testing.T) {
+	g := New(DefaultConfig)
+	g.Inject(Fault{Kind: SchedulerSkip, Warp: 2})
+	err := g.Run(VectorAdd(), 100000)
+	if err != ErrBudget {
+		t.Errorf("skipped warp must starve (ErrBudget), got %v", err)
+	}
+}
+
+func TestDivergentBranchRejected(t *testing.T) {
+	k := &Kernel{Name: "div", Insts: []Inst{
+		{Op: GTID, D: 1},
+		{Op: GMOVI, D: 2, Imm: 0},
+		{Op: GSETPEQ, A: 1, B: 2}, // true only in lane 0
+		{Op: GBRA, Target: 0},
+		{Op: GHALT},
+	}}
+	g := New(DefaultConfig)
+	if err := g.Run(k, 1000); err != ErrDivergent {
+		t.Errorf("err = %v, want ErrDivergent", err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	k := &Kernel{Name: "oob", Insts: []Inst{
+		{Op: GMOVI, D: 1, Imm: 1 << 20},
+		{Op: GLD, D: 2, A: 1},
+		{Op: GHALT},
+	}}
+	g := New(DefaultConfig)
+	if err := g.Run(k, 1000); err == nil {
+		t.Error("out-of-range load must error")
+	}
+}
+
+func TestResetKeepsFaultsClearsState(t *testing.T) {
+	g := New(DefaultConfig)
+	g.Inject(Fault{Kind: RegStuck1, Warp: 0, Lane: 0, Reg: 4, Bit: 0})
+	loadInputs(g)
+	if err := g.Run(VectorAdd(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	g.Reset()
+	if g.Cycles != 0 || g.Mem[ABase] != 0 {
+		t.Error("Reset must clear state")
+	}
+	if len(g.faults) != 1 {
+		t.Error("Reset must keep faults")
+	}
+	g.ClearFaults()
+	if len(g.faults) != 0 {
+		t.Error("ClearFaults must clear")
+	}
+}
+
+func TestGlobalID(t *testing.T) {
+	g := New(DefaultConfig)
+	if g.GlobalID(2, 3) != 19 {
+		t.Errorf("GlobalID(2,3) = %d, want 19", g.GlobalID(2, 3))
+	}
+	if g.Threads() != 32 {
+		t.Errorf("threads = %d", g.Threads())
+	}
+}

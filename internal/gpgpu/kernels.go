@@ -1,0 +1,183 @@
+package gpgpu
+
+// Prebuilt kernels: the "typical applications" used by the paper's GPGPU
+// reliability analyses ([25], [40]) plus building blocks for the SBST
+// flow. All kernels address memory as: input A at ABase, input B at
+// BBase, output at OutBase, scratch/shared at SharedBase.
+const (
+	ABase      = 0
+	BBase      = 1024
+	OutBase    = 2048
+	SharedBase = 3072
+)
+
+// VectorAdd computes out[gid] = a[gid] + b[gid].
+func VectorAdd() *Kernel {
+	return &Kernel{Name: "vecadd", Insts: []Inst{
+		{Op: GWID, D: 1},
+		{Op: GMOVI, D: 2, Imm: 8}, // lanes per warp (DefaultConfig)
+		{Op: GMUL, D: 1, A: 1, B: 2},
+		{Op: GTID, D: 3},
+		{Op: GADD, D: 1, A: 1, B: 3}, // r1 = gid
+		{Op: GLD, D: 4, A: 1, Imm: ABase},
+		{Op: GLD, D: 5, A: 1, Imm: BBase},
+		{Op: GADD, D: 6, A: 4, B: 5},
+		{Op: GST, A: 1, B: 6, Imm: OutBase},
+		{Op: GHALT},
+	}}
+}
+
+// SAXPY computes out[gid] = alpha*a[gid] + b[gid].
+func SAXPY(alpha int32) *Kernel {
+	return &Kernel{Name: "saxpy", Insts: []Inst{
+		{Op: GWID, D: 1},
+		{Op: GMOVI, D: 2, Imm: 8},
+		{Op: GMUL, D: 1, A: 1, B: 2},
+		{Op: GTID, D: 3},
+		{Op: GADD, D: 1, A: 1, B: 3},
+		{Op: GLD, D: 4, A: 1, Imm: ABase},
+		{Op: GMOVI, D: 7, Imm: alpha},
+		{Op: GMUL, D: 4, A: 4, B: 7},
+		{Op: GLD, D: 5, A: 1, Imm: BBase},
+		{Op: GADD, D: 6, A: 4, B: 5},
+		{Op: GST, A: 1, B: 6, Imm: OutBase},
+		{Op: GHALT},
+	}}
+}
+
+// ReduceSum computes a per-warp sum of its 8 input elements: lane 0
+// accumulates the warp's slice with an unrolled guarded loop and stores
+// the partial to shared[wid]. Guarded (predicated) instructions avoid
+// divergence, matching the model's uniform-branch constraint.
+func ReduceSum() *Kernel {
+	insts := []Inst{
+		{Op: GWID, D: 1},
+		{Op: GMOVI, D: 2, Imm: 8},
+		{Op: GMUL, D: 3, A: 1, B: 2}, // warp base = wid*lanes
+		{Op: GTID, D: 4},
+		{Op: GMOVI, D: 5, Imm: 0},
+		{Op: GSETPEQ, A: 4, B: 5}, // p = (tid == 0)
+		{Op: GMOVI, D: 6, Imm: 0}, // sum
+	}
+	for j := 0; j < 8; j++ {
+		insts = append(insts,
+			Inst{Op: GADDI, D: 8, A: 3, Imm: int32(j), Guarded: true},
+			Inst{Op: GLD, D: 7, A: 8, Imm: ABase, Guarded: true},
+			Inst{Op: GADD, D: 6, A: 6, B: 7, Guarded: true},
+		)
+	}
+	insts = append(insts,
+		Inst{Op: GST, A: 1, B: 6, Imm: SharedBase, Guarded: true},
+		Inst{Op: GHALT},
+	)
+	return &Kernel{Name: "reduce", Insts: insts}
+}
+
+// SchedulerProbe is the SBST kernel for the warp scheduler ([11]): every
+// warp repeatedly takes a ticket from a shared counter and logs its warp
+// ID at the ticket slot. Because the model issues one instruction of one
+// warp per cycle, the final log encodes the actual interleaving — a
+// stuck or skipping scheduler produces a different log even though each
+// warp's dataflow is locally correct.
+func SchedulerProbe() *Kernel {
+	return &Kernel{Name: "sched-probe", Insts: []Inst{
+		{Op: GMOVI, D: 2, Imm: 0}, // base register
+		{Op: GMOVI, D: 7, Imm: 4}, // loop bound
+		{Op: GMOVI, D: 8, Imm: 0}, // i
+		// loop body (pc = 3):
+		{Op: GLD, D: 3, A: 2, Imm: SharedBase}, // ticket = counter
+		{Op: GADDI, D: 4, A: 3, Imm: 1},        // ticket+1
+		{Op: GST, A: 2, B: 4, Imm: SharedBase}, // counter = ticket+1
+		{Op: GWID, D: 5},
+		{Op: GADDI, D: 5, A: 5, Imm: 1},            // wid+1 (non-zero marker)
+		{Op: GST, A: 3, B: 5, Imm: SharedBase + 8}, // log[ticket] = wid+1
+		{Op: GADDI, D: 8, A: 8, Imm: 1},            // i++
+		{Op: GSETPLT, A: 8, B: 7},                  // p = i < bound (uniform)
+		{Op: GBRA, Target: 3},
+		{Op: GHALT},
+	}}
+}
+
+// compactInto emits "r15 = rot1(r15) ^ rSrc" using r13 (=31), r14 (=1)
+// and r9..r11 as scratch. The rotating signature register avoids the
+// aliasing of plain XOR compaction, where an even number of observations
+// of the same stuck bit cancels out.
+func compactInto(src int) []Inst {
+	return []Inst{
+		{Op: GSHL, D: 9, A: 15, B: 14},
+		{Op: GSHR, D: 10, A: 15, B: 13},
+		{Op: GOR, D: 11, A: 9, B: 10},
+		{Op: GXOR, D: 15, A: 11, B: src},
+	}
+}
+
+// signaturePrologue computes gid into r1 and initialises the signature
+// machinery (r13=31, r14=1, r15=0).
+func signaturePrologue() []Inst {
+	return []Inst{
+		{Op: GWID, D: 1},
+		{Op: GMOVI, D: 2, Imm: 8},
+		{Op: GMUL, D: 1, A: 1, B: 2},
+		{Op: GTID, D: 3},
+		{Op: GADD, D: 1, A: 1, B: 3}, // gid in r1
+		{Op: GMOVI, D: 13, Imm: 31},
+		{Op: GMOVI, D: 14, Imm: 1},
+		{Op: GMOVI, D: 15, Imm: 0}, // signature
+	}
+}
+
+// RegisterMarch walks 01/10/00/11 patterns through the lane registers
+// not reserved by the signature machinery (r9–r11 are compaction scratch,
+// r13–r15 the signature state) and compacts each readback into a rotating
+// signature — the SBST kernel for register-file stuck bits.
+func RegisterMarch() *Kernel {
+	insts := signaturePrologue()
+	patterns := []int32{0x5555_5555, -0x5555_5556 /* 0xAAAAAAAA */, 0, -1}
+	for _, pat := range patterns {
+		for _, reg := range []int{2, 3, 4, 5, 6, 7, 8, 12} {
+			insts = append(insts, Inst{Op: GMOVI, D: reg, Imm: pat})
+			insts = append(insts, compactInto(reg)...)
+		}
+	}
+	insts = append(insts,
+		Inst{Op: GST, A: 1, B: 15, Imm: OutBase},
+		Inst{Op: GHALT},
+	)
+	return &Kernel{Name: "reg-march", Insts: insts}
+}
+
+// ALUPattern exercises every ALU op with complementary operand patterns,
+// compacting results into the rotating signature — the SBST kernel for
+// execute-stage (pipeline operand register) faults.
+func ALUPattern() *Kernel {
+	insts := signaturePrologue()
+	operands := [][2]int32{
+		{0x5555_5555, -0x5555_5556},
+		{0x0F0F_0F0F, 0x00FF_00FF},
+		{-1, 1},
+		{0x1234_5678, -0x1234_5679},
+	}
+	ops := []Op{GADD, GSUB, GMUL, GAND, GOR, GXOR, GSHL, GSHR}
+	for _, pair := range operands {
+		for _, op := range ops {
+			insts = append(insts,
+				Inst{Op: GMOVI, D: 4, Imm: pair[0]},
+				Inst{Op: GMOVI, D: 5, Imm: pair[1] & 31},
+			)
+			if op == GSHL || op == GSHR {
+				insts = append(insts, Inst{Op: op, D: 6, A: 4, B: 5})
+			} else {
+				insts = append(insts,
+					Inst{Op: GMOVI, D: 5, Imm: pair[1]},
+					Inst{Op: op, D: 6, A: 4, B: 5},
+				)
+			}
+			insts = append(insts, compactInto(6)...)
+		}
+	}
+	insts = append(insts,
+		Inst{Op: GST, A: 1, B: 15, Imm: OutBase},
+		Inst{Op: GHALT},
+	)
+	return &Kernel{Name: "alu-pattern", Insts: insts}
+}

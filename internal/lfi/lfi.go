@@ -1,0 +1,201 @@
+// Package lfi simulates laser fault-injection attacks (Section III.F,
+// ref [18]): a chip floorplan of flip-flops, a Gaussian laser spot with
+// positioning jitter and an energy threshold per cell. It reproduces the
+// published IHP observation that in a 250 nm technology single-transistor
+// (single flip-flop) upsets are achievable and repeatable, while scaled
+// nodes put several cells inside the spot, and evaluates placement-based
+// countermeasures (spatially separated redundancy).
+package lfi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Technology holds the geometric parameters relevant to laser attacks.
+type Technology struct {
+	Node       string
+	CellPitch  float64 // flip-flop pitch in µm
+	ThresholdE float64 // energy density needed to flip a cell (a.u.)
+}
+
+// Standard nodes: the pitch shrinks with scaling while the spot size is
+// bounded by optics (≈1 µm), so newer nodes see more cells per shot.
+var (
+	Node250 = Technology{Node: "250nm", CellPitch: 8.0, ThresholdE: 1.0}
+	Node130 = Technology{Node: "130nm", CellPitch: 4.0, ThresholdE: 0.8}
+	Node65  = Technology{Node: "65nm", CellPitch: 2.0, ThresholdE: 0.6}
+	Node28  = Technology{Node: "28nm", CellPitch: 0.9, ThresholdE: 0.45}
+)
+
+// Nodes lists the built-in technologies from oldest to newest.
+func Nodes() []Technology { return []Technology{Node250, Node130, Node65, Node28} }
+
+// Laser describes the attack optics.
+type Laser struct {
+	SpotFWHM  float64 // full width at half maximum of the spot, µm
+	Energy    float64 // peak energy density (a.u.)
+	AimJitter float64 // positioning repeatability (σ), µm
+}
+
+// TypicalLaser is a near-infrared backside setup: ~1.2 µm spot.
+var TypicalLaser = Laser{SpotFWHM: 1.2, Energy: 2.0, AimJitter: 0.15}
+
+// Chip is a rows×cols grid of flip-flops.
+type Chip struct {
+	Rows, Cols int
+	Tech       Technology
+}
+
+// CellCenter returns the physical position of cell (r,c) in µm.
+func (c Chip) CellCenter(r, col int) (x, y float64) {
+	return (float64(col) + 0.5) * c.Tech.CellPitch, (float64(r) + 0.5) * c.Tech.CellPitch
+}
+
+// ShotResult lists the cells flipped by one laser shot.
+type ShotResult struct {
+	Flipped [][2]int // (row, col) pairs
+}
+
+// Hit reports whether the target cell flipped.
+func (s ShotResult) Hit(r, c int) bool {
+	for _, f := range s.Flipped {
+		if f[0] == r && f[1] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Shot fires the laser aimed at (x,y) µm. A cell flips when the local
+// energy density — a Gaussian profile around the (jittered) aim point —
+// exceeds the technology threshold.
+func Shot(chip Chip, l Laser, x, y float64, rng *rand.Rand) ShotResult {
+	ax := x + rng.NormFloat64()*l.AimJitter
+	ay := y + rng.NormFloat64()*l.AimJitter
+	sigma := l.SpotFWHM / 2.3548 // FWHM -> σ
+	var res ShotResult
+	// Only cells within 4σ can flip; bound the scan window.
+	reach := 4 * sigma
+	rMin := int((ay - reach) / chip.Tech.CellPitch)
+	rMax := int((ay+reach)/chip.Tech.CellPitch) + 1
+	cMin := int((ax - reach) / chip.Tech.CellPitch)
+	cMax := int((ax+reach)/chip.Tech.CellPitch) + 1
+	for r := max(0, rMin); r <= rMax && r < chip.Rows; r++ {
+		for c := max(0, cMin); c <= cMax && c < chip.Cols; c++ {
+			cx, cy := chip.CellCenter(r, c)
+			d2 := (cx-ax)*(cx-ax) + (cy-ay)*(cy-ay)
+			e := l.Energy * math.Exp(-d2/(2*sigma*sigma))
+			if e >= chip.Tech.ThresholdE {
+				res.Flipped = append(res.Flipped, [2]int{r, c})
+			}
+		}
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Campaign fires shots repeated times at the centre of the target cell
+// and aggregates precision statistics.
+type Campaign struct {
+	Shots         int
+	TargetHits    int     // shots that flipped the target
+	ExactSingle   int     // shots that flipped exactly the target
+	CollateralAvg float64 // mean number of non-target cells flipped
+}
+
+// Repeatability is the exact-single-flip fraction — the metric behind
+// the paper's "successful and repeatable" claim for 250 nm.
+func (c Campaign) Repeatability() float64 {
+	if c.Shots == 0 {
+		return 0
+	}
+	return float64(c.ExactSingle) / float64(c.Shots)
+}
+
+// RunCampaign attacks the given cell with n shots.
+func RunCampaign(chip Chip, l Laser, targetR, targetC, n int, seed int64) Campaign {
+	rng := rand.New(rand.NewSource(seed))
+	x, y := chip.CellCenter(targetR, targetC)
+	camp := Campaign{Shots: n}
+	collateral := 0
+	for i := 0; i < n; i++ {
+		res := Shot(chip, l, x, y, rng)
+		if res.Hit(targetR, targetC) {
+			camp.TargetHits++
+			if len(res.Flipped) == 1 {
+				camp.ExactSingle++
+			}
+		}
+		collateral += len(res.Flipped)
+		if res.Hit(targetR, targetC) {
+			collateral--
+		}
+	}
+	camp.CollateralAvg = float64(collateral) / float64(n)
+	return camp
+}
+
+// RedundantTarget models a TMR-protected secret bit stored in three
+// flip-flops. An attack succeeds only when one shot flips a majority.
+type RedundantTarget struct {
+	Cells [3][2]int
+}
+
+// SeparatedTMR places the replicas farther apart than the spot reach;
+// ColocatedTMR places them adjacently (the naive layout).
+func SeparatedTMR(chip Chip) RedundantTarget {
+	return RedundantTarget{Cells: [3][2]int{
+		{1, 1},
+		{chip.Rows / 2, chip.Cols / 2},
+		{chip.Rows - 2, chip.Cols - 2},
+	}}
+}
+
+// ColocatedTMR returns three adjacent replicas around (r,c).
+func ColocatedTMR(r, c int) RedundantTarget {
+	return RedundantTarget{Cells: [3][2]int{{r, c}, {r, c + 1}, {r, c + 2}}}
+}
+
+// AttackTMR fires one shot aimed at the centroid of the replicas and
+// reports whether a majority flipped.
+func AttackTMR(chip Chip, l Laser, t RedundantTarget, shots int, seed int64) (successes int) {
+	rng := rand.New(rand.NewSource(seed))
+	var cx, cy float64
+	for _, cell := range t.Cells {
+		x, y := chip.CellCenter(cell[0], cell[1])
+		cx += x / 3
+		cy += y / 3
+	}
+	for i := 0; i < shots; i++ {
+		res := Shot(chip, l, cx, cy, rng)
+		flips := 0
+		for _, cell := range t.Cells {
+			if res.Hit(cell[0], cell[1]) {
+				flips++
+			}
+		}
+		if flips >= 2 {
+			successes++
+		}
+	}
+	return successes
+}
+
+// Validate sanity-checks chip parameters.
+func (c Chip) Validate() error {
+	if c.Rows < 1 || c.Cols < 1 {
+		return fmt.Errorf("lfi: chip must have positive dimensions")
+	}
+	if c.Tech.CellPitch <= 0 || c.Tech.ThresholdE <= 0 {
+		return fmt.Errorf("lfi: technology parameters must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package lockstep implements the dual-core lockstep safety mechanism of
+// the AutoSoC (Section IV.B): two identical CPU cores execute the same
+// program; a comparator checks the architectural state every cycle and
+// raises an alarm on the first divergence. A checkpoint/rollback recovery
+// mode distinguishes transient from permanent faults by re-execution.
+package lockstep
+
+import (
+	"fmt"
+
+	"rescue/internal/cpu"
+)
+
+// Outcome classifies a lockstep run.
+type Outcome uint8
+
+const (
+	// Agree: both cores completed with identical state trails.
+	Agree Outcome = iota
+	// MismatchDetected: the comparator fired.
+	MismatchDetected
+	// Recovered: a mismatch was repaired by rollback and re-execution.
+	Recovered
+	// Unrecoverable: mismatch persisted across rollback (permanent fault).
+	Unrecoverable
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	return [...]string{"agree", "mismatch", "recovered", "unrecoverable"}[o]
+}
+
+// Result reports a lockstep run.
+type Result struct {
+	Outcome      Outcome
+	DetectCycle  int64 // cycle of first divergence (-1 if none)
+	Rollbacks    int
+	CyclesTotal  int64
+	MasterHalted bool
+}
+
+// Pair couples two cores over private memories. Faults are injected into
+// the cores/memories by the caller before Run.
+type Pair struct {
+	Master, Checker *cpu.CPU
+	// CheckpointEvery takes a checkpoint each N cycles (0 = no recovery).
+	CheckpointEvery int64
+	// MaxRollbacks bounds re-execution attempts.
+	MaxRollbacks int
+}
+
+// NewPair builds a lockstep pair over the two memories.
+func NewPair(masterMem, checkerMem cpu.Memory) *Pair {
+	return &Pair{
+		Master:  cpu.New(masterMem),
+		Checker: cpu.New(checkerMem),
+	}
+}
+
+// snapshot is a register-file checkpoint (memory rollback is the
+// caller's concern; AutoSoC uses store-buffering so stores commit only
+// after comparison — modelled by comparing *before* each store cycle).
+type snapshot struct {
+	r      [32]uint32
+	pc     int
+	flag   bool
+	cycles int64
+}
+
+func take(c *cpu.CPU) snapshot {
+	return snapshot{r: c.R, pc: c.PC, flag: c.Flag, cycles: c.Cycles}
+}
+
+func restore(c *cpu.CPU, s snapshot) {
+	c.R = s.r
+	c.PC = s.pc
+	c.Flag = s.flag
+	c.Cycles = s.cycles
+	c.Halted = false
+}
+
+// compare checks architectural state equality.
+func compare(a, b *cpu.CPU) bool {
+	if a.PC != b.PC || a.Flag != b.Flag || a.Halted != b.Halted {
+		return false
+	}
+	for i := range a.R {
+		if a.R[i] != b.R[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the program on both cores in lockstep, comparing after
+// every instruction. With CheckpointEvery > 0, a mismatch triggers
+// rollback to the last checkpoint and re-execution; a second divergence
+// at the same region is declared unrecoverable (permanent fault).
+func (p *Pair) Run(prog *cpu.Program, maxCycles int64) (Result, error) {
+	res := Result{DetectCycle: -1}
+	ckM, ckC := take(p.Master), take(p.Checker)
+	lastMismatch := int64(-1)
+	for !p.Master.Halted || !p.Checker.Halted {
+		if p.Master.Cycles >= maxCycles {
+			return res, fmt.Errorf("lockstep: cycle budget exhausted")
+		}
+		if err := p.Master.Step(prog); err != nil {
+			return res, err
+		}
+		if err := p.Checker.Step(prog); err != nil {
+			return res, err
+		}
+		res.CyclesTotal++
+		if !compare(p.Master, p.Checker) {
+			if res.DetectCycle < 0 {
+				res.DetectCycle = p.Master.Cycles
+			}
+			if p.CheckpointEvery <= 0 || res.Rollbacks >= p.MaxRollbacks {
+				res.Outcome = MismatchDetected
+				if res.Rollbacks > 0 {
+					res.Outcome = Unrecoverable
+				}
+				res.MasterHalted = p.Master.Halted
+				return res, nil
+			}
+			// Rollback both cores and re-execute.
+			if lastMismatch >= 0 && p.Master.Cycles-lastMismatch < p.CheckpointEvery {
+				res.Outcome = Unrecoverable
+				return res, nil
+			}
+			lastMismatch = p.Master.Cycles
+			restore(p.Master, ckM)
+			restore(p.Checker, ckC)
+			res.Rollbacks++
+			continue
+		}
+		if p.CheckpointEvery > 0 && p.Master.Cycles%p.CheckpointEvery == 0 {
+			ckM, ckC = take(p.Master), take(p.Checker)
+		}
+	}
+	if res.DetectCycle >= 0 {
+		res.Outcome = Recovered
+	} else {
+		res.Outcome = Agree
+	}
+	res.MasterHalted = true
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package lockstep
+
+import (
+	"testing"
+
+	"rescue/internal/cpu"
+)
+
+const prog = `
+	l.addi r1, r0, 0
+	l.addi r2, r0, 1
+	l.addi r3, r0, 33
+loop:
+	l.add  r1, r1, r2
+	l.addi r2, r2, 1
+	l.sfne r2, r3
+	l.bf   loop
+	l.sw   0(r0), r1
+	l.halt
+`
+
+func run(t *testing.T, configure func(p *Pair)) Result {
+	t.Helper()
+	asm, err := cpu.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPair(cpu.NewMemory(4), cpu.NewMemory(4))
+	if configure != nil {
+		configure(p)
+	}
+	res, err := p.Run(asm, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAgreementOnCleanRun(t *testing.T) {
+	res := run(t, nil)
+	if res.Outcome != Agree {
+		t.Fatalf("outcome = %v, want agree", res.Outcome)
+	}
+	if res.DetectCycle != -1 || res.Rollbacks != 0 {
+		t.Error("clean run must not detect or roll back")
+	}
+}
+
+func TestTransientDetected(t *testing.T) {
+	res := run(t, func(p *Pair) {
+		p.Master.Inject(cpu.Fault{Kind: cpu.RegFlip, Reg: 1, Bit: 7, Cycle: 40})
+	})
+	if res.Outcome != MismatchDetected {
+		t.Fatalf("outcome = %v, want mismatch", res.Outcome)
+	}
+	if res.DetectCycle < 40 {
+		t.Errorf("detect cycle = %d, want >= 40", res.DetectCycle)
+	}
+}
+
+func TestDetectionLatencyIsOneInstruction(t *testing.T) {
+	res := run(t, func(p *Pair) {
+		p.Checker.Inject(cpu.Fault{Kind: cpu.RegFlip, Reg: 2, Bit: 0, Cycle: 10})
+	})
+	if res.Outcome != MismatchDetected {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	// The flip fires at cycle 10 and the comparator sees it at the next
+	// compare point (cycle 11 boundary).
+	if res.DetectCycle > 12 {
+		t.Errorf("detection latency too large: cycle %d", res.DetectCycle)
+	}
+}
+
+func TestTransientRecoveredWithRollback(t *testing.T) {
+	res := run(t, func(p *Pair) {
+		p.CheckpointEvery = 16
+		p.MaxRollbacks = 3
+		p.Master.Inject(cpu.Fault{Kind: cpu.RegFlip, Reg: 1, Bit: 3, Cycle: 40})
+	})
+	if res.Outcome != Recovered {
+		t.Fatalf("outcome = %v, want recovered (rollbacks=%d)", res.Outcome, res.Rollbacks)
+	}
+	if res.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", res.Rollbacks)
+	}
+}
+
+func TestPermanentFaultUnrecoverable(t *testing.T) {
+	res := run(t, func(p *Pair) {
+		p.CheckpointEvery = 16
+		p.MaxRollbacks = 3
+		p.Master.Inject(cpu.Fault{Kind: cpu.RegStuck1, Reg: 1, Bit: 8})
+	})
+	if res.Outcome != Unrecoverable {
+		t.Fatalf("outcome = %v, want unrecoverable", res.Outcome)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{Agree, MismatchDetected, Recovered, Unrecoverable} {
+		if o.String() == "" {
+			t.Error("outcome must have a name")
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	cases := map[V]string{Zero: "0", One: "1", X: "X", Z: "Z"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("V(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := V(9).String(); got != "V(9)" {
+		t.Errorf("invalid value prints %q", got)
+	}
+}
+
+func TestKnownAndBool(t *testing.T) {
+	if !Zero.Known() || !One.Known() || X.Known() || Z.Known() {
+		t.Fatal("Known() misclassifies values")
+	}
+	if b, ok := One.Bool(); !ok || !b {
+		t.Error("One.Bool() wrong")
+	}
+	if b, ok := Zero.Bool(); !ok || b {
+		t.Error("Zero.Bool() wrong")
+	}
+	if _, ok := X.Bool(); ok {
+		t.Error("X.Bool() should not be ok")
+	}
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, r := range "01xXzZ" {
+		if _, err := Parse(r); err != nil {
+			t.Errorf("Parse(%q) unexpected error: %v", r, err)
+		}
+	}
+	if _, err := Parse('q'); err == nil {
+		t.Error("Parse('q') should fail")
+	}
+}
+
+// exhaustive two-input truth tables against the Boolean reference.
+func TestBinaryOpsBooleanSubset(t *testing.T) {
+	bools := []V{Zero, One}
+	for _, a := range bools {
+		for _, b := range bools {
+			ab, _ := a.Bool()
+			bb, _ := b.Bool()
+			if And(a, b) != FromBool(ab && bb) {
+				t.Errorf("And(%v,%v) wrong", a, b)
+			}
+			if Or(a, b) != FromBool(ab || bb) {
+				t.Errorf("Or(%v,%v) wrong", a, b)
+			}
+			if Xor(a, b) != FromBool(ab != bb) {
+				t.Errorf("Xor(%v,%v) wrong", a, b)
+			}
+			if Nand(a, b) != Not(And(a, b)) {
+				t.Errorf("Nand(%v,%v) wrong", a, b)
+			}
+			if Nor(a, b) != Not(Or(a, b)) {
+				t.Errorf("Nor(%v,%v) wrong", a, b)
+			}
+			if Xnor(a, b) != Not(Xor(a, b)) {
+				t.Errorf("Xnor(%v,%v) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestControllingValuesDominateX(t *testing.T) {
+	for _, u := range []V{X, Z} {
+		if And(Zero, u) != Zero || And(u, Zero) != Zero {
+			t.Error("And: controlling 0 must dominate unknown")
+		}
+		if Or(One, u) != One || Or(u, One) != One {
+			t.Error("Or: controlling 1 must dominate unknown")
+		}
+		if And(One, u) != X {
+			t.Error("And(1, X) must be X")
+		}
+		if Or(Zero, u) != X {
+			t.Error("Or(0, X) must be X")
+		}
+		if Xor(One, u) != X || Xor(Zero, u) != X {
+			t.Error("Xor with unknown must be X")
+		}
+		if Not(u) != X {
+			t.Error("Not(unknown) must be X")
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	if Mux(Zero, One, Zero) != One {
+		t.Error("Mux sel=0 must pick d0")
+	}
+	if Mux(One, One, Zero) != Zero {
+		t.Error("Mux sel=1 must pick d1")
+	}
+	if Mux(X, One, One) != One {
+		t.Error("Mux consensus on equal inputs must resolve")
+	}
+	if Mux(X, One, Zero) != X {
+		t.Error("Mux with unknown select and differing data must be X")
+	}
+	if Mux(Z, Zero, Zero) != Zero {
+		t.Error("Mux treats Z select as X with consensus")
+	}
+}
+
+func TestNAryFolds(t *testing.T) {
+	if AndN() != One || OrN() != Zero || XorN() != Zero {
+		t.Error("empty folds must return identities")
+	}
+	if AndN(One, One, Zero) != Zero {
+		t.Error("AndN wrong")
+	}
+	if OrN(Zero, Zero, One) != One {
+		t.Error("OrN wrong")
+	}
+	if XorN(One, One, One) != One {
+		t.Error("XorN wrong")
+	}
+}
+
+func allV() []V { return []V{Zero, One, X, Z} }
+
+// Property: commutativity of And/Or/Xor over all 4 values.
+func TestCommutativity(t *testing.T) {
+	for _, a := range allV() {
+		for _, b := range allV() {
+			if And(a, b) != And(b, a) {
+				t.Errorf("And not commutative at (%v,%v)", a, b)
+			}
+			if Or(a, b) != Or(b, a) {
+				t.Errorf("Or not commutative at (%v,%v)", a, b)
+			}
+			if Xor(a, b) != Xor(b, a) {
+				t.Errorf("Xor not commutative at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+// Property: De Morgan's laws hold in the 4-valued algebra.
+func TestDeMorgan(t *testing.T) {
+	for _, a := range allV() {
+		for _, b := range allV() {
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Errorf("De Morgan (and) fails at (%v,%v)", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Errorf("De Morgan (or) fails at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+// Property: double negation is identity modulo Z normalisation.
+func TestDoubleNegation(t *testing.T) {
+	for _, a := range allV() {
+		want := a
+		if a == Z {
+			want = X
+		}
+		if Not(Not(a)) != want {
+			t.Errorf("Not(Not(%v)) = %v", a, Not(Not(a)))
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	vec, err := ParseVector("01X1Z0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.String() != "01X1Z0" {
+		t.Errorf("round trip = %q", vec.String())
+	}
+	if vec.FullyKnown() {
+		t.Error("vector with X must not be FullyKnown")
+	}
+	known, _ := ParseVector("0110")
+	if !known.FullyKnown() {
+		t.Error("binary vector must be FullyKnown")
+	}
+	if _, err := ParseVector("012"); err == nil {
+		t.Error("ParseVector must reject invalid runes")
+	}
+	c := vec.Clone()
+	c[0] = One
+	if vec[0] != Zero {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestVectorUint64RoundTrip(t *testing.T) {
+	f := func(u uint64) bool {
+		return FromUint64(u, 64).Uint64() == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSetGet(t *testing.T) {
+	var w Word
+	for i := uint(0); i < 64; i++ {
+		want := []V{Zero, One, X}[i%3]
+		w = w.Set(i, want)
+		if got := w.Get(i); got != want {
+			t.Errorf("slot %d = %v, want %v", i, got, want)
+		}
+	}
+	// Overwrite must clear the previous encoding.
+	w = w.Set(3, One)
+	w = w.Set(3, Zero)
+	if w.Get(3) != Zero {
+		t.Error("Set must overwrite")
+	}
+	if w.V0&w.V1 != 0 {
+		t.Error("planes must stay disjoint")
+	}
+}
+
+func TestWordAll(t *testing.T) {
+	for _, v := range []V{Zero, One, X} {
+		w := WordAll(v)
+		for i := uint(0); i < 64; i += 7 {
+			if w.Get(i) != v {
+				t.Errorf("WordAll(%v) slot %d = %v", v, i, w.Get(i))
+			}
+		}
+	}
+	if WordAll(Z) != WordAll(X) {
+		t.Error("WordAll(Z) must normalise to X")
+	}
+}
+
+// Property: packed word ops agree with scalar ops on every slot.
+func TestWordOpsMatchScalar(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint64) bool {
+		a := Word{V0: a0 &^ a1, V1: a1 &^ a0}
+		b := Word{V0: b0 &^ b1, V1: b1 &^ b0}
+		and, or, xor, not := AndW(a, b), OrW(a, b), XorW(a, b), NotW(a)
+		for i := uint(0); i < 64; i++ {
+			av, bv := a.Get(i), b.Get(i)
+			if and.Get(i) != And(av, bv) {
+				return false
+			}
+			if or.Get(i) != Or(av, bv) {
+				return false
+			}
+			if xor.Get(i) != Xor(av, bv) {
+				return false
+			}
+			if not.Get(i) != Not(av) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuxWMatchesScalar(t *testing.T) {
+	f := func(s0, s1, a0, a1, b0, b1 uint64) bool {
+		sel := Word{V0: s0 &^ s1, V1: s1 &^ s0}
+		d0 := Word{V0: a0 &^ a1, V1: a1 &^ a0}
+		d1 := Word{V0: b0 &^ b1, V1: b1 &^ b0}
+		m := MuxW(sel, d0, d1)
+		for i := uint(0); i < 64; i++ {
+			if m.Get(i) != Mux(sel.Get(i), d0.Get(i), d1.Get(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffW(t *testing.T) {
+	a := WordAll(Zero).Set(5, One).Set(9, X)
+	b := WordAll(Zero).Set(7, One)
+	diff := DiffW(a, b)
+	if diff != (1<<5)|(1<<7) {
+		t.Errorf("DiffW = %x, want slots 5 and 7 only (X must not count)", diff)
+	}
+}

@@ -1,0 +1,345 @@
+// Package ml implements the RESCUE machine-learning flow for fast
+// reliability metric estimation (refs [31], [55]–[58]): gate-level
+// structural features, graph-convolutional neighbourhood aggregation to
+// produce low-dimensional embeddings, and a ridge-regression model that
+// predicts per-flip-flop failure probabilities (functional de-rating
+// factors) orders of magnitude faster than fault injection.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rescue/internal/atpg"
+	"rescue/internal/netlist"
+)
+
+// Features is a design matrix with named columns; row i describes gate i.
+type Features struct {
+	Names []string
+	X     [][]float64
+}
+
+// GateFeatures extracts one feature row per gate:
+//
+//	level, fanin count, fanout count, fanin-cone size, fanout-cone size,
+//	controllability CC0/CC1 (log-scaled), is-flip-flop, is-output-adjacent
+//
+// All features are normalised to comparable magnitudes so the ridge
+// regression is well conditioned.
+func GateFeatures(n *netlist.Netlist) (*Features, error) {
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	cc, err := atpg.ComputeControllability(n)
+	if err != nil {
+		return nil, err
+	}
+	maxLvl := float64(n.MaxLevel())
+	if maxLvl == 0 {
+		maxLvl = 1
+	}
+	total := float64(n.NumGates())
+	isOut := make(map[int]bool, len(n.Outputs))
+	for _, o := range n.Outputs {
+		isOut[o] = true
+	}
+	f := &Features{
+		Names: []string{
+			"level", "fanin", "fanout", "fanin_cone", "fanout_cone",
+			"log_cc0", "log_cc1", "is_ff", "drives_output",
+		},
+	}
+	f.X = make([][]float64, n.NumGates())
+	for _, g := range n.Gates {
+		fanoutCone := n.FanoutCone([]int{g.ID})
+		faninCone := n.FaninCone([]int{g.ID}, true)
+		drivesOut := 0.0
+		for id := range fanoutCone {
+			if isOut[id] {
+				drivesOut = 1
+				break
+			}
+		}
+		isFF := 0.0
+		if g.Type == netlist.DFF {
+			isFF = 1
+		}
+		f.X[g.ID] = []float64{
+			float64(g.Level) / maxLvl,
+			float64(len(g.Fanin)) / 4,
+			float64(len(g.Fanout)) / 4,
+			float64(len(faninCone)) / total,
+			float64(len(fanoutCone)) / total,
+			math.Log1p(float64(cc.CC0[g.ID])) / 8,
+			math.Log1p(float64(cc.CC1[g.ID])) / 8,
+			isFF,
+			drivesOut,
+		}
+	}
+	return f, nil
+}
+
+// GraphConvolve applies k rounds of mean-neighbourhood aggregation over
+// the undirected netlist graph (fanin ∪ fanout), concatenating each
+// round's aggregate onto the feature rows — the gate-level GCN embedding
+// of ref. [56] in its simplest propagation-rule form.
+func GraphConvolve(n *netlist.Netlist, f *Features, layers int) *Features {
+	cur := f.X
+	names := append([]string(nil), f.Names...)
+	width := len(f.Names)
+	for l := 0; l < layers; l++ {
+		next := make([][]float64, len(cur))
+		for _, g := range n.Gates {
+			agg := make([]float64, width)
+			count := 0
+			add := func(id int) {
+				row := cur[id]
+				for j := 0; j < width; j++ {
+					agg[j] += row[len(row)-width+j]
+				}
+				count++
+			}
+			for _, fi := range g.Fanin {
+				add(fi)
+			}
+			for _, fo := range g.Fanout {
+				add(fo)
+			}
+			if count > 0 {
+				for j := range agg {
+					agg[j] /= float64(count)
+				}
+			}
+			next[g.ID] = append(append([]float64(nil), cur[g.ID]...), agg...)
+		}
+		cur = next
+		for j := 0; j < width; j++ {
+			names = append(names, fmt.Sprintf("%s_hop%d", f.Names[j], l+1))
+		}
+	}
+	return &Features{Names: names, X: cur}
+}
+
+// Select extracts the rows with the given gate IDs.
+func (f *Features) Select(ids []int) [][]float64 {
+	out := make([][]float64, len(ids))
+	for i, id := range ids {
+		out[i] = f.X[id]
+	}
+	return out
+}
+
+// Ridge is a linear model y = w·x + b with L2 regularisation, fitted in
+// closed form via the normal equations.
+type Ridge struct {
+	W      []float64
+	B      float64
+	Lambda float64
+}
+
+// Fit solves (XᵀX + λI) w = Xᵀy with an intercept column. It errors on
+// empty or ragged input.
+func (r *Ridge) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: Fit needs equal non-zero rows, got %d/%d", len(x), len(y))
+	}
+	d := len(x[0])
+	for _, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("ml: ragged design matrix")
+		}
+	}
+	// Augment with intercept.
+	da := d + 1
+	a := make([][]float64, da) // normal matrix
+	for i := range a {
+		a[i] = make([]float64, da+1) // last column = rhs
+	}
+	get := func(row []float64, j int) float64 {
+		if j == d {
+			return 1
+		}
+		return row[j]
+	}
+	for ri, row := range x {
+		for i := 0; i < da; i++ {
+			vi := get(row, i)
+			for j := 0; j < da; j++ {
+				a[i][j] += vi * get(row, j)
+			}
+			a[i][da] += vi * y[ri]
+		}
+	}
+	lam := r.Lambda
+	if lam <= 0 {
+		lam = 1e-6
+	}
+	for i := 0; i < d; i++ { // do not regularise the intercept
+		a[i][i] += lam
+	}
+	w, err := solve(a)
+	if err != nil {
+		return err
+	}
+	r.W = w[:d]
+	r.B = w[d]
+	return nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on an
+// augmented matrix [A|b].
+func solve(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		piv := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[piv][col]) {
+				piv = row
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular normal matrix at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for row := col + 1; row < n; row++ {
+			factor := a[row][col] / a[col][col]
+			for j := col; j <= n; j++ {
+				a[row][j] -= factor * a[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		sum := a[row][n]
+		for j := row + 1; j < n; j++ {
+			sum -= a[row][j] * x[j]
+		}
+		x[row] = sum / a[row][row]
+	}
+	return x, nil
+}
+
+// Predict evaluates the model on one feature row.
+func (r *Ridge) Predict(x []float64) float64 {
+	s := r.B
+	for i, w := range r.W {
+		if i < len(x) {
+			s += w * x[i]
+		}
+	}
+	return s
+}
+
+// PredictAll evaluates the model on many rows.
+func (r *Ridge) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = r.Predict(row)
+	}
+	return out
+}
+
+// Metrics summarises regression quality.
+type Metrics struct {
+	MAE      float64
+	RMSE     float64
+	R2       float64
+	Spearman float64
+}
+
+// Evaluate computes MAE, RMSE, R² and Spearman rank correlation between
+// predictions and ground truth.
+func Evaluate(pred, truth []float64) Metrics {
+	var m Metrics
+	n := len(truth)
+	if n == 0 || len(pred) != n {
+		return m
+	}
+	mean := 0.0
+	for _, t := range truth {
+		mean += t
+	}
+	mean /= float64(n)
+	var sae, sse, sst float64
+	for i := range truth {
+		d := pred[i] - truth[i]
+		sae += math.Abs(d)
+		sse += d * d
+		sst += (truth[i] - mean) * (truth[i] - mean)
+	}
+	m.MAE = sae / float64(n)
+	m.RMSE = math.Sqrt(sse / float64(n))
+	if sst > 0 {
+		m.R2 = 1 - sse/sst
+	}
+	m.Spearman = spearman(pred, truth)
+	return m
+}
+
+// spearman computes the rank correlation coefficient.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	if n < 2 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// ranks assigns average ranks, handling ties.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// TrainTestSplit partitions indices deterministically: every k-th item
+// lands in the test set.
+func TrainTestSplit(n, k int) (train, test []int) {
+	if k < 2 {
+		k = 2
+	}
+	for i := 0; i < n; i++ {
+		if i%k == 0 {
+			test = append(test, i)
+		} else {
+			train = append(train, i)
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+)
+
+func TestGateFeaturesShape(t *testing.T) {
+	n := circuits.S27()
+	f, err := GateFeatures(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.X) != n.NumGates() {
+		t.Fatalf("rows = %d, want %d", len(f.X), n.NumGates())
+	}
+	for id, row := range f.X {
+		if len(row) != len(f.Names) {
+			t.Fatalf("gate %d: %d features, want %d", id, len(row), len(f.Names))
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("gate %d feature %s is %v", id, f.Names[j], v)
+			}
+		}
+	}
+	// DFF rows must set the is_ff flag.
+	ffCol := -1
+	for j, name := range f.Names {
+		if name == "is_ff" {
+			ffCol = j
+		}
+	}
+	for _, id := range n.DFFs {
+		if f.X[id][ffCol] != 1 {
+			t.Error("is_ff must be 1 for flip-flops")
+		}
+	}
+}
+
+func TestGraphConvolveGrowsWidth(t *testing.T) {
+	n := circuits.C17()
+	f, err := GateFeatures(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GraphConvolve(n, f, 2)
+	if len(g.Names) != 3*len(f.Names) {
+		t.Errorf("2-layer conv width = %d, want %d", len(g.Names), 3*len(f.Names))
+	}
+	for _, row := range g.X {
+		if len(row) != len(g.Names) {
+			t.Error("ragged convolved matrix")
+		}
+	}
+}
+
+func TestRidgeRecoversLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	wTrue := []float64{2, -1, 0.5}
+	for i := 0; i < 200; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		target := 0.3
+		for j, w := range wTrue {
+			target += w * row[j]
+		}
+		x = append(x, row)
+		y = append(y, target+0.01*rng.NormFloat64())
+	}
+	var r Ridge
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range wTrue {
+		if math.Abs(r.W[j]-w) > 0.05 {
+			t.Errorf("w[%d] = %.3f, want %.3f", j, r.W[j], w)
+		}
+	}
+	if math.Abs(r.B-0.3) > 0.05 {
+		t.Errorf("intercept = %.3f, want 0.3", r.B)
+	}
+	m := Evaluate(r.PredictAll(x), y)
+	if m.R2 < 0.99 {
+		t.Errorf("R2 = %.4f", m.R2)
+	}
+}
+
+func TestRidgeInputValidation(t *testing.T) {
+	var r Ridge
+	if err := r.Fit(nil, nil); err == nil {
+		t.Error("empty fit must error")
+	}
+	if err := r.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged fit must error")
+	}
+	if err := r.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/label mismatch must error")
+	}
+}
+
+func TestRidgeRegularisationHandlesCollinearity(t *testing.T) {
+	// Two identical columns: OLS is singular, ridge must still solve.
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v, v})
+		y = append(y, 3*v)
+	}
+	r := Ridge{Lambda: 1e-3}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatalf("ridge must handle collinear columns: %v", err)
+	}
+	if p := r.Predict([]float64{0.5, 0.5}); math.Abs(p-1.5) > 0.05 {
+		t.Errorf("prediction = %.3f, want 1.5", p)
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	m := Evaluate([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if m.MAE != 0 || m.RMSE != 0 || m.R2 != 1 || m.Spearman != 1 {
+		t.Errorf("perfect prediction metrics = %+v", m)
+	}
+	m = Evaluate([]float64{3, 2, 1}, []float64{1, 2, 3})
+	if m.Spearman != -1 {
+		t.Errorf("reversed ranks Spearman = %v, want -1", m.Spearman)
+	}
+	if z := Evaluate(nil, nil); z.MAE != 0 {
+		t.Error("empty evaluate must be zero")
+	}
+}
+
+func TestSpearmanWithTies(t *testing.T) {
+	s := spearman([]float64{1, 1, 2, 3}, []float64{1, 1, 2, 3})
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("tied identical ranks = %v, want 1", s)
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test := TrainTestSplit(10, 5)
+	if len(test) != 2 || len(train) != 8 {
+		t.Errorf("split = %d/%d", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(train, test...) {
+		if seen[i] {
+			t.Error("split must partition")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Error("split must cover all indices")
+	}
+}
+
+// TestEndToEndDeratingPrediction is the E9 experiment in miniature: learn
+// per-FF SEU failure probability on one set of flip-flops and predict the
+// rest, comparing against fault-injection ground truth.
+func TestEndToEndDeratingPrediction(t *testing.T) {
+	n := circuits.LFSR(16, []int{16, 15, 13, 4})
+	stimuli := faultsim.RandomPatterns(n, 24, 6)
+	// Ground truth: per-FF SDC probability via exhaustive injection.
+	truth := make([]float64, len(n.DFFs))
+	for i, ff := range n.DFFs {
+		rep, err := faultsim.ExhaustiveTransient(n, stimuli,
+			fault.List{{Kind: fault.SEU, Gate: ff}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[i] = rep.SDCRate()
+	}
+	feat, err := GateFeatures(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := GraphConvolve(n, feat, 2)
+	rows := conv.Select(n.DFFs)
+	trainIdx, testIdx := TrainTestSplit(len(rows), 4)
+	var xTrain [][]float64
+	var yTrain []float64
+	for _, i := range trainIdx {
+		xTrain = append(xTrain, rows[i])
+		yTrain = append(yTrain, truth[i])
+	}
+	r := Ridge{Lambda: 1e-2}
+	if err := r.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	var pred, ref []float64
+	for _, i := range testIdx {
+		pred = append(pred, r.Predict(rows[i]))
+		ref = append(ref, truth[i])
+	}
+	m := Evaluate(pred, ref)
+	if m.MAE > 0.25 {
+		t.Errorf("held-out MAE = %.3f, want <= 0.25 (truth %v pred %v)", m.MAE, ref, pred)
+	}
+}

@@ -1,0 +1,191 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS-85/89 ".bench" format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G11 = DFF(G10)
+//
+// Gate definitions may appear in any order; forward references are
+// resolved in a second pass. Supported cell names are the GateType names
+// plus the ISCAS alias "NOT"/"INV" and "BUFF" for BUF.
+func ParseBench(name string, r io.Reader) (*Netlist, error) {
+	type protoGate struct {
+		name  string
+		typ   GateType
+		fanin []string
+		line  int
+	}
+	var (
+		protos  []protoGate
+		inputs  []string
+		outputs []string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") || strings.HasPrefix(line, "input("):
+			arg, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(line, "OUTPUT(") || strings.HasPrefix(line, "output("):
+			arg, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench %s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("bench %s:%d: malformed gate expression %q", name, lineNo, rhs)
+			}
+			typName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			switch typName {
+			case "INV":
+				typName = "NOT"
+			case "BUFF":
+				typName = "BUF"
+			}
+			typ, err := ParseGateType(typName)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %v", name, lineNo, err)
+			}
+			var fanin []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				f = strings.TrimSpace(f)
+				if f != "" {
+					fanin = append(fanin, f)
+				}
+			}
+			protos = append(protos, protoGate{name: lhs, typ: typ, fanin: fanin, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %v", name, err)
+	}
+
+	n := New(name)
+	for _, in := range inputs {
+		if _, err := n.AddInput(in); err != nil {
+			return nil, fmt.Errorf("bench %s: %v", name, err)
+		}
+	}
+	// Create-then-wire to allow forward references (common in s-series
+	// circuits where DFF definitions precede their fanin logic).
+	for _, p := range protos {
+		if len(p.fanin) < p.typ.MinFanin() {
+			return nil, fmt.Errorf("bench %s:%d: gate %q type %v needs at least %d fanin",
+				name, p.line, p.name, p.typ, p.typ.MinFanin())
+		}
+		if max := p.typ.MaxFanin(); max > 0 && len(p.fanin) > max {
+			return nil, fmt.Errorf("bench %s:%d: gate %q type %v allows at most %d fanin",
+				name, p.line, p.name, p.typ, max)
+		}
+		id, err := n.addGate(p.name, p.typ, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s:%d: %v", name, p.line, err)
+		}
+		if p.typ == DFF {
+			n.DFFs = append(n.DFFs, id)
+		}
+	}
+	for _, p := range protos {
+		g, _ := n.Lookup(p.name)
+		for _, f := range p.fanin {
+			src, ok := n.Lookup(f)
+			if !ok {
+				return nil, fmt.Errorf("bench %s:%d: gate %q references undefined net %q",
+					name, p.line, p.name, f)
+			}
+			g.Fanin = append(g.Fanin, src.ID)
+			src.Fanout = append(src.Fanout, g.ID)
+		}
+	}
+	for _, out := range outputs {
+		g, ok := n.Lookup(out)
+		if !ok {
+			return nil, fmt.Errorf("bench %s: OUTPUT(%s) references undefined net", name, out)
+		}
+		if err := n.MarkOutput(g.ID); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func parseParen(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty declaration %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench serialises the netlist in .bench format. Gates are emitted in
+// topological order so the output parses without forward references.
+func WriteBench(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d gates, %d inputs, %d outputs, %d DFFs\n",
+		n.Name, len(n.Gates), len(n.Inputs), len(n.Outputs), len(n.DFFs))
+	for _, id := range n.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[id].Name)
+	}
+	outs := append([]int(nil), n.Outputs...)
+	sort.Ints(outs)
+	for _, id := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.Gates[id].Name)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	// DFFs first (they are level 0) then combinational gates; both are
+	// covered by topological order, but DFF D-pins may reference gates
+	// that appear later, which ParseBench resolves via its second pass.
+	for _, id := range order {
+		g := n.Gates[id]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = n.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,328 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildC17 constructs the ISCAS-85 c17 benchmark programmatically.
+func buildC17(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("c17")
+	ids := map[string]int{}
+	for _, in := range []string{"G1", "G2", "G3", "G6", "G7"} {
+		id, err := n.AddInput(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[in] = id
+	}
+	add := func(name string, typ GateType, fanin ...string) {
+		t.Helper()
+		fi := make([]int, len(fanin))
+		for i, f := range fanin {
+			fi[i] = ids[f]
+		}
+		id, err := n.AddGate(name, typ, fi...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	add("G10", Nand, "G1", "G3")
+	add("G11", Nand, "G3", "G6")
+	add("G16", Nand, "G2", "G11")
+	add("G19", Nand, "G11", "G7")
+	add("G22", Nand, "G10", "G16")
+	add("G23", Nand, "G16", "G19")
+	if err := n.MarkOutput(ids["G22"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput(ids["G23"]); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	n := buildC17(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Gates != 11 || s.Inputs != 5 || s.Outputs != 2 || s.DFFs != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByType[Nand] != 6 {
+		t.Errorf("NAND count = %d, want 6", s.ByType[Nand])
+	}
+	if s.MaxLevel != 3 {
+		t.Errorf("max level = %d, want 3", s.MaxLevel)
+	}
+}
+
+func TestLevelize(t *testing.T) {
+	n := buildC17(t)
+	if err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := n.Lookup("G22")
+	if g.Level != 3 {
+		t.Errorf("G22 level = %d, want 3", g.Level)
+	}
+	g, _ = n.Lookup("G10")
+	if g.Level != 1 {
+		t.Errorf("G10 level = %d, want 1", g.Level)
+	}
+	for _, id := range n.Inputs {
+		if n.Gate(id).Level != 0 {
+			t.Errorf("input %s level %d", n.Gate(id).Name, n.Gate(id).Level)
+		}
+	}
+}
+
+func TestTopoOrderRespectsLevels(t *testing.T) {
+	n := buildC17(t)
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, n.NumGates())
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, g := range n.Gates {
+		if g.Type == Input || g.Type == DFF {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[g.ID] && n.Gate(f).Type != DFF {
+				t.Errorf("gate %s scheduled before fanin %s", g.Name, n.Gate(f).Name)
+			}
+		}
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	n := New("dup")
+	if _, err := n.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddInput("a"); err == nil {
+		t.Error("duplicate input name must be rejected")
+	}
+	if _, err := n.AddGate("a", Not, 0); err == nil {
+		t.Error("duplicate gate name must be rejected")
+	}
+}
+
+func TestFaninArityChecks(t *testing.T) {
+	n := New("arity")
+	a, _ := n.AddInput("a")
+	if _, err := n.AddGate("bad", And, a); err == nil {
+		t.Error("AND with one fanin must be rejected")
+	}
+	if _, err := n.AddGate("bad2", Not, a, a); err == nil {
+		t.Error("NOT with two fanin must be rejected")
+	}
+	if _, err := n.AddGate("bad3", Buf, 99); err == nil {
+		t.Error("unknown fanin id must be rejected")
+	}
+	if _, err := n.AddGate("in2", Input); err == nil {
+		t.Error("AddGate must refuse Input type")
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	n := New("cyc")
+	a, _ := n.AddInput("a")
+	// Build g1 -> g2 -> g1 by post-hoc wiring (the builder API cannot
+	// construct cycles, so tamper directly as a hostile input would).
+	g1, _ := n.AddGate("g1", And, a, a)
+	g2, _ := n.AddGate("g2", And, g1, a)
+	n.Gates[g1].Fanin[1] = g2
+	n.Gates[g2].Fanout = append(n.Gates[g2].Fanout, g1)
+	n.levelized = false
+	if err := n.Levelize(); err == nil {
+		t.Error("combinational cycle must be detected")
+	}
+}
+
+func TestSequentialLoopIsLegal(t *testing.T) {
+	// DFF feedback loops (counters) must levelize fine.
+	n := New("seq")
+	a, _ := n.AddInput("a")
+	d, err := n.AddGate("q", DFF, a) // placeholder D pin, rewired below
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := n.AddGate("nq", Not, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Gates[d].Fanin = []int{inv}
+	n.Gates[a].Fanout = nil
+	n.Gates[inv].Fanout = []int{d}
+	_ = n.MarkOutput(inv)
+	if err := n.Levelize(); err != nil {
+		t.Fatalf("sequential loop should be legal: %v", err)
+	}
+	if !n.IsSequential() {
+		t.Error("IsSequential must be true")
+	}
+}
+
+func TestFaninFanoutCones(t *testing.T) {
+	n := buildC17(t)
+	g22, _ := n.Lookup("G22")
+	cone := n.FaninCone([]int{g22.ID}, true)
+	for _, name := range []string{"G22", "G10", "G16", "G1", "G3", "G2", "G11", "G6"} {
+		g, _ := n.Lookup(name)
+		if !cone[g.ID] {
+			t.Errorf("fanin cone of G22 missing %s", name)
+		}
+	}
+	g7, _ := n.Lookup("G7")
+	if cone[g7.ID] {
+		t.Error("fanin cone of G22 must not include G7")
+	}
+	g11, _ := n.Lookup("G11")
+	fan := n.FanoutCone([]int{g11.ID})
+	for _, name := range []string{"G11", "G16", "G19", "G22", "G23"} {
+		g, _ := n.Lookup(name)
+		if !fan[g.ID] {
+			t.Errorf("fanout cone of G11 missing %s", name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := buildC17(t)
+	c := n.Clone()
+	g, _ := c.Lookup("G10")
+	g.Fanin[0] = 99
+	orig, _ := n.Lookup("G10")
+	if orig.Fanin[0] == 99 {
+		t.Error("Clone must deep-copy fanin slices")
+	}
+	if c.NumGates() != n.NumGates() {
+		t.Error("Clone size mismatch")
+	}
+}
+
+const c17Bench = `
+# c17 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func TestParseBench(t *testing.T) {
+	n, err := ParseBench("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Gates != 11 || s.Inputs != 5 || s.Outputs != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestParseBenchForwardReferenceAndDFF(t *testing.T) {
+	src := `
+INPUT(clkin)
+OUTPUT(q)
+q = DFF(d)
+d = NOT(q0)
+q0 = BUFF(clkin)
+`
+	n, err := ParseBench("seq", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.DFFs) != 1 {
+		t.Fatalf("DFF count = %d", len(n.DFFs))
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []string{
+		"G1 = NAND(G0, G2)",                  // undefined nets
+		"INPUT(a)\nG1 = FROB(a, a)",          // unknown type
+		"INPUT(a)\nG1 NAND(a, a)",            // missing '='
+		"INPUT(a)\nOUTPUT(z)",                // undefined output
+		"INPUT(a)\nG1 = NOT(a, a)",           // arity
+		"INPUT()",                            // empty decl
+		"INPUT(a)\nb = AND(a)",               // arity low
+		"INPUT(a)\na = NOT(a)",               // duplicate name
+		"INPUT(a)\nG1 = NOT(a",               // malformed parens
+		"INPUT(a)\nx = AND(x, a)\nOUTPUT(x)", // combinational self-loop
+	}
+	for i, src := range cases {
+		if _, err := ParseBench("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, src)
+		}
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	n1, err := ParseBench("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, n1); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ParseBench("c17rt", &buf)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+	}
+	s1, s2 := n1.Stats(), n2.Stats()
+	if s1.Gates != s2.Gates || s1.Inputs != s2.Inputs || s1.Outputs != s2.Outputs || s1.MaxLevel != s2.MaxLevel {
+		t.Errorf("round trip stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestGateTypeParse(t *testing.T) {
+	for t0 := Input; t0 <= DFF; t0++ {
+		got, err := ParseGateType(t0.String())
+		if err != nil || got != t0 {
+			t.Errorf("ParseGateType(%v) = %v, %v", t0, got, err)
+		}
+	}
+	if _, err := ParseGateType("NOPE"); err == nil {
+		t.Error("ParseGateType must reject unknown names")
+	}
+	if !strings.Contains(GateType(200).String(), "200") {
+		t.Error("unknown gate type String()")
+	}
+}
+
+func TestMarkOutputIdempotentAndBounds(t *testing.T) {
+	n := buildC17(t)
+	before := len(n.Outputs)
+	if err := n.MarkOutput(n.Outputs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Outputs) != before {
+		t.Error("MarkOutput must be idempotent")
+	}
+	if err := n.MarkOutput(1000); err == nil {
+		t.Error("MarkOutput must reject unknown ids")
+	}
+}

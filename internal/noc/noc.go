@@ -1,0 +1,265 @@
+// Package noc models a 2D-mesh network-on-chip — one of the
+// application-specific architecture targets Section IV.A lists for the
+// RESCUE EDA methodologies (NoCs, many-cores, HMPSoCs). The model
+// provides dimension-ordered (XY) routing, link fault injection,
+// CRC-protected flits with end-to-end detection, and an adaptive
+// fault-tolerant routing mode that detours around failed links — the
+// cross-layer reconfiguration story of Section III.C applied to the
+// interconnect.
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Coord is a mesh coordinate.
+type Coord struct{ X, Y int }
+
+// Packet is a routed message with an end-to-end checksum.
+type Packet struct {
+	Src, Dst Coord
+	Payload  uint32
+	Checksum uint16
+	Hops     []Coord // visited routers, filled during routing
+}
+
+// checksum16 folds the payload and endpoints into a 16-bit check.
+func checksum16(src, dst Coord, payload uint32) uint16 {
+	h := uint32(0x1D0F)
+	mix := func(v uint32) {
+		h ^= v
+		h = (h << 5) | (h >> 27)
+		h *= 0x9E3779B1
+	}
+	mix(uint32(src.X)<<16 | uint32(src.Y))
+	mix(uint32(dst.X)<<16 | uint32(dst.Y))
+	mix(payload)
+	return uint16(h ^ (h >> 16))
+}
+
+// NewPacket builds a checksummed packet.
+func NewPacket(src, dst Coord, payload uint32) Packet {
+	return Packet{Src: src, Dst: dst, Payload: payload, Checksum: checksum16(src, dst, payload)}
+}
+
+// Verify reports end-to-end integrity.
+func (p Packet) Verify() bool {
+	return checksum16(p.Src, p.Dst, p.Payload) == p.Checksum
+}
+
+// LinkFault enumerates link failure modes.
+type LinkFault uint8
+
+const (
+	// LinkOK: healthy link.
+	LinkOK LinkFault = iota
+	// LinkDead: the link drops every flit (open defect / killed driver).
+	LinkDead
+	// LinkCorrupt: the link flips a payload bit per traversal (crosstalk,
+	// marginal timing, SET on the wire).
+	LinkCorrupt
+)
+
+// Mesh is a W×H mesh of routers with per-link fault state.
+type Mesh struct {
+	W, H int
+	// faults[from][to] for adjacent router pairs.
+	faults map[[2]Coord]LinkFault
+	// Adaptive enables fault-aware detour routing (requires link-state
+	// knowledge at each router — the manager layer's contribution).
+	Adaptive bool
+
+	Delivered  int
+	Dropped    int
+	Corrupted  int // delivered but failing end-to-end verification
+	DetourHops int // extra hops taken by adaptive routing
+}
+
+// NewMesh builds a healthy mesh.
+func NewMesh(w, h int) *Mesh {
+	return &Mesh{W: w, H: h, faults: make(map[[2]Coord]LinkFault)}
+}
+
+// InjectLinkFault sets the fault state of the directed link a->b.
+func (m *Mesh) InjectLinkFault(a, b Coord, f LinkFault) error {
+	if !m.valid(a) || !m.valid(b) || !adjacent(a, b) {
+		return fmt.Errorf("noc: %v -> %v is not a mesh link", a, b)
+	}
+	m.faults[[2]Coord{a, b}] = f
+	return nil
+}
+
+func (m *Mesh) valid(c Coord) bool {
+	return c.X >= 0 && c.X < m.W && c.Y >= 0 && c.Y < m.H
+}
+
+func adjacent(a, b Coord) bool {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx+dy == 1
+}
+
+// linkState returns the fault state of a directed link.
+func (m *Mesh) linkState(a, b Coord) LinkFault {
+	return m.faults[[2]Coord{a, b}]
+}
+
+// xyNext returns the next hop under dimension-ordered routing.
+func xyNext(cur, dst Coord) Coord {
+	switch {
+	case cur.X < dst.X:
+		return Coord{cur.X + 1, cur.Y}
+	case cur.X > dst.X:
+		return Coord{cur.X - 1, cur.Y}
+	case cur.Y < dst.Y:
+		return Coord{cur.X, cur.Y + 1}
+	default:
+		return Coord{cur.X, cur.Y - 1}
+	}
+}
+
+// neighbors lists the valid mesh neighbours of c.
+func (m *Mesh) neighbors(c Coord) []Coord {
+	var out []Coord
+	for _, d := range []Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		n := Coord{c.X + d.X, c.Y + d.Y}
+		if m.valid(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Route sends a packet from its source to its destination and returns
+// the delivered packet (nil when dropped). XY routing drops at a dead
+// link; adaptive routing follows a shortest path over the links the
+// fault manager knows to be alive (corrupting links are invisible to
+// link-state — only the end-to-end checksum catches them).
+func (m *Mesh) Route(p Packet) *Packet {
+	if !m.valid(p.Src) || !m.valid(p.Dst) {
+		m.Dropped++
+		return nil
+	}
+	minHops := manhattan(p.Src, p.Dst)
+	var path []Coord
+	if m.Adaptive {
+		path = m.bfsPath(p.Src, p.Dst)
+		if path == nil {
+			m.Dropped++
+			return nil
+		}
+	} else {
+		cur := p.Src
+		path = []Coord{cur}
+		for cur != p.Dst {
+			next := xyNext(cur, p.Dst)
+			if m.linkState(cur, next) == LinkDead {
+				m.Dropped++
+				return nil
+			}
+			cur = next
+			path = append(path, cur)
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		if m.linkState(path[i-1], path[i]) == LinkCorrupt {
+			p.Payload ^= 1 << uint((path[i-1].X*7+path[i-1].Y*13)%32)
+		}
+	}
+	p.Hops = path
+	m.Delivered++
+	if extra := len(path) - 1 - minHops; extra > 0 {
+		m.DetourHops += extra
+	}
+	if !p.Verify() {
+		m.Corrupted++
+	}
+	return &p
+}
+
+func manhattan(a, b Coord) int {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// bfsPath finds a shortest path over healthy (non-dead) links, or nil
+// when the destination is unreachable.
+func (m *Mesh) bfsPath(src, dst Coord) []Coord {
+	prev := map[Coord]Coord{src: src}
+	queue := []Coord{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			var rev []Coord
+			for c := dst; ; c = prev[c] {
+				rev = append(rev, c)
+				if c == src {
+					break
+				}
+			}
+			path := make([]Coord, len(rev))
+			for i, c := range rev {
+				path[len(rev)-1-i] = c
+			}
+			return path
+		}
+		for _, n := range m.neighbors(cur) {
+			if m.linkState(cur, n) == LinkDead {
+				continue
+			}
+			if _, seen := prev[n]; !seen {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil
+}
+
+// TrafficReport summarises a uniform-random traffic run.
+type TrafficReport struct {
+	Sent       int
+	Delivered  int
+	Dropped    int
+	Corrupted  int
+	DetourHops int
+}
+
+// DeliveryRate returns delivered/sent.
+func (r TrafficReport) DeliveryRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Sent)
+}
+
+// RunTraffic sends packets uniform-random pairs of routers.
+func (m *Mesh) RunTraffic(packets int, seed int64) TrafficReport {
+	rng := rand.New(rand.NewSource(seed))
+	m.Delivered, m.Dropped, m.Corrupted, m.DetourHops = 0, 0, 0, 0
+	for i := 0; i < packets; i++ {
+		src := Coord{rng.Intn(m.W), rng.Intn(m.H)}
+		dst := Coord{rng.Intn(m.W), rng.Intn(m.H)}
+		for dst == src {
+			dst = Coord{rng.Intn(m.W), rng.Intn(m.H)}
+		}
+		m.Route(NewPacket(src, dst, rng.Uint32()))
+	}
+	return TrafficReport{
+		Sent: packets, Delivered: m.Delivered, Dropped: m.Dropped,
+		Corrupted: m.Corrupted, DetourHops: m.DetourHops,
+	}
+}

@@ -1,0 +1,140 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHealthyMeshDeliversEverything(t *testing.T) {
+	m := NewMesh(4, 4)
+	rep := m.RunTraffic(500, 1)
+	if rep.DeliveryRate() != 1 {
+		t.Errorf("healthy delivery rate = %v", rep.DeliveryRate())
+	}
+	if rep.Corrupted != 0 || rep.DetourHops != 0 {
+		t.Errorf("healthy mesh: %+v", rep)
+	}
+}
+
+func TestXYRoutingIsMinimal(t *testing.T) {
+	m := NewMesh(5, 5)
+	p := m.Route(NewPacket(Coord{0, 0}, Coord{3, 4}, 42))
+	if p == nil {
+		t.Fatal("route failed")
+	}
+	if len(p.Hops)-1 != 7 {
+		t.Errorf("hops = %d, want 7 (Manhattan)", len(p.Hops)-1)
+	}
+	// XY order: all X moves first.
+	sawY := false
+	for i := 1; i < len(p.Hops); i++ {
+		if p.Hops[i].Y != p.Hops[i-1].Y {
+			sawY = true
+		} else if sawY {
+			t.Fatal("X move after Y move violates XY routing")
+		}
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	f := func(payload uint32, sx, sy, dx, dy uint8) bool {
+		src := Coord{int(sx) % 8, int(sy) % 8}
+		dst := Coord{int(dx) % 8, int(dy) % 8}
+		return NewPacket(src, dst, payload).Verify()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadLinkDropsXYButAdaptiveDetours(t *testing.T) {
+	// Kill the link (1,0)->(2,0) on the XY path from (0,0) to (3,0).
+	m := NewMesh(4, 4)
+	if err := m.InjectLinkFault(Coord{1, 0}, Coord{2, 0}, LinkDead); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Route(NewPacket(Coord{0, 0}, Coord{3, 0}, 7)); p != nil {
+		t.Fatal("XY routing must drop at the dead link")
+	}
+	m.Adaptive = true
+	p := m.Route(NewPacket(Coord{0, 0}, Coord{3, 0}, 7))
+	if p == nil {
+		t.Fatal("adaptive routing must detour")
+	}
+	if !p.Verify() {
+		t.Error("detoured packet must stay intact")
+	}
+	if len(p.Hops)-1 <= 3 {
+		t.Error("detour must cost extra hops")
+	}
+}
+
+func TestAdaptiveRecoversDeliveryRate(t *testing.T) {
+	// The cross-layer claim on the interconnect: with several dead links,
+	// adaptive routing recovers most of the lost delivery rate.
+	kill := func(m *Mesh) {
+		_ = m.InjectLinkFault(Coord{1, 1}, Coord{2, 1}, LinkDead)
+		_ = m.InjectLinkFault(Coord{2, 2}, Coord{2, 3}, LinkDead)
+		_ = m.InjectLinkFault(Coord{0, 2}, Coord{1, 2}, LinkDead)
+	}
+	xy := NewMesh(4, 4)
+	kill(xy)
+	xyRep := xy.RunTraffic(1000, 3)
+	ad := NewMesh(4, 4)
+	ad.Adaptive = true
+	kill(ad)
+	adRep := ad.RunTraffic(1000, 3)
+	if xyRep.DeliveryRate() >= 1 {
+		t.Error("dead links must hurt XY delivery")
+	}
+	if adRep.DeliveryRate() <= xyRep.DeliveryRate() {
+		t.Errorf("adaptive (%.3f) must beat XY (%.3f)", adRep.DeliveryRate(), xyRep.DeliveryRate())
+	}
+	if adRep.DeliveryRate() < 0.99 {
+		t.Errorf("adaptive delivery = %.3f, want ≈1", adRep.DeliveryRate())
+	}
+	if adRep.DetourHops == 0 {
+		t.Error("adaptive routing must account its detour cost")
+	}
+}
+
+func TestCorruptLinkCaughtEndToEnd(t *testing.T) {
+	m := NewMesh(4, 1)
+	if err := m.InjectLinkFault(Coord{1, 0}, Coord{2, 0}, LinkCorrupt); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Route(NewPacket(Coord{0, 0}, Coord{3, 0}, 0xABCD))
+	if p == nil {
+		t.Fatal("corrupting link still delivers")
+	}
+	if p.Verify() {
+		t.Error("corruption must break the end-to-end checksum")
+	}
+	if m.Corrupted != 1 {
+		t.Error("mesh must count the corruption")
+	}
+}
+
+func TestLinkFaultValidation(t *testing.T) {
+	m := NewMesh(3, 3)
+	if err := m.InjectLinkFault(Coord{0, 0}, Coord{2, 2}, LinkDead); err == nil {
+		t.Error("non-adjacent link must be rejected")
+	}
+	if err := m.InjectLinkFault(Coord{0, 0}, Coord{0, 5}, LinkDead); err == nil {
+		t.Error("out-of-mesh link must be rejected")
+	}
+}
+
+func TestFullyPartitionedMeshDrops(t *testing.T) {
+	// Cut every link out of column 0 in both directions: packets across
+	// the cut must drop even adaptively, within the livelock budget.
+	m := NewMesh(3, 2)
+	m.Adaptive = true
+	for y := 0; y < 2; y++ {
+		_ = m.InjectLinkFault(Coord{0, y}, Coord{1, y}, LinkDead)
+		_ = m.InjectLinkFault(Coord{1, y}, Coord{0, y}, LinkDead)
+	}
+	if p := m.Route(NewPacket(Coord{0, 0}, Coord{2, 1}, 5)); p != nil {
+		t.Error("partitioned mesh must drop cross-cut packets")
+	}
+}

@@ -1,0 +1,222 @@
+// Package puf implements the SRAM physical-unclonable-function framework
+// of Section III.F: a simulation model in which each cell's power-up
+// value follows its random manufacturing mismatch perturbed by evaluation
+// noise, the matching analytical reliability model (the RESCUE work built
+// "a simulation framework and an analytical mathematical model for FinFET
+// SRAM PUFs"), uniqueness/reliability/entropy metrics, and a fuzzy
+// extractor turning noisy responses into stable cryptographic keys.
+package puf
+
+import (
+	"crypto/sha256"
+	"math"
+	"math/rand"
+)
+
+// Model is a PUF technology characterisation: the ratio of manufacturing
+// mismatch to evaluation noise governs reliability; the threshold bias
+// governs entropy.
+type Model struct {
+	Cells int
+	// MismatchSigma is the std-dev of the per-cell process mismatch.
+	MismatchSigma float64
+	// NoiseSigma is the std-dev of the per-evaluation noise at 25°C.
+	NoiseSigma float64
+	// TempNoiseCoeff adds |T-25|·coeff to the effective noise sigma.
+	TempNoiseCoeff float64
+	// Bias shifts the power-up threshold, skewing the 0/1 distribution
+	// (reduces min-entropy).
+	Bias float64
+	Seed int64
+}
+
+// Planar65 and FinFET16 are the two technology presets used by the E16
+// sweep; FinFET cells show a larger mismatch-to-noise ratio (higher
+// reliability) in line with published SRAM-PUF characterisations.
+var (
+	Planar65 = Model{Cells: 4096, MismatchSigma: 1.0, NoiseSigma: 0.12, TempNoiseCoeff: 0.002}
+	FinFET16 = Model{Cells: 4096, MismatchSigma: 1.0, NoiseSigma: 0.06, TempNoiseCoeff: 0.0025}
+)
+
+// Device is one manufactured PUF instance with frozen mismatches.
+type Device struct {
+	model    Model
+	mismatch []float64
+	id       int
+}
+
+// Manufacture draws a device's mismatches deterministically from the
+// model seed and the device id.
+func (m Model) Manufacture(id int) *Device {
+	rng := rand.New(rand.NewSource(m.Seed ^ int64(id)*1000003 ^ 0x5DEECE66D))
+	d := &Device{model: m, mismatch: make([]float64, m.Cells), id: id}
+	for i := range d.mismatch {
+		d.mismatch[i] = rng.NormFloat64()*m.MismatchSigma + m.Bias
+	}
+	return d
+}
+
+// Evaluate powers the device up once at the given temperature and
+// returns the response bits. evalSeed individualises the noise draw.
+func (d *Device) Evaluate(tempC float64, evalSeed int64) []bool {
+	sigma := d.model.NoiseSigma + math.Abs(tempC-25)*d.model.TempNoiseCoeff
+	rng := rand.New(rand.NewSource(evalSeed ^ int64(d.id)*7919))
+	resp := make([]bool, len(d.mismatch))
+	for i, m := range d.mismatch {
+		resp[i] = m+rng.NormFloat64()*sigma > 0
+	}
+	return resp
+}
+
+// Reference returns the noiseless (enrollment) response.
+func (d *Device) Reference() []bool {
+	resp := make([]bool, len(d.mismatch))
+	for i, m := range d.mismatch {
+		resp[i] = m > 0
+	}
+	return resp
+}
+
+// FractionalHD returns the fractional Hamming distance between two
+// equal-length responses.
+func FractionalHD(a, b []bool) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return float64(d) / float64(len(a))
+}
+
+// IntraHD measures average within-device distance (response instability)
+// over n evaluations against the enrollment reference.
+func IntraHD(d *Device, tempC float64, n int, seed int64) float64 {
+	ref := d.Reference()
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += FractionalHD(ref, d.Evaluate(tempC, seed+int64(i)*65537))
+	}
+	return sum / float64(n)
+}
+
+// InterHD measures average between-device distance (uniqueness) over all
+// pairs of the given devices' references.
+func InterHD(devices []*Device) float64 {
+	sum, pairs := 0.0, 0
+	for i := 0; i < len(devices); i++ {
+		for j := i + 1; j < len(devices); j++ {
+			sum += FractionalHD(devices[i].Reference(), devices[j].Reference())
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}
+
+// AnalyticalBER returns the closed-form expected bit error rate of one
+// evaluation against the enrollment reference: for mismatch ~N(bias,σm²)
+// and noise ~N(0,σn²) the flip probability is arctan(σn/σm)/π at zero
+// bias (exact), which the simulator must match.
+func (m Model) AnalyticalBER(tempC float64) float64 {
+	sigma := m.NoiseSigma + math.Abs(tempC-25)*m.TempNoiseCoeff
+	if m.MismatchSigma == 0 {
+		return 0.5
+	}
+	return math.Atan(sigma/m.MismatchSigma) / math.Pi
+}
+
+// MinEntropyPerBit estimates min-entropy from the empirical ones-bias of
+// device references: -log2(max(p, 1-p)).
+func MinEntropyPerBit(devices []*Device) float64 {
+	ones, total := 0, 0
+	for _, d := range devices {
+		for _, b := range d.Reference() {
+			total++
+			if b {
+				ones++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	p := float64(ones) / float64(total)
+	pmax := math.Max(p, 1-p)
+	return -math.Log2(pmax)
+}
+
+// ---------- Fuzzy extractor (repetition code + hash) ----------
+
+// Enrollment holds the public helper data and the enrolled key.
+type Enrollment struct {
+	Helper []bool // XOR mask: response ⊕ codeword
+	Key    [32]byte
+	rep    int
+	bits   int
+}
+
+// Enroll derives a key from the device's enrollment response using an
+// n-repetition code: each key bit is encoded into rep response cells;
+// the helper data is the XOR of the response with the codeword and
+// reveals nothing about the key bits (one-time-pad argument per block).
+func Enroll(d *Device, keyBits, rep int, seed int64) Enrollment {
+	ref := d.Reference()
+	rng := rand.New(rand.NewSource(seed))
+	secret := make([]bool, keyBits)
+	for i := range secret {
+		secret[i] = rng.Intn(2) == 1
+	}
+	helper := make([]bool, keyBits*rep)
+	for i := 0; i < keyBits; i++ {
+		for j := 0; j < rep; j++ {
+			helper[i*rep+j] = ref[i*rep+j] != secret[i] // response ⊕ codeword bit
+		}
+	}
+	return Enrollment{Helper: helper, Key: hashBits(secret), rep: rep, bits: keyBits}
+}
+
+// Reconstruct recovers the key from a fresh (noisy) evaluation using
+// majority decoding; it reports whether the key matches enrollment.
+func Reconstruct(d *Device, e Enrollment, tempC float64, evalSeed int64) ([32]byte, bool) {
+	resp := d.Evaluate(tempC, evalSeed)
+	secret := make([]bool, e.bits)
+	for i := 0; i < e.bits; i++ {
+		votes := 0
+		for j := 0; j < e.rep; j++ {
+			if resp[i*e.rep+j] != e.Helper[i*e.rep+j] {
+				votes++
+			}
+		}
+		secret[i] = votes*2 > e.rep
+	}
+	key := hashBits(secret)
+	return key, key == e.Key
+}
+
+func hashBits(bits []bool) [32]byte {
+	buf := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			buf[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return sha256.Sum256(buf)
+}
+
+// KeyFailureRate empirically measures the fuzzy extractor's failure
+// probability over trials fresh reconstructions.
+func KeyFailureRate(d *Device, e Enrollment, tempC float64, trials int, seed int64) float64 {
+	fails := 0
+	for i := 0; i < trials; i++ {
+		if _, ok := Reconstruct(d, e, tempC, seed+int64(i)*104729); !ok {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials)
+}

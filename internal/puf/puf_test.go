@@ -1,0 +1,139 @@
+package puf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReferenceDeterministic(t *testing.T) {
+	m := Planar65
+	m.Seed = 42
+	a := m.Manufacture(1)
+	b := m.Manufacture(1)
+	if FractionalHD(a.Reference(), b.Reference()) != 0 {
+		t.Error("same device id must reproduce identical references")
+	}
+	c := m.Manufacture(2)
+	if FractionalHD(a.Reference(), c.Reference()) < 0.3 {
+		t.Error("different devices must differ substantially")
+	}
+}
+
+func TestSimulationMatchesAnalyticalBER(t *testing.T) {
+	// The E16 cross-check: empirical intra-distance must agree with the
+	// closed-form arctan(σn/σm)/π within sampling error.
+	for _, m := range []Model{Planar65, FinFET16} {
+		m.Cells = 8192
+		m.Seed = 7
+		d := m.Manufacture(0)
+		analytic := m.AnalyticalBER(25)
+		empirical := IntraHD(d, 25, 20, 3)
+		if rel := math.Abs(empirical-analytic) / analytic; rel > 0.15 {
+			t.Errorf("σn=%.2f: empirical BER %.4f vs analytical %.4f (rel err %.1f%%)",
+				m.NoiseSigma, empirical, analytic, rel*100)
+		}
+	}
+}
+
+func TestFinFETMoreReliableThanPlanar(t *testing.T) {
+	p, f := Planar65, FinFET16
+	p.Seed, f.Seed = 1, 1
+	dp, df := p.Manufacture(0), f.Manufacture(0)
+	if IntraHD(df, 25, 10, 2) >= IntraHD(dp, 25, 10, 2) {
+		t.Error("FinFET preset must be more stable than planar")
+	}
+}
+
+func TestTemperatureDegradesReliability(t *testing.T) {
+	m := FinFET16
+	m.Seed = 5
+	d := m.Manufacture(0)
+	cold := IntraHD(d, 25, 10, 9)
+	hot := IntraHD(d, 125, 10, 9)
+	if hot <= cold {
+		t.Errorf("hot intra-HD %.4f must exceed nominal %.4f", hot, cold)
+	}
+	if m.AnalyticalBER(125) <= m.AnalyticalBER(25) {
+		t.Error("analytical model must also degrade with temperature")
+	}
+}
+
+func TestUniquenessNearHalf(t *testing.T) {
+	m := FinFET16
+	m.Seed = 11
+	var devices []*Device
+	for i := 0; i < 8; i++ {
+		devices = append(devices, m.Manufacture(i))
+	}
+	inter := InterHD(devices)
+	if inter < 0.45 || inter > 0.55 {
+		t.Errorf("inter-HD = %.4f, want ≈0.5", inter)
+	}
+}
+
+func TestMinEntropy(t *testing.T) {
+	m := FinFET16
+	m.Seed = 13
+	unbiased := MinEntropyPerBit([]*Device{m.Manufacture(0), m.Manufacture(1)})
+	if unbiased < 0.9 {
+		t.Errorf("unbiased min-entropy = %.3f, want ≈1", unbiased)
+	}
+	biased := m
+	biased.Bias = 0.8
+	be := MinEntropyPerBit([]*Device{biased.Manufacture(0), biased.Manufacture(1)})
+	if be >= unbiased {
+		t.Error("bias must reduce min-entropy")
+	}
+}
+
+func TestFuzzyExtractorStableKeys(t *testing.T) {
+	m := FinFET16
+	m.Seed = 21
+	d := m.Manufacture(3)
+	e := Enroll(d, 128, 7, 99)
+	failRate := KeyFailureRate(d, e, 25, 100, 5)
+	if failRate > 0.01 {
+		t.Errorf("7-repetition key failure rate = %.3f, want ≈0", failRate)
+	}
+	// The raw response is much noisier than the extracted key.
+	rawBER := IntraHD(d, 25, 10, 5)
+	if rawBER == 0 {
+		t.Error("raw response should show some noise for this test to be meaningful")
+	}
+}
+
+func TestFuzzyExtractorRejectsWrongDevice(t *testing.T) {
+	m := FinFET16
+	m.Seed = 23
+	d1 := m.Manufacture(1)
+	d2 := m.Manufacture(2)
+	e := Enroll(d1, 64, 5, 1)
+	if _, ok := Reconstruct(d2, e, 25, 77); ok {
+		t.Error("another device must not reconstruct the key")
+	}
+}
+
+func TestRepetitionImprovesFailureRate(t *testing.T) {
+	m := Planar65 // noisier technology stresses the code
+	m.Seed = 31
+	d := m.Manufacture(0)
+	e3 := Enroll(d, 64, 3, 4)
+	e9 := Enroll(d, 64, 9, 4)
+	f3 := KeyFailureRate(d, e3, 85, 200, 8)
+	f9 := KeyFailureRate(d, e9, 85, 200, 8)
+	if f9 > f3 {
+		t.Errorf("9-repetition (%.3f) must not fail more than 3-repetition (%.3f)", f9, f3)
+	}
+}
+
+func TestFractionalHDEdgeCases(t *testing.T) {
+	if FractionalHD(nil, nil) != 0 {
+		t.Error("empty inputs must be 0")
+	}
+	if FractionalHD([]bool{true}, []bool{true, false}) != 0 {
+		t.Error("mismatched lengths must be 0")
+	}
+	if FractionalHD([]bool{true, false}, []bool{false, false}) != 0.5 {
+		t.Error("HD arithmetic wrong")
+	}
+}

@@ -1,0 +1,195 @@
+// Package riif implements a Reliability Information Interchange Format
+// in the spirit of the RIIF initiative that the RESCUE project "uses and
+// significantly extends" (Section IV.A): a hierarchical data model that
+// lets tools generate, consume and exchange extra-functional information
+// — failure rates per failure mode, environment profiles, technology
+// attributes — transparently across a design flow. Models serialise to
+// JSON for interchange.
+package riif
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FailureMode is one way a component fails, with its base failure rate.
+type FailureMode struct {
+	Name string `json:"name"`
+	// FIT is the base failure rate in failures per 10^9 hours.
+	FIT float64 `json:"fit"`
+	// Detectable marks modes covered by some safety mechanism; Coverage
+	// is the fraction of occurrences the mechanism handles (0..1).
+	Detectable bool    `json:"detectable,omitempty"`
+	Coverage   float64 `json:"coverage,omitempty"`
+}
+
+// ResidualFIT is the mode's rate after coverage.
+func (f FailureMode) ResidualFIT() float64 {
+	if f.Detectable {
+		return f.FIT * (1 - f.Coverage)
+	}
+	return f.FIT
+}
+
+// Component is a node of the reliability hierarchy.
+type Component struct {
+	Name         string             `json:"name"`
+	Kind         string             `json:"kind,omitempty"` // e.g. "sram", "cpu", "ip-block"
+	Technology   string             `json:"technology,omitempty"`
+	Quantity     int                `json:"quantity,omitempty"` // default 1
+	FailureModes []FailureMode      `json:"failure_modes,omitempty"`
+	Attributes   map[string]float64 `json:"attributes,omitempty"`
+	Children     []Component        `json:"children,omitempty"`
+}
+
+// quantity returns the effective multiplicity.
+func (c Component) quantity() float64 {
+	if c.Quantity <= 0 {
+		return 1
+	}
+	return float64(c.Quantity)
+}
+
+// TotalFIT sums raw FIT over the subtree (quantity-weighted).
+func (c Component) TotalFIT() float64 {
+	t := 0.0
+	for _, m := range c.FailureModes {
+		t += m.FIT
+	}
+	for _, ch := range c.Children {
+		t += ch.TotalFIT()
+	}
+	return t * c.quantity()
+}
+
+// ResidualFIT sums post-coverage FIT over the subtree.
+func (c Component) ResidualFIT() float64 {
+	t := 0.0
+	for _, m := range c.FailureModes {
+		t += m.ResidualFIT()
+	}
+	for _, ch := range c.Children {
+		t += ch.ResidualFIT()
+	}
+	return t * c.quantity()
+}
+
+// Model is a complete interchange document.
+type Model struct {
+	Name        string `json:"name"`
+	Version     string `json:"version"`
+	Environment string `json:"environment,omitempty"`
+	// FluxScale scales all FITs for the target environment relative to
+	// the reference environment the rates were characterised in.
+	FluxScale float64   `json:"flux_scale,omitempty"`
+	Root      Component `json:"root"`
+}
+
+// TotalFIT returns the environment-scaled raw system FIT.
+func (m Model) TotalFIT() float64 { return m.Root.TotalFIT() * m.scale() }
+
+// ResidualFIT returns the environment-scaled residual system FIT.
+func (m Model) ResidualFIT() float64 { return m.Root.ResidualFIT() * m.scale() }
+
+func (m Model) scale() float64 {
+	if m.FluxScale <= 0 {
+		return 1
+	}
+	return m.FluxScale
+}
+
+// Validate checks structural invariants: non-empty names, unique sibling
+// names, sane coverage and FIT ranges.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("riif: model name must not be empty")
+	}
+	return validateComponent("", m.Root)
+}
+
+func validateComponent(path string, c Component) error {
+	if c.Name == "" {
+		return fmt.Errorf("riif: component under %q has empty name", path)
+	}
+	p := path + "/" + c.Name
+	for _, fm := range c.FailureModes {
+		if fm.Name == "" {
+			return fmt.Errorf("riif: %s: failure mode with empty name", p)
+		}
+		if fm.FIT < 0 {
+			return fmt.Errorf("riif: %s/%s: negative FIT", p, fm.Name)
+		}
+		if fm.Coverage < 0 || fm.Coverage > 1 {
+			return fmt.Errorf("riif: %s/%s: coverage %v outside [0,1]", p, fm.Name, fm.Coverage)
+		}
+		if !fm.Detectable && fm.Coverage != 0 {
+			return fmt.Errorf("riif: %s/%s: coverage on undetectable mode", p, fm.Name)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, ch := range c.Children {
+		if seen[ch.Name] {
+			return fmt.Errorf("riif: %s: duplicate child %q", p, ch.Name)
+		}
+		seen[ch.Name] = true
+		if err := validateComponent(p, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write serialises the model as indented JSON.
+func Write(w io.Writer, m Model) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Read parses and validates a model.
+func Read(r io.Reader) (Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Model{}, fmt.Errorf("riif: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// Find locates a component by slash-separated path below the root, e.g.
+// "soc/cpu0/regfile". An empty path returns the root.
+func (m Model) Find(path string) (Component, bool) {
+	if path == "" {
+		return m.Root, true
+	}
+	cur := m.Root
+	start := 0
+	for start <= len(path) {
+		end := start
+		for end < len(path) && path[end] != '/' {
+			end++
+		}
+		name := path[start:end]
+		found := false
+		for _, ch := range cur.Children {
+			if ch.Name == name {
+				cur = ch
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Component{}, false
+		}
+		if end == len(path) {
+			return cur, true
+		}
+		start = end + 1
+	}
+	return Component{}, false
+}

@@ -1,0 +1,130 @@
+package riif
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleModel() Model {
+	return Model{
+		Name:    "demo-soc",
+		Version: "1.0",
+		Root: Component{
+			Name: "soc",
+			Children: []Component{
+				{
+					Name: "cpu", Kind: "cpu", Technology: "28nm",
+					FailureModes: []FailureMode{
+						{Name: "ff-seu", FIT: 50, Detectable: true, Coverage: 0.9},
+						{Name: "logic-set", FIT: 10},
+					},
+				},
+				{
+					Name: "sram", Kind: "sram", Technology: "28nm", Quantity: 4,
+					FailureModes: []FailureMode{
+						{Name: "bit-seu", FIT: 100, Detectable: true, Coverage: 0.99},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestTotalsAndResiduals(t *testing.T) {
+	m := sampleModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantRaw := 50.0 + 10 + 4*100
+	if got := m.TotalFIT(); math.Abs(got-wantRaw) > 1e-9 {
+		t.Errorf("TotalFIT = %v, want %v", got, wantRaw)
+	}
+	wantRes := 50*0.1 + 10 + 4*100*0.01
+	if got := m.ResidualFIT(); math.Abs(got-wantRes) > 1e-9 {
+		t.Errorf("ResidualFIT = %v, want %v", got, wantRes)
+	}
+}
+
+func TestFluxScale(t *testing.T) {
+	m := sampleModel()
+	m.FluxScale = 300 // avionics vs ground
+	if got, want := m.TotalFIT(), 300*460.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("scaled TotalFIT = %v, want %v", got, want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleModel()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalFIT()-m2.TotalFIT()) > 1e-9 {
+		t.Error("round trip changed totals")
+	}
+	if m2.Name != m.Name || len(m2.Root.Children) != 2 {
+		t.Error("round trip lost structure")
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	src := `{"name":"x","version":"1","root":{"name":"r"},"bogus":1}`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []Model{
+		{Name: "", Root: Component{Name: "r"}},
+		{Name: "x", Root: Component{Name: ""}},
+		{Name: "x", Root: Component{Name: "r", FailureModes: []FailureMode{{Name: "", FIT: 1}}}},
+		{Name: "x", Root: Component{Name: "r", FailureModes: []FailureMode{{Name: "m", FIT: -1}}}},
+		{Name: "x", Root: Component{Name: "r", FailureModes: []FailureMode{{Name: "m", FIT: 1, Detectable: true, Coverage: 2}}}},
+		{Name: "x", Root: Component{Name: "r", FailureModes: []FailureMode{{Name: "m", FIT: 1, Coverage: 0.5}}}},
+		{Name: "x", Root: Component{Name: "r", Children: []Component{{Name: "a"}, {Name: "a"}}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	m := sampleModel()
+	if c, ok := m.Find("cpu"); !ok || c.Kind != "cpu" {
+		t.Error("Find(cpu) failed")
+	}
+	if _, ok := m.Find("gpu"); ok {
+		t.Error("Find must miss absent components")
+	}
+	if c, ok := m.Find(""); !ok || c.Name != "soc" {
+		t.Error("empty path must return root")
+	}
+	// Nested path.
+	m.Root.Children[0].Children = []Component{{Name: "regfile"}}
+	if c, ok := m.Find("cpu/regfile"); !ok || c.Name != "regfile" {
+		t.Error("nested Find failed")
+	}
+	if _, ok := m.Find("cpu/missing"); ok {
+		t.Error("nested miss must fail")
+	}
+}
+
+func TestQuantityDefaults(t *testing.T) {
+	c := Component{Name: "x", FailureModes: []FailureMode{{Name: "m", FIT: 5}}}
+	if c.TotalFIT() != 5 {
+		t.Error("quantity 0 must default to 1")
+	}
+	c.Quantity = 3
+	if c.TotalFIT() != 15 {
+		t.Error("quantity multiplies FIT")
+	}
+}

@@ -1,0 +1,397 @@
+// Package rsn models IEEE 1687-style reconfigurable scan networks —
+// the calibration/debug/test access infrastructure that Section III.E
+// identifies as itself needing test, validation, diagnosis and aging
+// analysis (refs [15]–[17], [29], [30], [36], [44], [45], [47]).
+//
+// The model implements SIBs (segment insertion bits), ScanMuxes and TDRs
+// with full capture-shift-update (CSU) semantics: control bits latched
+// at update time reconfigure the active scan path of the next CSU.
+package rsn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind enumerates network node kinds.
+type Kind uint8
+
+const (
+	// KindTDR is a test data register of Bits cells.
+	KindTDR Kind = iota
+	// KindSIB is a segment insertion bit: a 1-bit control register whose
+	// updated value splices the child segment into the scan path.
+	KindSIB
+	// KindMux is a scan multiplexer: a 1-bit control register selecting
+	// which of two child segments is on the path.
+	KindMux
+)
+
+// Node is one element of the network tree.
+type Node struct {
+	Kind Kind
+	Name string
+	Bits int // TDR width (KindTDR only)
+
+	// Child segments: SIB uses Children[0]; Mux uses Children[0] (sel=0)
+	// and Children[1] (sel=1). Each child is an ordered segment.
+	Children [][]*Node
+
+	// Shift cells and control state.
+	cells   []bool // shift-register content (Bits for TDR, 1 for SIB/Mux)
+	control bool   // latched control value (SIB open / mux select)
+
+	// Instrument value captured into a TDR at the start of each CSU.
+	instrument []bool
+
+	fault Fault
+}
+
+// TDR builds a test data register node.
+func TDR(name string, bits int) *Node {
+	return &Node{Kind: KindTDR, Name: name, Bits: bits,
+		cells: make([]bool, bits), instrument: make([]bool, bits)}
+}
+
+// SIB builds a segment insertion bit gating the given child segment.
+func SIB(name string, child ...*Node) *Node {
+	return &Node{Kind: KindSIB, Name: name, Children: [][]*Node{child}, cells: make([]bool, 1)}
+}
+
+// Mux builds a scan mux selecting between two child segments.
+func Mux(name string, sel0, sel1 []*Node) *Node {
+	return &Node{Kind: KindMux, Name: name, Children: [][]*Node{sel0, sel1}, cells: make([]bool, 1)}
+}
+
+// FaultKind enumerates RSN fault models.
+type FaultKind uint8
+
+const (
+	// NoFault marks a healthy node.
+	NoFault FaultKind = iota
+	// SIBStuckClosed keeps the child segment off the path forever.
+	SIBStuckClosed
+	// SIBStuckOpen keeps the child segment on the path forever.
+	SIBStuckOpen
+	// MuxStuckSel0 / MuxStuckSel1 pin the mux select.
+	MuxStuckSel0
+	MuxStuckSel1
+	// CellStuck0 / CellStuck1 pin one shift cell of the node.
+	CellStuck0
+	CellStuck1
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	names := [...]string{"none", "sib-stuck-closed", "sib-stuck-open",
+		"mux-stuck-0", "mux-stuck-1", "cell-sa0", "cell-sa1"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// Fault is a fault instance bound to a node.
+type Fault struct {
+	Kind FaultKind
+	Cell int // for CellStuck*: which cell
+}
+
+// Network is a scan network with a fixed top-level segment.
+type Network struct {
+	Name string
+	Top  []*Node
+
+	nodes map[string]*Node
+	// usage statistics for the aging analysis: per-SIB/Mux counts of
+	// CSUs spent with control = 1.
+	csuCount  int
+	openCount map[string]int
+}
+
+// New assembles a network, indexing nodes by name (names must be unique).
+func New(name string, top ...*Node) (*Network, error) {
+	n := &Network{Name: name, Top: top, nodes: make(map[string]*Node), openCount: make(map[string]int)}
+	var walk func(seg []*Node) error
+	walk = func(seg []*Node) error {
+		for _, node := range seg {
+			if node.Name == "" {
+				return fmt.Errorf("rsn: node with empty name")
+			}
+			if _, dup := n.nodes[node.Name]; dup {
+				return fmt.Errorf("rsn: duplicate node name %q", node.Name)
+			}
+			n.nodes[node.Name] = node
+			for _, child := range node.Children {
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(top); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Node returns a node by name.
+func (n *Network) Node(name string) (*Node, bool) {
+	node, ok := n.nodes[name]
+	return node, ok
+}
+
+// Names returns all node names (sorted deterministically by insertion of
+// a simple insertion sort to stay dependency-free).
+func (n *Network) Names() []string {
+	out := make([]string, 0, len(n.nodes))
+	for k := range n.nodes {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// InjectFault attaches a fault to a node.
+func (n *Network) InjectFault(name string, f Fault) error {
+	node, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("rsn: unknown node %q", name)
+	}
+	node.fault = f
+	return nil
+}
+
+// ClearFaults removes all faults.
+func (n *Network) ClearFaults() {
+	for _, node := range n.nodes {
+		node.fault = Fault{}
+	}
+}
+
+// Reset returns all registers and controls to zero (test-logic-reset);
+// by convention all SIBs reset closed and muxes to select 0.
+func (n *Network) Reset() {
+	for _, node := range n.nodes {
+		for i := range node.cells {
+			node.cells[i] = false
+		}
+		node.control = false
+	}
+	n.csuCount = 0
+	n.openCount = make(map[string]int)
+}
+
+// SetInstrument sets the value a TDR captures at the next CSU.
+func (n *Network) SetInstrument(name string, bits []bool) error {
+	node, ok := n.nodes[name]
+	if !ok || node.Kind != KindTDR {
+		return fmt.Errorf("rsn: %q is not a TDR", name)
+	}
+	copy(node.instrument, bits)
+	return nil
+}
+
+// effControl returns a node's control value after fault masking.
+func (node *Node) effControl() bool {
+	switch node.fault.Kind {
+	case SIBStuckClosed, MuxStuckSel0:
+		return false
+	case SIBStuckOpen, MuxStuckSel1:
+		return true
+	}
+	return node.control
+}
+
+// activePath appends the ordered shift cells of the current path. The
+// convention: a SIB's child segment precedes the SIB's own control cell;
+// a mux's selected segment precedes the mux control cell.
+type cellRef struct {
+	node *Node
+	idx  int
+}
+
+func appendPath(path []cellRef, seg []*Node) []cellRef {
+	for _, node := range seg {
+		switch node.Kind {
+		case KindTDR:
+			for i := 0; i < node.Bits; i++ {
+				path = append(path, cellRef{node, i})
+			}
+		case KindSIB:
+			if node.effControl() {
+				path = appendPath(path, node.Children[0])
+			}
+			path = append(path, cellRef{node, 0})
+		case KindMux:
+			sel := 0
+			if node.effControl() {
+				sel = 1
+			}
+			path = appendPath(path, node.Children[sel])
+			path = append(path, cellRef{node, 0})
+		}
+	}
+	return path
+}
+
+// PathLength returns the current active scan-path length in cells.
+func (n *Network) PathLength() int {
+	return len(appendPath(nil, n.Top))
+}
+
+// PathNodes lists the names of nodes with cells on the current path, in
+// scan order (duplicates collapsed).
+func (n *Network) PathNodes() []string {
+	var out []string
+	last := ""
+	for _, ref := range appendPath(nil, n.Top) {
+		if ref.node.Name != last {
+			out = append(out, ref.node.Name)
+			last = ref.node.Name
+		}
+	}
+	return out
+}
+
+// CSU performs one capture-shift-update cycle, shifting len(in) bits —
+// the tester always decides the shift count, so a fault that changes the
+// physical path length shows up as misaligned data, exactly as on
+// silicon. It returns the bits shifted out (first bit out first).
+func (n *Network) CSU(in []bool) ([]bool, error) {
+	path := appendPath(nil, n.Top)
+	if len(path) == 0 {
+		return nil, fmt.Errorf("rsn: empty scan path")
+	}
+	// Capture: TDRs load instrument values.
+	for _, node := range n.nodes {
+		if node.Kind == KindTDR {
+			copy(node.cells, node.instrument)
+		}
+	}
+	// Shift bit-serially: ScanIn feeds path[0]; path[len-1] is ScanOut.
+	out := make([]bool, len(in))
+	for i, b := range in {
+		out[i] = readCell(path[len(path)-1])
+		for j := len(path) - 1; j > 0; j-- {
+			writeCell(path[j], readCell(path[j-1]))
+		}
+		writeCell(path[0], b)
+	}
+	// Update: SIB and mux controls latch their (possibly faulty) cells.
+	for _, node := range n.nodes {
+		if node.Kind == KindSIB || node.Kind == KindMux {
+			node.control = readCell(cellRef{node, 0})
+		}
+	}
+	// Usage statistics.
+	n.csuCount++
+	for name, node := range n.nodes {
+		if (node.Kind == KindSIB || node.Kind == KindMux) && node.effControl() {
+			n.openCount[name]++
+		}
+	}
+	return out, nil
+}
+
+func readCell(ref cellRef) bool {
+	switch ref.node.fault.Kind {
+	case CellStuck0:
+		if ref.node.fault.Cell == ref.idx {
+			return false
+		}
+	case CellStuck1:
+		if ref.node.fault.Cell == ref.idx {
+			return true
+		}
+	}
+	return ref.node.cells[ref.idx]
+}
+
+func writeCell(ref cellRef, v bool) {
+	switch ref.node.fault.Kind {
+	case CellStuck0:
+		if ref.node.fault.Cell == ref.idx {
+			v = false
+		}
+	case CellStuck1:
+		if ref.node.fault.Cell == ref.idx {
+			v = true
+		}
+	}
+	ref.node.cells[ref.idx] = v
+}
+
+// UsageDuty returns per-node open-duty over all CSUs since Reset — the
+// stress profile for the NBTI aging analysis of [36].
+func (n *Network) UsageDuty() map[string]float64 {
+	out := make(map[string]float64)
+	if n.csuCount == 0 {
+		return out
+	}
+	for name, node := range n.nodes {
+		if node.Kind == KindSIB || node.Kind == KindMux {
+			out[name] = float64(n.openCount[name]) / float64(n.csuCount)
+		}
+	}
+	return out
+}
+
+// String renders the network structure.
+func (n *Network) String() string {
+	var b strings.Builder
+	var walk func(seg []*Node, depth int)
+	walk = func(seg []*Node, depth int) {
+		for _, node := range seg {
+			fmt.Fprintf(&b, "%s%s(%s)", strings.Repeat("  ", depth), node.Name, node.Kind)
+			if node.Kind == KindTDR {
+				fmt.Fprintf(&b, "[%d]", node.Bits)
+			}
+			b.WriteByte('\n')
+			for _, child := range node.Children {
+				walk(child, depth+1)
+			}
+		}
+	}
+	walk(n.Top, 0)
+	return b.String()
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	return [...]string{"TDR", "SIB", "MUX"}[k]
+}
+
+// RandomNetwork generates a deterministic random hierarchical network
+// with the given number of SIB levels and TDRs, for test and benchmark
+// workloads.
+func RandomNetwork(name string, levels, tdrsPerLevel int, seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	id := 0
+	var build func(level int) []*Node
+	build = func(level int) []*Node {
+		var seg []*Node
+		for i := 0; i < tdrsPerLevel; i++ {
+			id++
+			seg = append(seg, TDR(fmt.Sprintf("tdr_%d_%d", level, id), 2+rng.Intn(6)))
+		}
+		if level < levels {
+			id++
+			child := build(level + 1)
+			if rng.Intn(3) == 0 && len(child) >= 2 {
+				mid := len(child) / 2
+				seg = append(seg, Mux(fmt.Sprintf("mux_%d_%d", level, id), child[:mid], child[mid:]))
+			} else {
+				seg = append(seg, SIB(fmt.Sprintf("sib_%d_%d", level, id), child...))
+			}
+		}
+		return seg
+	}
+	return New(name, build(0)...)
+}

@@ -1,0 +1,357 @@
+package rsn
+
+import (
+	"strings"
+	"testing"
+)
+
+// demoNetwork builds a two-level network:
+//
+//	top: TDR a[4], SIB s1 -> (TDR b[3], SIB s2 -> TDR c[2]), MUX m -> (TDR d[2] | TDR e[2])
+func demoNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := New("demo",
+		TDR("a", 4),
+		SIB("s1", TDR("b", 3), SIB("s2", TDR("c", 2))),
+		Mux("m", []*Node{TDR("d", 2)}, []*Node{TDR("e", 2)}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Reset()
+	return n
+}
+
+func TestPathLengthReflectsConfiguration(t *testing.T) {
+	n := demoNetwork(t)
+	// Reset: s1 closed, s2 closed, m sel0.
+	// Path: a[4] + s1 + d[2] + m = 8.
+	if got := n.PathLength(); got != 8 {
+		t.Fatalf("reset path = %d, want 8", got)
+	}
+	// Open s1: path grows by b[3] + s2 = 4.
+	if _, err := n.CSU(n.ConfigVector(map[string]bool{"s1": true}, false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.PathLength(); got != 12 {
+		t.Fatalf("s1-open path = %d, want 12", got)
+	}
+	// Open s2 too: +c[2].
+	if _, err := n.CSU(n.ConfigVector(map[string]bool{"s1": true, "s2": true}, false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.PathLength(); got != 14 {
+		t.Fatalf("all-open path = %d, want 14", got)
+	}
+	nodes := strings.Join(n.PathNodes(), ",")
+	if !strings.Contains(nodes, "c") || !strings.Contains(nodes, "b") {
+		t.Errorf("open path must include b and c: %s", nodes)
+	}
+}
+
+func TestShiftDataRoundTrip(t *testing.T) {
+	n := demoNetwork(t)
+	// Shift a known pattern through the 8-bit path twice: the second CSU
+	// must deliver the first pattern back (TDR capture disabled by
+	// leaving instruments at zero means capture clears TDR cells; SIB
+	// and mux cells survive — so compare only TDR positions via the
+	// pattern that keeps controls at zero).
+	in := []bool{true, false, true, false, true, false, true, false}
+	if _, err := n.CSU(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.CSU(make([]bool, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control cells (s1 at path pos 4? layout: a0..a3, d0, d1, m, s1 —
+	// depends on order) — just check we got some of the ones back and
+	// that the stream is not all-zero: TDR capture zeroed TDR cells, so
+	// surviving ones are exactly the control-cell positions.
+	ones := 0
+	for _, b := range out {
+		if b {
+			ones++
+		}
+	}
+	if ones == 0 {
+		t.Error("control cells must retain shifted ones")
+	}
+}
+
+func TestInstrumentCapture(t *testing.T) {
+	n := demoNetwork(t)
+	if err := n.SetInstrument("a", []bool{true, true, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.CSU(make([]bool, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's cells are at path positions 0..3 (ScanIn side); they come out
+	// last: out[4..7] = a3, a2, a1, a0 reversed order.
+	got := []bool{out[7], out[6], out[5], out[4]}
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("captured instrument = %v, want %v", got, want)
+		}
+	}
+	if err := n.SetInstrument("s1", []bool{true}); err == nil {
+		t.Error("SetInstrument must reject non-TDR nodes")
+	}
+}
+
+func TestOpenAllConverges(t *testing.T) {
+	n := demoNetwork(t)
+	csus, err := n.OpenAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csus < 2 {
+		t.Errorf("nested network needs >= 2 CSUs, used %d", csus)
+	}
+	if n.PathLength() != 14 {
+		t.Errorf("all-open length = %d, want 14", n.PathLength())
+	}
+}
+
+func TestGeneratedTestDetectsAllFaults(t *testing.T) {
+	golden := demoNetwork(t)
+	seq, err := GenerateTest(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden network itself must pass.
+	pass := golden.Clone()
+	if step, _ := ApplyTest(pass, seq); step != -1 {
+		t.Fatalf("golden network fails its own test at step %d", step)
+	}
+	// Every single fault must be detected.
+	for _, cand := range AllFaults(golden) {
+		dut := golden.Clone()
+		if err := dut.InjectFault(cand.Node, cand.Fault); err != nil {
+			t.Fatal(err)
+		}
+		step, err := ApplyTest(dut, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == -1 {
+			t.Errorf("fault %s on %s escaped the test", cand.Fault.Kind, cand.Node)
+		}
+	}
+}
+
+func TestGeneratedTestOnRandomNetworks(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		golden, err := RandomNetwork("rand", 3, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden.Reset()
+		seq, err := GenerateTest(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		detected, total := 0, 0
+		for _, cand := range AllFaults(golden) {
+			total++
+			dut := golden.Clone()
+			_ = dut.InjectFault(cand.Node, cand.Fault)
+			if step, _ := ApplyTest(dut, seq); step != -1 {
+				detected++
+			}
+		}
+		if detected < total*95/100 {
+			t.Errorf("seed %d: detected %d/%d", seed, detected, total)
+		}
+	}
+}
+
+func TestEquivalenceCheck(t *testing.T) {
+	a := demoNetwork(t)
+	b := a.Clone()
+	if mm := CheckEquivalence(a, b, 50, 7); mm != nil {
+		t.Fatalf("identical networks reported different: %+v", mm)
+	}
+	// A structurally different network (one TDR one bit longer) must be
+	// caught.
+	c, err := New("demo2",
+		TDR("a", 5), // was 4
+		SIB("s1", TDR("b", 3), SIB("s2", TDR("c", 2))),
+		Mux("m", []*Node{TDR("d", 2)}, []*Node{TDR("e", 2)}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm := CheckEquivalence(a, c, 50, 7); mm == nil {
+		t.Error("different networks reported equivalent")
+	}
+	// A behaviourally different network: mux children swapped.
+	d, err := New("demo3",
+		TDR("a", 4),
+		SIB("s1", TDR("b", 3), SIB("s2", TDR("c", 2))),
+		Mux("m", []*Node{TDR("d", 2)}, []*Node{TDR("e", 3)}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm := CheckEquivalence(a, d, 50, 7); mm == nil {
+		t.Error("networks with different sel-1 branches reported equivalent")
+	}
+}
+
+func TestDiagnosisIdentifiesInjectedFault(t *testing.T) {
+	golden := demoNetwork(t)
+	seq, err := GenerateTest(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dut := golden.Clone()
+	_ = dut.InjectFault("s2", Fault{Kind: SIBStuckClosed})
+	dut.Reset()
+	ApplySignatures(dut)
+	var outs [][]bool
+	for _, st := range seq.Steps {
+		o, err := dut.CSU(st.In)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, o)
+	}
+	matches := Diagnose(golden, seq, func(step int, in []bool) []bool { return outs[step] })
+	found := false
+	for _, m := range matches {
+		if strings.HasPrefix(m, "s2:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnosis missed s2; candidates: %v", matches)
+	}
+	if len(matches) > 3 {
+		t.Errorf("diagnosis resolution poor: %v", matches)
+	}
+}
+
+func TestAccessCostHierarchicalVsFlat(t *testing.T) {
+	// Hierarchical: 8 instruments behind individual SIBs.
+	var hierNodes []*Node
+	for i := 0; i < 8; i++ {
+		hierNodes = append(hierNodes, SIB(sibName(i), TDR(tdrName(i), 16)))
+	}
+	hier, err := New("hier", hierNodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat: all instruments always on the path.
+	var flatNodes []*Node
+	for i := 0; i < 8; i++ {
+		flatNodes = append(flatNodes, TDR("f"+tdrName(i), 16))
+	}
+	flat, err := New("flat", flatNodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBits, hCSUs, err := hier.AccessCost(tdrName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBits, fCSUs, err := flat.AccessCost("f" + tdrName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hBits >= fBits {
+		t.Errorf("hierarchical access (%d bits) must beat flat (%d bits)", hBits, fBits)
+	}
+	if hCSUs < fCSUs {
+		t.Logf("hierarchical uses %d CSUs vs flat %d (expected: more CSUs, fewer bits)", hCSUs, fCSUs)
+	}
+}
+
+func sibName(i int) string { return "sib" + string(rune('a'+i)) }
+func tdrName(i int) string { return "tdr" + string(rune('a'+i)) }
+
+func TestUsageDutyForAging(t *testing.T) {
+	n := demoNetwork(t)
+	// Keep s1 open for most CSUs.
+	for i := 0; i < 9; i++ {
+		if _, err := n.CSU(n.ConfigVector(map[string]bool{"s1": true}, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.CSU(n.ConfigVector(nil, false)); err != nil {
+		t.Fatal(err)
+	}
+	duty := n.UsageDuty()
+	if duty["s1"] < 0.7 {
+		t.Errorf("s1 duty = %v, want high", duty["s1"])
+	}
+	if duty["s2"] > 0.2 {
+		t.Errorf("s2 duty = %v, want low", duty["s2"])
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := New("dup", TDR("x", 2), TDR("x", 2)); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+	if _, err := New("empty", &Node{Kind: KindTDR}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	n := demoNetwork(t)
+	if err := n.InjectFault("nope", Fault{Kind: SIBStuckOpen}); err == nil {
+		t.Error("unknown node must be rejected")
+	}
+	if !strings.Contains(n.String(), "s1(SIB)") {
+		t.Error("String must render structure")
+	}
+}
+
+func TestRandomNetworkDeterministic(t *testing.T) {
+	a, err := RandomNetwork("r", 4, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomNetwork("r", 4, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed must give same network")
+	}
+	if mm := CheckEquivalence(a, b, 30, 1); mm != nil {
+		t.Errorf("same-seed networks not equivalent: %+v", mm)
+	}
+}
+
+func TestCompactTestPreservesCoverage(t *testing.T) {
+	golden := demoNetwork(t)
+	seq, err := GenerateTest(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := CompactTest(golden, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compact.BitCount() >= seq.BitCount() {
+		t.Errorf("compaction did not shrink: %d -> %d bits", seq.BitCount(), compact.BitCount())
+	}
+	// Coverage must be identical.
+	count := func(s *TestSequence) int {
+		det := 0
+		for _, cand := range AllFaults(golden) {
+			dut := golden.Clone()
+			_ = dut.InjectFault(cand.Node, cand.Fault)
+			if step, _ := ApplyTest(dut, s); step != -1 {
+				det++
+			}
+		}
+		return det
+	}
+	if count(compact) != count(seq) {
+		t.Errorf("compaction lost coverage: %d vs %d", count(compact), count(seq))
+	}
+}

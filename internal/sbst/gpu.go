@@ -1,0 +1,110 @@
+package sbst
+
+import (
+	"rescue/internal/gpgpu"
+)
+
+// GPUKernelSpec couples a kernel with its observable signature region.
+type GPUKernelSpec struct {
+	Kernel  *gpgpu.Kernel
+	SigBase int
+	SigLen  int
+	Budget  int64
+	// Preload fills input memory before the run.
+	Preload func(g *gpgpu.GPU)
+}
+
+// StandardGPUSuite returns the GPGPU SBST library: the register march,
+// the ALU/pipeline pattern and the scheduler probe of ref. [11].
+func StandardGPUSuite() []GPUKernelSpec {
+	loadInputs := func(g *gpgpu.GPU) {
+		for i := 0; i < g.Threads(); i++ {
+			g.Mem[gpgpu.ABase+i] = uint32(i*7 + 3)
+			g.Mem[gpgpu.BBase+i] = uint32(i*13 + 1)
+		}
+	}
+	return []GPUKernelSpec{
+		{Kernel: gpgpu.RegisterMarch(), SigBase: gpgpu.OutBase, SigLen: 32, Budget: 100000},
+		{Kernel: gpgpu.ALUPattern(), SigBase: gpgpu.OutBase, SigLen: 32, Budget: 100000},
+		{Kernel: gpgpu.SchedulerProbe(), SigBase: gpgpu.SharedBase, SigLen: 64, Budget: 100000},
+		{Kernel: gpgpu.VectorAdd(), SigBase: gpgpu.OutBase, SigLen: 32, Budget: 100000, Preload: loadInputs},
+	}
+}
+
+// ApplicationGPUSuite returns only "ordinary" dataflow kernels — the
+// baseline that the paper shows cannot expose scheduler faults.
+func ApplicationGPUSuite() []GPUKernelSpec {
+	loadInputs := func(g *gpgpu.GPU) {
+		for i := 0; i < g.Threads(); i++ {
+			g.Mem[gpgpu.ABase+i] = uint32(i*7 + 3)
+			g.Mem[gpgpu.BBase+i] = uint32(i*13 + 1)
+		}
+	}
+	return []GPUKernelSpec{
+		{Kernel: gpgpu.VectorAdd(), SigBase: gpgpu.OutBase, SigLen: 32, Budget: 100000, Preload: loadInputs},
+		{Kernel: gpgpu.SAXPY(9), SigBase: gpgpu.OutBase, SigLen: 32, Budget: 100000, Preload: loadInputs},
+		{Kernel: gpgpu.ReduceSum(), SigBase: gpgpu.SharedBase, SigLen: 8, Budget: 100000, Preload: loadInputs},
+	}
+}
+
+// GPUFaultList enumerates a representative GPGPU fault list across the
+// scheduler, pipeline operand registers and lane register files.
+func GPUFaultList(cfg gpgpu.Config) []gpgpu.Fault {
+	faults := []gpgpu.Fault{
+		{Kind: gpgpu.SchedulerStuck},
+	}
+	for w := 0; w < cfg.Warps; w++ {
+		faults = append(faults, gpgpu.Fault{Kind: gpgpu.SchedulerSkip, Warp: w})
+	}
+	for bit := 0; bit < 32; bit += 3 {
+		faults = append(faults,
+			gpgpu.Fault{Kind: gpgpu.PipelineOperandStuck0, Bit: bit},
+			gpgpu.Fault{Kind: gpgpu.PipelineOperandStuck1, Bit: bit},
+		)
+	}
+	for reg := 2; reg < cfg.Regs; reg += 3 {
+		faults = append(faults, gpgpu.Fault{
+			Kind: gpgpu.RegStuck0, Warp: 1 % cfg.Warps, Lane: 2 % cfg.Lanes, Reg: reg, Bit: (reg * 5) % 32,
+		})
+		faults = append(faults, gpgpu.Fault{
+			Kind: gpgpu.RegStuck1, Warp: 2 % cfg.Warps, Lane: 3 % cfg.Lanes, Reg: reg, Bit: (reg * 7) % 32,
+		})
+	}
+	return faults
+}
+
+// gpuSignature runs a kernel spec and returns its output signature;
+// hangs and traps fold in a watchdog marker.
+func gpuSignature(cfg gpgpu.Config, spec GPUKernelSpec, faults []gpgpu.Fault) uint64 {
+	g := gpgpu.New(cfg)
+	for _, f := range faults {
+		g.Inject(f)
+	}
+	if spec.Preload != nil {
+		spec.Preload(g)
+	}
+	if err := g.Run(spec.Kernel, spec.Budget); err != nil {
+		return 0xDEAD_0000_0000_0000 // watchdog fired
+	}
+	return g.Signature(spec.SigBase, spec.SigLen)
+}
+
+// RunGPUCampaign evaluates a kernel suite against the fault list.
+func RunGPUCampaign(cfg gpgpu.Config, suite []GPUKernelSpec, faults []gpgpu.Fault) (*Report, error) {
+	rep := &Report{Faults: len(faults), PerProgram: make([]int, len(suite))}
+	golden := make([]uint64, len(suite))
+	for i, spec := range suite {
+		rep.Programs = append(rep.Programs, spec.Kernel.Name)
+		golden[i] = gpuSignature(cfg, spec, nil)
+	}
+	for _, f := range faults {
+		for i, spec := range suite {
+			if gpuSignature(cfg, spec, []gpgpu.Fault{f}) != golden[i] {
+				rep.Detected++
+				rep.PerProgram[i]++
+				break
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,295 @@
+// Package sbst implements software-based self-test (Section III.A):
+// deterministic test programs for the CPU and test kernels for the GPGPU
+// that expose microarchitectural faults through memory signatures, plus
+// campaign drivers that quantify fault coverage the way the RESCUE
+// GPGPU/CPU papers do ([11], [23], [28], [42]). It also identifies safe
+// faults — faults on resources an application never uses ([33]) — to
+// correct the coverage denominator.
+package sbst
+
+import (
+	"fmt"
+
+	"rescue/internal/cpu"
+)
+
+// ---------- CPU side ----------
+
+// CPUProgram couples a test program with its result-signature region.
+type CPUProgram struct {
+	Name    string
+	Src     string
+	MemSize int
+	SigLo   uint32 // signature region [SigLo, SigHi)
+	SigHi   uint32
+	Budget  int64
+}
+
+// ALUMarch exercises ALU ops with complementary patterns across all
+// general registers, storing a rotating signature.
+func ALUMarch() CPUProgram {
+	return CPUProgram{
+		Name:    "alu-march",
+		MemSize: 64,
+		SigLo:   0, SigHi: 8,
+		Budget: 4000,
+		Src: `
+		# r20 = signature
+		l.addi r20, r0, 0
+		l.movhi r1, 0x5555
+		l.ori  r1, r1, 0x5555
+		l.movhi r2, 0xaaaa
+		l.ori  r2, r2, 0xaaaa
+		l.add  r3, r1, r2
+		l.xor  r20, r20, r3
+		l.sub  r4, r1, r2
+		l.add  r20, r20, r4
+		l.and  r5, r1, r2
+		l.xor  r20, r20, r5
+		l.or   r6, r1, r2
+		l.add  r20, r20, r6
+		l.mul  r7, r1, r2
+		l.xor  r20, r20, r7
+		l.addi r8, r0, 13
+		l.sll  r9, r1, r8
+		l.add  r20, r20, r9
+		l.srl  r10, r2, r8
+		l.xor  r20, r20, r10
+		l.sra  r11, r2, r8
+		l.add  r20, r20, r11
+		l.sw   0(r0), r20
+		l.halt
+	`}
+}
+
+// RegisterWalk marches a register-unique value and its complement
+// through r1..r28, reading each back into a rotating signature. The two
+// passes guarantee every bit of every walked register is observed at
+// both polarities, catching stuck-0 and stuck-1 alike.
+func RegisterWalk() CPUProgram {
+	src := "l.addi r29, r0, 0\n"
+	compact := func(r int) string {
+		return fmt.Sprintf(`l.add r29, r29, r%d
+l.addi r30, r0, 1
+l.sll r31, r29, r30
+l.addi r30, r0, 31
+l.srl r30, r29, r30
+l.or r29, r31, r30
+`, r)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for r := 1; r <= 28; r++ {
+			hi := (r * 0x111) & 0xFFFF
+			lo := (r * 0x2481) & 0xFFFF
+			if pass == 1 {
+				hi ^= 0xFFFF
+				lo ^= 0xFFFF
+			}
+			src += fmt.Sprintf("l.movhi r%d, %d\n", r, hi)
+			src += fmt.Sprintf("l.ori r%d, r%d, %d\n", r, r, lo)
+		}
+		for r := 1; r <= 28; r++ {
+			src += compact(r)
+		}
+	}
+	src += "l.sw 0(r0), r29\nl.halt\n"
+	return CPUProgram{Name: "register-walk", MemSize: 8, SigLo: 0, SigHi: 1, Budget: 8000, Src: src}
+}
+
+// BranchTest exercises the compare/branch unit: every compare op on
+// boundary operand pairs drives a taken/not-taken branch that merges a
+// distinct constant into the signature.
+func BranchTest() CPUProgram {
+	src := `
+		l.addi r20, r0, 0
+		l.addi r1, r0, 5
+		l.addi r2, r0, 5
+		l.sfeq r1, r2
+		l.bf eq_taken
+		l.addi r20, r20, 1
+		l.j after_eq
+	eq_taken:
+		l.addi r20, r20, 2
+	after_eq:
+		l.sfne r1, r2
+		l.bf ne_taken
+		l.addi r20, r20, 4
+		l.j after_ne
+	ne_taken:
+		l.addi r20, r20, 8
+	after_ne:
+		l.addi r3, r0, 7
+		l.sfgtu r3, r1
+		l.bnf gt_not
+		l.addi r20, r20, 16
+	gt_not:
+		l.sfltu r3, r1
+		l.bf lt_taken
+		l.addi r20, r20, 32
+	lt_taken:
+		l.sw 0(r0), r20
+		l.halt
+	`
+	return CPUProgram{Name: "branch-test", MemSize: 8, SigLo: 0, SigHi: 1, Budget: 4000, Src: src}
+}
+
+// LoadStoreTest marches address and data patterns through memory.
+func LoadStoreTest() CPUProgram {
+	src := `
+		l.addi r20, r0, 0
+		l.addi r1, r0, 1
+	`
+	for a := 1; a < 8; a++ {
+		src += fmt.Sprintf("l.movhi r2, %d\nl.ori r2, r2, %d\n", a*0x0101, (a*0x4321)&0xFFFF)
+		src += fmt.Sprintf("l.sw %d(r0), r2\n", a)
+	}
+	for a := 1; a < 8; a++ {
+		src += fmt.Sprintf("l.lwz r3, %d(r0)\n", a)
+		src += "l.add r20, r20, r3\n"
+	}
+	src += "l.sw 0(r0), r20\nl.halt\n"
+	return CPUProgram{Name: "load-store", MemSize: 16, SigLo: 0, SigHi: 8, Budget: 4000, Src: src}
+}
+
+// StandardCPUSuite returns the deterministic SBST library.
+func StandardCPUSuite() []CPUProgram {
+	return []CPUProgram{ALUMarch(), RegisterWalk(), BranchTest(), LoadStoreTest()}
+}
+
+// CPUFaultList enumerates a representative microarchitectural fault list:
+// stuck bits sampled across the register file plus decoder swaps between
+// neighbouring opcodes.
+func CPUFaultList() []cpu.Fault {
+	var faults []cpu.Fault
+	for reg := 1; reg <= 28; reg += 3 {
+		for bit := 0; bit < 32; bit += 5 {
+			faults = append(faults,
+				cpu.Fault{Kind: cpu.RegStuck0, Reg: reg, Bit: bit},
+				cpu.Fault{Kind: cpu.RegStuck1, Reg: reg, Bit: bit},
+			)
+		}
+	}
+	swaps := [][2]cpu.Opcode{
+		{cpu.ADD, cpu.SUB}, {cpu.AND, cpu.OR}, {cpu.XOR, cpu.AND},
+		{cpu.SLL, cpu.SRL}, {cpu.SRL, cpu.SRA}, {cpu.SFEQ, cpu.SFNE},
+		{cpu.SFGTU, cpu.SFLTU}, {cpu.BF, cpu.BNF}, {cpu.ADDI, cpu.XORI},
+		{cpu.MUL, cpu.ADD},
+	}
+	for _, s := range swaps {
+		faults = append(faults, cpu.Fault{Kind: cpu.DecoderSwap, Op1: s[0], Op2: s[1]})
+	}
+	return faults
+}
+
+// signature runs the program and compacts its signature region with
+// FNV-1a; hangs and traps fold a marker into the hash (a watchdog
+// observation, itself a detection mechanism).
+func signature(p CPUProgram, prog *cpu.Program, faults []cpu.Fault) uint64 {
+	mem := cpu.NewMemory(p.MemSize)
+	c := cpu.New(mem)
+	for _, f := range faults {
+		c.Inject(f)
+	}
+	err := c.Run(prog, p.Budget)
+	var h uint64 = 14695981039346656037
+	mix := func(v uint32) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	if err != nil {
+		mix(0xDEAD)
+	}
+	for a := p.SigLo; a < p.SigHi && int(a) < len(mem.Words); a++ {
+		mix(mem.Words[a])
+	}
+	return h
+}
+
+// Report is the outcome of an SBST campaign.
+type Report struct {
+	Programs []string
+	Faults   int
+	Detected int
+	Safe     int // faults on resources the suite never uses
+	// PerProgram[i] counts first-detections attributed to program i.
+	PerProgram []int
+}
+
+// Coverage returns detected / faults.
+func (r *Report) Coverage() float64 {
+	if r.Faults == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Faults)
+}
+
+// EffectiveCoverage excludes safe faults from the denominator — the
+// corrected metric of refs [33] and [46].
+func (r *Report) EffectiveCoverage() float64 {
+	den := r.Faults - r.Safe
+	if den <= 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(den)
+}
+
+// RunCPUCampaign evaluates the program suite against the fault list.
+func RunCPUCampaign(suite []CPUProgram, faults []cpu.Fault) (*Report, error) {
+	rep := &Report{Faults: len(faults), PerProgram: make([]int, len(suite))}
+	progs := make([]*cpu.Program, len(suite))
+	golden := make([]uint64, len(suite))
+	used := make([]map[int]bool, len(suite))
+	for i, p := range suite {
+		rep.Programs = append(rep.Programs, p.Name)
+		asm, err := cpu.Assemble(p.Src)
+		if err != nil {
+			return nil, fmt.Errorf("sbst: %s: %v", p.Name, err)
+		}
+		progs[i] = asm
+		golden[i] = signature(p, asm, nil)
+		used[i] = usedRegisters(asm)
+	}
+	suiteUses := func(reg int) bool {
+		for _, u := range used {
+			if u[reg] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range faults {
+		if (f.Kind == cpu.RegStuck0 || f.Kind == cpu.RegStuck1) && !suiteUses(f.Reg) {
+			rep.Safe++
+			continue
+		}
+		for i, p := range suite {
+			if signature(p, progs[i], []cpu.Fault{f}) != golden[i] {
+				rep.Detected++
+				rep.PerProgram[i]++
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+// usedRegisters returns the registers a program reads or writes.
+func usedRegisters(p *cpu.Program) map[int]bool {
+	u := make(map[int]bool)
+	for _, inst := range p.Insts {
+		switch inst.Op {
+		case cpu.NOP, cpu.HALT, cpu.JMP, cpu.BF, cpu.BNF:
+		case cpu.MOVHI:
+			u[inst.D] = true
+		case cpu.SFEQ, cpu.SFNE, cpu.SFGTU, cpu.SFLTU:
+			u[inst.A], u[inst.B] = true, true
+		case cpu.SW:
+			u[inst.A], u[inst.B] = true, true
+		case cpu.LW, cpu.ADDI, cpu.ANDI, cpu.ORI, cpu.XORI:
+			u[inst.D], u[inst.A] = true, true
+		default:
+			u[inst.D], u[inst.A], u[inst.B] = true, true, true
+		}
+	}
+	return u
+}

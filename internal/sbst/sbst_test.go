@@ -1,0 +1,137 @@
+package sbst
+
+import (
+	"testing"
+
+	"rescue/internal/cpu"
+	"rescue/internal/gpgpu"
+)
+
+func TestCPUSuiteAssemblesAndGoldenIsStable(t *testing.T) {
+	for _, p := range StandardCPUSuite() {
+		prog, err := cpu.Assemble(p.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		a := signature(p, prog, nil)
+		b := signature(p, prog, nil)
+		if a != b {
+			t.Errorf("%s: golden signature unstable", p.Name)
+		}
+		if a == 0 {
+			t.Errorf("%s: degenerate zero signature", p.Name)
+		}
+	}
+}
+
+func TestCPUCampaignCoverage(t *testing.T) {
+	rep, err := RunCPUCampaign(StandardCPUSuite(), CPUFaultList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == 0 || rep.Detected == 0 {
+		t.Fatalf("degenerate campaign: %+v", rep)
+	}
+	if cov := rep.EffectiveCoverage(); cov < 0.9 {
+		t.Errorf("CPU SBST effective coverage = %.3f, want >= 0.9", cov)
+	}
+	// Every program should contribute at least one first-detection.
+	for i, n := range rep.PerProgram {
+		if n == 0 && rep.Programs[i] != "load-store" {
+			t.Logf("note: program %s contributed no first detections", rep.Programs[i])
+		}
+	}
+}
+
+func TestSafeFaultIdentification(t *testing.T) {
+	// A fault on a register the suite never touches must be counted safe
+	// and excluded from the effective denominator ([33]).
+	faults := []cpu.Fault{
+		{Kind: cpu.RegStuck1, Reg: 1, Bit: 0},  // used
+		{Kind: cpu.RegStuck1, Reg: 25, Bit: 0}, // RegisterWalk uses r1..r28: used
+	}
+	// Build a one-program suite that only uses r1 and r20.
+	suite := []CPUProgram{ALUMarch()}
+	rep, err := RunCPUCampaign(suite, []cpu.Fault{
+		{Kind: cpu.RegStuck1, Reg: 1, Bit: 1},  // r1 = 0x55555555: bit 1 is 0
+		{Kind: cpu.RegStuck1, Reg: 19, Bit: 3}, // ALUMarch never uses r19
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Safe != 1 {
+		t.Errorf("safe faults = %d, want 1", rep.Safe)
+	}
+	if rep.EffectiveCoverage() <= rep.Coverage() {
+		t.Error("excluding safe faults must raise effective coverage")
+	}
+	_ = faults
+}
+
+func TestDecoderFaultsNeedBranchTest(t *testing.T) {
+	// A BF<->BNF decoder swap is invisible to pure dataflow programs but
+	// caught by the branch test.
+	fault := cpu.Fault{Kind: cpu.DecoderSwap, Op1: cpu.BF, Op2: cpu.BNF}
+	dataflowOnly := []CPUProgram{ALUMarch(), LoadStoreTest()}
+	rep1, err := RunCPUCampaign(dataflowOnly, []cpu.Fault{fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Detected != 0 {
+		t.Error("dataflow programs should not expose a branch decoder swap")
+	}
+	withBranch := append(dataflowOnly, BranchTest())
+	rep2, err := RunCPUCampaign(withBranch, []cpu.Fault{fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Detected != 1 {
+		t.Error("branch test must expose the BF/BNF swap")
+	}
+}
+
+func TestGPUCampaignCoverage(t *testing.T) {
+	cfg := gpgpu.DefaultConfig
+	rep, err := RunGPUCampaign(cfg, StandardGPUSuite(), GPUFaultList(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := rep.Coverage(); cov < 0.9 {
+		t.Errorf("GPU SBST coverage = %.3f, want >= 0.9 (%d/%d)", cov, rep.Detected, rep.Faults)
+	}
+}
+
+func TestGPUSchedulerCoverageGap(t *testing.T) {
+	// The headline E3 contrast: application kernels miss the scheduler
+	// faults that the targeted probe catches.
+	cfg := gpgpu.DefaultConfig
+	schedFaults := []gpgpu.Fault{{Kind: gpgpu.SchedulerStuck}}
+	apps, err := RunGPUCampaign(cfg, ApplicationGPUSuite(), schedFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apps.Detected != 0 {
+		t.Error("application kernels should miss the stuck-scheduler fault")
+	}
+	probe, err := RunGPUCampaign(cfg, StandardGPUSuite(), schedFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Detected != 1 {
+		t.Error("SBST suite must catch the stuck-scheduler fault")
+	}
+}
+
+func TestReportMath(t *testing.T) {
+	r := Report{Faults: 10, Detected: 6, Safe: 2}
+	if r.Coverage() != 0.6 {
+		t.Error("raw coverage wrong")
+	}
+	if r.EffectiveCoverage() != 0.75 {
+		t.Error("effective coverage wrong")
+	}
+	empty := Report{}
+	if empty.Coverage() != 0 || empty.EffectiveCoverage() != 0 {
+		t.Error("empty report must be zero")
+	}
+}

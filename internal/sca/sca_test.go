@@ -1,0 +1,119 @@
+package sca
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+var secret = []byte{0x4b, 0xe7, 0x12, 0x9a}
+
+func TestTVLAFlagsLeakyComparer(t *testing.T) {
+	o := NewLeakyComparer(secret, 1)
+	tv := TVLA(o, secret, len(secret), 400, 2)
+	if math.Abs(tv) <= TVLAThreshold {
+		t.Errorf("leaky comparer t = %.2f, want |t| > %.1f", tv, TVLAThreshold)
+	}
+}
+
+func TestTVLAPassesConstantTime(t *testing.T) {
+	o := NewConstantTimeComparer(secret, 1)
+	tv := TVLA(o, secret, len(secret), 400, 2)
+	if math.Abs(tv) > TVLAThreshold {
+		t.Errorf("constant-time comparer t = %.2f, want below threshold", tv)
+	}
+}
+
+func TestTimingAttackRecoversSecret(t *testing.T) {
+	o := NewLeakyComparer(secret, 3)
+	got := AttackTiming(o, len(secret), 32, 4)
+	if !bytes.Equal(got, secret) {
+		t.Errorf("attack recovered %x, want %x", got, secret)
+	}
+}
+
+func TestTimingAttackFailsOnConstantTime(t *testing.T) {
+	o := NewConstantTimeComparer(secret, 3)
+	got := AttackTiming(o, len(secret), 16, 4)
+	if bytes.Equal(got, secret) {
+		t.Error("attack must not succeed against the constant-time repair")
+	}
+}
+
+func TestVerificationFlowEndToEnd(t *testing.T) {
+	// E15 flow: detect leak -> demonstrate attack -> repair -> verify.
+	leaky := VerifyTiming("leaky-compare", NewLeakyComparer(secret, 5), secret, 6)
+	if !leaky.Leaky {
+		t.Fatalf("flow must flag the leaky design (t=%.2f)", leaky.TValue)
+	}
+	if !bytes.Equal(leaky.Recovered, secret) {
+		t.Errorf("flow attack recovered %x", leaky.Recovered)
+	}
+	fixed := VerifyTiming("ct-compare", NewConstantTimeComparer(secret, 5), secret, 6)
+	if fixed.Leaky {
+		t.Errorf("repaired design flagged leaky (t=%.2f)", fixed.TValue)
+	}
+	if fixed.Recovered != nil {
+		t.Error("no attack should run on a clean design")
+	}
+}
+
+func TestWelchTBasics(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if got := WelchT(same, same); got != 0 {
+		t.Errorf("identical samples t = %v", got)
+	}
+	a := []float64{10, 10.1, 9.9, 10.2, 9.8}
+	b := []float64{20, 20.1, 19.9, 20.2, 19.8}
+	if got := WelchT(a, b); got > -50 {
+		t.Errorf("separated samples t = %v, want strongly negative", got)
+	}
+}
+
+func TestCPARecoversKey(t *testing.T) {
+	const key = 0xA7
+	traces := CollectTraces(TraceOptions{Key: key, Traces: 2000, NoiseSigma: 1.5, Seed: 9})
+	res := CPA(traces, key)
+	if res.BestKey != key {
+		t.Errorf("CPA best key = %#x, want %#x (rank %d)", res.BestKey, key, res.TrueKeyRank)
+	}
+	if res.BestCorr < 0.3 {
+		t.Errorf("winning correlation %.3f suspiciously low", res.BestCorr)
+	}
+}
+
+func TestMaskingDefeatsFirstOrderCPA(t *testing.T) {
+	const key = 0x3C
+	traces := CollectTraces(TraceOptions{Key: key, Traces: 4000, NoiseSigma: 1.5, Masked: true, Seed: 11})
+	res := CPA(traces, key)
+	// With fresh masks the true key must not stand out: its rank should
+	// be essentially random among 256 candidates.
+	if res.TrueKeyRank < 3 && res.BestKey == key {
+		t.Errorf("masked implementation leaked: true key rank %d", res.TrueKeyRank)
+	}
+	if res.BestCorr > 0.2 {
+		t.Errorf("masked best correlation %.3f too high", res.BestCorr)
+	}
+}
+
+func TestNoiseRaisesTracesToDisclose(t *testing.T) {
+	counts := []int{100, 200, 400, 800, 1600, 3200, 6400}
+	low := MinTracesToDisclose(0x51, counts, 0.5, false, 13)
+	high := MinTracesToDisclose(0x51, counts, 6.0, false, 13)
+	if low < 0 {
+		t.Fatal("low-noise CPA must succeed")
+	}
+	if high >= 0 && high < low {
+		t.Errorf("more noise needed fewer traces: %d vs %d", high, low)
+	}
+	masked := MinTracesToDisclose(0x51, counts, 0.5, true, 13)
+	if masked != -1 {
+		t.Errorf("masked device disclosed at %d traces", masked)
+	}
+}
+
+func TestPearsonEdgeCases(t *testing.T) {
+	if pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero-variance input must give 0")
+	}
+}

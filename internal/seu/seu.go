@@ -1,0 +1,281 @@
+// Package seu models radiation-induced soft errors (Section III.B/III.C
+// of the RESCUE paper): FIT-rate estimation from particle flux and
+// technology cross-sections, derating pipelines, the ISO 26262 FIT-budget
+// check, and the two RESCUE monitor designs — the SRAM-based SEU monitor
+// ([38]) and the pulse-stretching inverter-chain particle detector ([39]).
+//
+// Silicon, beams and test chips are replaced by synthetic particle
+// processes; all statistics (Poisson arrivals, LET spectra) are generated
+// from deterministic seeds so experiments reproduce bit-exactly.
+package seu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Environment describes a radiation environment by its effective particle
+// flux at the die.
+type Environment struct {
+	Name string
+	// FluxPerCm2h is the integral particle flux in particles/(cm²·h).
+	FluxPerCm2h float64
+}
+
+// Standard environments (order-of-magnitude values from the literature;
+// the experiments only rely on their relative ordering).
+var (
+	SeaLevel = Environment{Name: "sea-level", FluxPerCm2h: 14}  // neutrons >10 MeV, NYC reference
+	Avionics = Environment{Name: "avionics", FluxPerCm2h: 4200} // ~300× sea level at 12 km
+	LEO      = Environment{Name: "LEO", FluxPerCm2h: 90000}     // low earth orbit, quiet sun
+	GEO      = Environment{Name: "GEO", FluxPerCm2h: 350000}    // geostationary
+	Ground   = SeaLevel                                         // alias used by automotive flows
+)
+
+// Technology captures per-node sensitivity parameters.
+type Technology struct {
+	Node string
+	// BitCrossSectionCm2 is the SEU cross-section per memory bit.
+	BitCrossSectionCm2 float64
+	// FFCrossSectionCm2 is the SEU cross-section per flip-flop.
+	FFCrossSectionCm2 float64
+	// SETCrossSectionCm2 is the SET cross-section per logic gate.
+	SETCrossSectionCm2 float64
+	// SETPulseMeanPs is the mean SET pulse width in picoseconds.
+	SETPulseMeanPs float64
+	// CritChargefC is the critical charge; smaller nodes upset easier.
+	CritChargefC float64
+}
+
+// Technology nodes used by the experiments. Cross-sections shrink with
+// area scaling while per-bit sensitivity (via critical charge) grows;
+// SET pulses widen relative to shrinking clock periods.
+var (
+	Node250 = Technology{Node: "250nm", BitCrossSectionCm2: 4e-14, FFCrossSectionCm2: 6e-14, SETCrossSectionCm2: 5e-15, SETPulseMeanPs: 150, CritChargefC: 30}
+	Node130 = Technology{Node: "130nm", BitCrossSectionCm2: 6e-14, FFCrossSectionCm2: 8e-14, SETCrossSectionCm2: 9e-15, SETPulseMeanPs: 220, CritChargefC: 12}
+	Node65  = Technology{Node: "65nm", BitCrossSectionCm2: 9e-14, FFCrossSectionCm2: 1.1e-13, SETCrossSectionCm2: 1.6e-14, SETPulseMeanPs: 320, CritChargefC: 4}
+	Node28  = Technology{Node: "28nm", BitCrossSectionCm2: 1.3e-13, FFCrossSectionCm2: 1.5e-13, SETCrossSectionCm2: 2.8e-14, SETPulseMeanPs: 420, CritChargefC: 1.5}
+	Node7   = Technology{Node: "7nm", BitCrossSectionCm2: 1.8e-13, FFCrossSectionCm2: 2.1e-13, SETCrossSectionCm2: 4.5e-14, SETPulseMeanPs: 500, CritChargefC: 0.5}
+)
+
+// Nodes lists the built-in technologies from oldest to newest.
+func Nodes() []Technology { return []Technology{Node250, Node130, Node65, Node28, Node7} }
+
+// HoursPerBillion is the FIT normalisation constant (10^9 device hours).
+const HoursPerBillion = 1e9
+
+// RawFIT returns the failure-in-time rate (events per 10^9 h) for count
+// elements with the given per-element cross-section under env.
+func RawFIT(env Environment, crossSectionCm2 float64, count float64) float64 {
+	return env.FluxPerCm2h * crossSectionCm2 * count * HoursPerBillion
+}
+
+// MemoryFITPerMbit returns the raw FIT of one megabit of SRAM — the
+// "hundreds of FITs per megabit" figure quoted in Section III.B.
+func MemoryFITPerMbit(env Environment, tech Technology) float64 {
+	return RawFIT(env, tech.BitCrossSectionCm2, 1024*1024)
+}
+
+// Derating captures the masking chain from raw upsets to system failures.
+// Each factor is the *surviving* fraction (1.0 = no masking).
+type Derating struct {
+	// Timing is the window-of-vulnerability factor (TDF).
+	Timing float64
+	// Architectural is the fraction of upsets that corrupt architecturally
+	// live state (AVF), typically measured by fault injection.
+	Architectural float64
+	// Functional is the application-level factor (FDF), e.g. from the
+	// RESCUE machine-learning flow or fault simulation.
+	Functional float64
+}
+
+// Apply returns the derated FIT.
+func (d Derating) Apply(rawFIT float64) float64 {
+	f := rawFIT
+	for _, x := range []float64{d.Timing, d.Architectural, d.Functional} {
+		if x > 0 {
+			f *= x
+		}
+	}
+	return f
+}
+
+// Component is one FIT contributor of a chip-level budget.
+type Component struct {
+	Name     string
+	RawFIT   float64
+	Derating Derating
+	// Protected marks components covered by a safety mechanism with the
+	// given coverage (0..1); the residual FIT is (1-coverage)·derated.
+	Coverage float64
+}
+
+// ResidualFIT returns the component's contribution after derating and
+// safety-mechanism coverage.
+func (c Component) ResidualFIT() float64 {
+	return c.Derating.Apply(c.RawFIT) * (1 - c.Coverage)
+}
+
+// Budget aggregates component FITs against a target.
+type Budget struct {
+	Components []Component
+	TargetFIT  float64 // e.g. ASILDTargetFIT
+}
+
+// ASILDTargetFIT is the 10 FIT random-hardware-failure budget that ISO
+// 26262 assigns to an ASIL D item (PMHF < 10^-8/h).
+const ASILDTargetFIT = 10
+
+// TotalRaw sums the underated FIT of all components.
+func (b Budget) TotalRaw() float64 {
+	t := 0.0
+	for _, c := range b.Components {
+		t += c.RawFIT
+	}
+	return t
+}
+
+// TotalResidual sums derated, coverage-reduced FITs.
+func (b Budget) TotalResidual() float64 {
+	t := 0.0
+	for _, c := range b.Components {
+		t += c.ResidualFIT()
+	}
+	return t
+}
+
+// Meets reports whether the residual total fits the target.
+func (b Budget) Meets() bool { return b.TotalResidual() <= b.TargetFIT }
+
+// String renders a short budget report.
+func (b Budget) String() string {
+	return fmt.Sprintf("raw %.1f FIT -> residual %.2f FIT (target %.1f, meets=%v)",
+		b.TotalRaw(), b.TotalResidual(), b.TargetFIT, b.Meets())
+}
+
+// Monitor is the SRAM-based SEU monitor of [38]: a dedicated (or spare)
+// memory block written with a known pattern and periodically scrubbed;
+// the upset count per scrub interval estimates the ambient flux, letting
+// a self-adaptive system switch protection modes.
+type Monitor struct {
+	Bits           int
+	ScrubIntervalH float64
+	Tech           Technology
+}
+
+// MonitorReading is one scrub observation.
+type MonitorReading struct {
+	Interval int
+	Upsets   int
+}
+
+// MonitorReport summarises a monitoring run.
+type MonitorReport struct {
+	Readings      []MonitorReading
+	TotalUpsets   int
+	Hours         float64
+	EstimatedFlux float64 // particles/(cm²·h) back-computed from upsets
+	TrueFlux      float64
+}
+
+// RelativeError returns |est-true|/true.
+func (r MonitorReport) RelativeError() float64 {
+	if r.TrueFlux == 0 {
+		return 0
+	}
+	return math.Abs(r.EstimatedFlux-r.TrueFlux) / r.TrueFlux
+}
+
+// Simulate runs the monitor for the given number of scrub intervals under
+// env. Upsets per interval are Poisson with mean flux·σ·bits·Δt.
+func (m Monitor) Simulate(env Environment, intervals int, seed int64) MonitorReport {
+	rng := rand.New(rand.NewSource(seed))
+	mean := env.FluxPerCm2h * m.Tech.BitCrossSectionCm2 * float64(m.Bits) * m.ScrubIntervalH
+	rep := MonitorReport{Hours: float64(intervals) * m.ScrubIntervalH, TrueFlux: env.FluxPerCm2h}
+	for i := 0; i < intervals; i++ {
+		u := poisson(rng, mean)
+		rep.Readings = append(rep.Readings, MonitorReading{Interval: i, Upsets: u})
+		rep.TotalUpsets += u
+	}
+	denom := m.Tech.BitCrossSectionCm2 * float64(m.Bits) * rep.Hours
+	if denom > 0 {
+		rep.EstimatedFlux = float64(rep.TotalUpsets) / denom
+	}
+	return rep
+}
+
+// poisson draws from a Poisson distribution; Knuth's method for small
+// means, normal approximation for large ones.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// PulseDetector is the pulse-stretching inverter-chain particle detector
+// of [39]: a particle strike produces an SET pulse whose width grows with
+// deposited charge (LET); the skewed inverter chain stretches the pulse
+// by a fixed gain per stage so that even short pulses become capturable.
+type PulseDetector struct {
+	Stages         int
+	StretchPsStage float64 // added width per stage
+	CaptureMinPs   float64 // minimum width a latch can register
+	Tech           Technology
+}
+
+// DetectorReport summarises a strike campaign.
+type DetectorReport struct {
+	Strikes   int
+	Detected  int
+	MinRawPs  float64
+	MeanRawPs float64
+}
+
+// Efficiency returns detected/strikes.
+func (r DetectorReport) Efficiency() float64 {
+	if r.Strikes == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Strikes)
+}
+
+// Simulate fires strikes whose raw pulse widths are exponentially
+// distributed around the technology's mean SET width and reports how many
+// the stretched chain captures.
+func (d PulseDetector) Simulate(strikes int, seed int64) DetectorReport {
+	rng := rand.New(rand.NewSource(seed))
+	rep := DetectorReport{Strikes: strikes, MinRawPs: math.Inf(1)}
+	sum := 0.0
+	for i := 0; i < strikes; i++ {
+		raw := rng.ExpFloat64() * d.Tech.SETPulseMeanPs
+		sum += raw
+		if raw < rep.MinRawPs {
+			rep.MinRawPs = raw
+		}
+		stretched := raw + float64(d.Stages)*d.StretchPsStage
+		if stretched >= d.CaptureMinPs {
+			rep.Detected++
+		}
+	}
+	if strikes > 0 {
+		rep.MeanRawPs = sum / float64(strikes)
+	}
+	return rep
+}

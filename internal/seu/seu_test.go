@@ -1,0 +1,157 @@
+package seu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemoryFITIsHundredsPerMbit(t *testing.T) {
+	// The Section III.B claim: recent technologies exhibit error rates of
+	// hundreds of FITs per megabit at ground level.
+	for _, tech := range []Technology{Node65, Node28, Node7} {
+		fit := MemoryFITPerMbit(SeaLevel, tech)
+		if fit < 100 || fit > 5000 {
+			t.Errorf("%s: %.0f FIT/Mbit, want hundreds", tech.Node, fit)
+		}
+	}
+}
+
+func TestFITScalesWithFluxAndSize(t *testing.T) {
+	base := RawFIT(SeaLevel, Node28.BitCrossSectionCm2, 1024*1024)
+	if avio := RawFIT(Avionics, Node28.BitCrossSectionCm2, 1024*1024); avio <= 100*base {
+		t.Errorf("avionics FIT %.0f should be ≫ sea level %.0f", avio, base)
+	}
+	double := RawFIT(SeaLevel, Node28.BitCrossSectionCm2, 2*1024*1024)
+	if math.Abs(double-2*base) > 1e-9*base {
+		t.Error("FIT must be linear in bit count")
+	}
+}
+
+func TestSensitivityGrowsWithScaling(t *testing.T) {
+	nodes := Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].BitCrossSectionCm2 <= nodes[i-1].BitCrossSectionCm2 {
+			t.Errorf("bit cross-section must grow from %s to %s", nodes[i-1].Node, nodes[i].Node)
+		}
+		if nodes[i].CritChargefC >= nodes[i-1].CritChargefC {
+			t.Errorf("critical charge must shrink from %s to %s", nodes[i-1].Node, nodes[i].Node)
+		}
+	}
+}
+
+func TestDeratingChain(t *testing.T) {
+	d := Derating{Timing: 0.5, Architectural: 0.4, Functional: 0.25}
+	if got := d.Apply(1000); math.Abs(got-50) > 1e-9 {
+		t.Errorf("derated = %v, want 50", got)
+	}
+	// Zero factors are treated as "not modelled" (skip).
+	d2 := Derating{Architectural: 0.5}
+	if got := d2.Apply(100); math.Abs(got-50) > 1e-9 {
+		t.Errorf("partial derating = %v, want 50", got)
+	}
+}
+
+func TestBudgetOvershootAndRescue(t *testing.T) {
+	// E6 shape: a 10 Mbit + 500 kFF design at 28 nm overshoots the 10 FIT
+	// ASIL-D budget raw, and meets it after derating + ECC coverage.
+	mem := Component{
+		Name:   "sram-10Mbit",
+		RawFIT: RawFIT(SeaLevel, Node28.BitCrossSectionCm2, 10*1024*1024),
+	}
+	ff := Component{
+		Name:   "flops-500k",
+		RawFIT: RawFIT(SeaLevel, Node28.FFCrossSectionCm2, 500_000),
+	}
+	raw := Budget{Components: []Component{mem, ff}, TargetFIT: ASILDTargetFIT}
+	if raw.Meets() {
+		t.Fatalf("raw budget unexpectedly meets target: %s", raw)
+	}
+	if raw.TotalRaw() < 10*ASILDTargetFIT {
+		t.Errorf("raw total %.0f should overshoot the target by >10x", raw.TotalRaw())
+	}
+	mem.Derating = Derating{Architectural: 0.3}
+	mem.Coverage = 0.999 // SEC-DED ECC corrects all single-bit upsets
+	ff.Derating = Derating{Timing: 0.5, Architectural: 0.2}
+	ff.Coverage = 0.97 // lockstep compare-and-trap
+	prot := Budget{Components: []Component{mem, ff}, TargetFIT: ASILDTargetFIT}
+	if !prot.Meets() {
+		t.Errorf("protected budget must meet target: %s", prot)
+	}
+}
+
+func TestMonitorEstimatesFlux(t *testing.T) {
+	m := Monitor{Bits: 1 << 20, ScrubIntervalH: 1, Tech: Node28}
+	rep := m.Simulate(LEO, 500, 42)
+	if rep.TotalUpsets == 0 {
+		t.Fatal("LEO monitor must observe upsets")
+	}
+	if rep.RelativeError() > 0.15 {
+		t.Errorf("flux estimate off by %.1f%% (est %.0f true %.0f)",
+			rep.RelativeError()*100, rep.EstimatedFlux, rep.TrueFlux)
+	}
+	if len(rep.Readings) != 500 {
+		t.Error("one reading per interval expected")
+	}
+}
+
+func TestMonitorDistinguishesEnvironments(t *testing.T) {
+	m := Monitor{Bits: 1 << 22, ScrubIntervalH: 10, Tech: Node28}
+	ground := m.Simulate(SeaLevel, 100, 1)
+	orbit := m.Simulate(LEO, 100, 1)
+	if orbit.TotalUpsets <= ground.TotalUpsets {
+		t.Errorf("orbit upsets (%d) must exceed ground (%d)", orbit.TotalUpsets, ground.TotalUpsets)
+	}
+}
+
+func TestMonitorDeterministic(t *testing.T) {
+	m := Monitor{Bits: 1 << 20, ScrubIntervalH: 1, Tech: Node65}
+	a := m.Simulate(LEO, 50, 7)
+	b := m.Simulate(LEO, 50, 7)
+	if a.TotalUpsets != b.TotalUpsets {
+		t.Error("same seed must reproduce upset counts")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	m := Monitor{Bits: 1 << 24, ScrubIntervalH: 100, Tech: Node7}
+	rep := m.Simulate(GEO, 200, 3)
+	mean := GEO.FluxPerCm2h * Node7.BitCrossSectionCm2 * float64(m.Bits) * m.ScrubIntervalH
+	got := float64(rep.TotalUpsets) / 200
+	if math.Abs(got-mean)/mean > 0.1 {
+		t.Errorf("empirical mean %.1f vs expected %.1f", got, mean)
+	}
+}
+
+func TestPulseDetectorStretchingHelps(t *testing.T) {
+	// Without stretching, many short SET pulses are missed; the chain
+	// recovers them — the point of [39].
+	bare := PulseDetector{Stages: 0, StretchPsStage: 0, CaptureMinPs: 400, Tech: Node65}
+	chain := PulseDetector{Stages: 8, StretchPsStage: 60, CaptureMinPs: 400, Tech: Node65}
+	b := bare.Simulate(5000, 9)
+	c := chain.Simulate(5000, 9)
+	if c.Efficiency() <= b.Efficiency() {
+		t.Errorf("stretching must raise efficiency: %.2f -> %.2f", b.Efficiency(), c.Efficiency())
+	}
+	if c.Efficiency() < 0.99 {
+		t.Errorf("8-stage chain should capture nearly all pulses, got %.3f", c.Efficiency())
+	}
+}
+
+func TestPulseDetectorEmptyCampaign(t *testing.T) {
+	d := PulseDetector{Stages: 4, StretchPsStage: 50, CaptureMinPs: 300, Tech: Node130}
+	rep := d.Simulate(0, 1)
+	if rep.Efficiency() != 0 || rep.Detected != 0 {
+		t.Error("empty campaign must be all zeros")
+	}
+}
+
+func TestComponentCoverageBounds(t *testing.T) {
+	c := Component{RawFIT: 100, Coverage: 1}
+	if c.ResidualFIT() != 0 {
+		t.Error("full coverage must zero the residual")
+	}
+	c.Coverage = 0
+	if c.ResidualFIT() != 100 {
+		t.Error("no coverage keeps raw FIT")
+	}
+}

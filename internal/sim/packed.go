@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+// Packed is a 64-way parallel-pattern simulator: every gate holds a
+// logic.Word carrying 64 independent pattern slots. It is the workhorse
+// of the fault-simulation engine.
+type Packed struct {
+	N     *netlist.Netlist
+	order []int
+	words []logic.Word
+}
+
+// NewPacked constructs a packed simulator. All slots start at X.
+func NewPacked(n *netlist.Netlist) (*Packed, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Packed{N: n, order: order, words: make([]logic.Word, n.NumGates())}, nil
+}
+
+// SetInputWord assigns the idx-th primary input across all 64 slots.
+func (p *Packed) SetInputWord(idx int, w logic.Word) {
+	p.words[p.N.Inputs[idx]] = w
+}
+
+// SetStateWord assigns the idx-th flip-flop across all 64 slots.
+func (p *Packed) SetStateWord(idx int, w logic.Word) {
+	p.words[p.N.DFFs[idx]] = w
+}
+
+// LoadPatterns loads up to 64 input vectors into the pattern slots.
+// Pattern k occupies slot k; unused slots are X.
+func (p *Packed) LoadPatterns(patterns []logic.Vector) error {
+	if len(patterns) > 64 {
+		return fmt.Errorf("sim: at most 64 patterns per packed pass, got %d", len(patterns))
+	}
+	for i := range p.N.Inputs {
+		var w logic.Word
+		for k, pat := range patterns {
+			if i < len(pat) {
+				w = w.Set(uint(k), pat[i])
+			}
+		}
+		p.SetInputWord(i, w)
+	}
+	return nil
+}
+
+// Word returns the packed value of a gate.
+func (p *Packed) Word(id int) logic.Word { return p.words[id] }
+
+// evalGateW computes the packed output of gate g via get.
+func evalGateW(g *netlist.Gate, get func(int) logic.Word) logic.Word {
+	switch g.Type {
+	case netlist.Input, netlist.DFF:
+		return get(g.ID)
+	case netlist.Buf:
+		w := get(g.Fanin[0])
+		return w
+	case netlist.Not:
+		return logic.NotW(get(g.Fanin[0]))
+	case netlist.Mux:
+		return logic.MuxW(get(g.Fanin[0]), get(g.Fanin[1]), get(g.Fanin[2]))
+	}
+	acc := get(g.Fanin[0])
+	for _, f := range g.Fanin[1:] {
+		w := get(f)
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			acc = logic.AndW(acc, w)
+		case netlist.Or, netlist.Nor:
+			acc = logic.OrW(acc, w)
+		case netlist.Xor, netlist.Xnor:
+			acc = logic.XorW(acc, w)
+		}
+	}
+	switch g.Type {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = logic.NotW(acc)
+	}
+	return acc
+}
+
+// Run performs one full combinational pass over all 64 slots.
+func (p *Packed) Run() {
+	get := func(id int) logic.Word { return p.words[id] }
+	for _, id := range p.order {
+		g := p.N.Gate(id)
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			continue
+		}
+		p.words[id] = evalGateW(g, get)
+	}
+}
+
+// FaultSite describes a stuck-at site for RunWithFault: a gate and an
+// optional input pin (Pin < 0 addresses the gate output).
+type FaultSite struct {
+	Gate int
+	Pin  int // -1 = output, otherwise index into Fanin
+	SA   logic.V
+}
+
+// RunWithFault performs a full pass with a stuck-at fault injected. An
+// output fault forces the gate's computed word to the stuck value; an
+// input-pin fault makes only the faulty gate observe the forced value on
+// that pin. The mask selects which pattern slots carry the fault (use
+// ^uint64(0) for all).
+func (p *Packed) RunWithFault(f FaultSite, mask uint64) {
+	forced := logic.WordAll(f.SA)
+	get := func(id int) logic.Word { return p.words[id] }
+	for _, id := range p.order {
+		g := p.N.Gate(id)
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			if id == f.Gate && f.Pin < 0 {
+				p.words[id] = mergeMask(p.words[id], forced, mask)
+			}
+			continue
+		}
+		var w logic.Word
+		if id == f.Gate && f.Pin >= 0 {
+			// A pin fault must only affect this one pin even when the
+			// same driver feeds several pins of this gate.
+			pinGate := g.Fanin[f.Pin]
+			w = evalGateWPin(g, get, f.Pin, mergeMask(p.words[pinGate], forced, mask))
+		} else {
+			w = evalGateW(g, get)
+		}
+		if id == f.Gate && f.Pin < 0 {
+			w = mergeMask(w, forced, mask)
+		}
+		p.words[id] = w
+	}
+}
+
+// evalGateWPin evaluates g where exactly the pin-th fanin sees pinVal and
+// all other fanins see their true values (even if driven by the same net).
+func evalGateWPin(g *netlist.Gate, getTrue func(int) logic.Word, pin int, pinVal logic.Word) logic.Word {
+	val := func(i int) logic.Word {
+		if i == pin {
+			return pinVal
+		}
+		return getTrue(g.Fanin[i])
+	}
+	switch g.Type {
+	case netlist.Buf:
+		return val(0)
+	case netlist.Not:
+		return logic.NotW(val(0))
+	case netlist.Mux:
+		return logic.MuxW(val(0), val(1), val(2))
+	}
+	acc := val(0)
+	for i := 1; i < len(g.Fanin); i++ {
+		w := val(i)
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			acc = logic.AndW(acc, w)
+		case netlist.Or, netlist.Nor:
+			acc = logic.OrW(acc, w)
+		case netlist.Xor, netlist.Xnor:
+			acc = logic.XorW(acc, w)
+		}
+	}
+	switch g.Type {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = logic.NotW(acc)
+	}
+	return acc
+}
+
+// mergeMask returns base with the masked slots replaced by repl.
+func mergeMask(base, repl logic.Word, mask uint64) logic.Word {
+	return logic.Word{
+		V0: (base.V0 &^ mask) | (repl.V0 & mask),
+		V1: (base.V1 &^ mask) | (repl.V1 & mask),
+	}
+}
+
+// OutputWords returns the packed primary output values.
+func (p *Packed) OutputWords() []logic.Word {
+	out := make([]logic.Word, len(p.N.Outputs))
+	for i, id := range p.N.Outputs {
+		out[i] = p.words[id]
+	}
+	return out
+}
+
+// OutputVector extracts the scalar outputs of pattern slot k.
+func (p *Packed) OutputVector(k uint) logic.Vector {
+	out := make(logic.Vector, len(p.N.Outputs))
+	for i, id := range p.N.Outputs {
+		out[i] = p.words[id].Get(k)
+	}
+	return out
+}

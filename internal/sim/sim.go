@@ -1,0 +1,207 @@
+// Package sim implements gate-level logic simulation over netlists: a
+// four-valued full-pass/event-driven scalar simulator used by ATPG and
+// sequential analysis, and a 64-pattern parallel packed simulator used by
+// fault simulation. DFF semantics are synchronous: a Step evaluates the
+// combinational logic, then latches all D pins simultaneously.
+package sim
+
+import (
+	"fmt"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+// Evaluator is a scalar four-valued simulator.
+type Evaluator struct {
+	N      *netlist.Netlist
+	order  []int
+	values []logic.V
+}
+
+// New constructs an Evaluator. All values start at X.
+func New(n *netlist.Netlist) (*Evaluator, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]logic.V, n.NumGates())
+	for i := range vals {
+		vals[i] = logic.X
+	}
+	return &Evaluator{N: n, order: order, values: vals}, nil
+}
+
+// Value returns the current value of the gate with the given ID.
+func (e *Evaluator) Value(id int) logic.V { return e.values[id] }
+
+// SetInput assigns the idx-th primary input.
+func (e *Evaluator) SetInput(idx int, v logic.V) {
+	e.values[e.N.Inputs[idx]] = v
+}
+
+// SetInputs assigns all primary inputs from a vector. Short vectors leave
+// the remaining inputs untouched.
+func (e *Evaluator) SetInputs(vec logic.Vector) {
+	for i, v := range vec {
+		if i >= len(e.N.Inputs) {
+			break
+		}
+		e.values[e.N.Inputs[i]] = v
+	}
+}
+
+// SetState assigns the idx-th flip-flop's present state (Q value).
+func (e *Evaluator) SetState(idx int, v logic.V) {
+	e.values[e.N.DFFs[idx]] = v
+}
+
+// ResetState sets every flip-flop to the given value.
+func (e *Evaluator) ResetState(v logic.V) {
+	for _, id := range e.N.DFFs {
+		e.values[id] = v
+	}
+}
+
+// State returns the present values of all flip-flops.
+func (e *Evaluator) State() logic.Vector {
+	out := make(logic.Vector, len(e.N.DFFs))
+	for i, id := range e.N.DFFs {
+		out[i] = e.values[id]
+	}
+	return out
+}
+
+// EvalGate computes the output of gate g from the values provided by get.
+// It is exported for reuse by ATPG and fault tools that evaluate gates
+// over hypothetical value assignments.
+func EvalGate(g *netlist.Gate, get func(int) logic.V) logic.V {
+	switch g.Type {
+	case netlist.Input, netlist.DFF:
+		return get(g.ID) // held values; not recomputed combinationally
+	case netlist.Buf:
+		return logic.Buf(get(g.Fanin[0]))
+	case netlist.Not:
+		return logic.Not(get(g.Fanin[0]))
+	case netlist.Mux:
+		return logic.Mux(get(g.Fanin[0]), get(g.Fanin[1]), get(g.Fanin[2]))
+	}
+	acc := get(g.Fanin[0])
+	for _, f := range g.Fanin[1:] {
+		v := get(f)
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			acc = logic.And(acc, v)
+		case netlist.Or, netlist.Nor:
+			acc = logic.Or(acc, v)
+		case netlist.Xor, netlist.Xnor:
+			acc = logic.Xor(acc, v)
+		}
+	}
+	switch g.Type {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = logic.Not(acc)
+	case netlist.And, netlist.Or, netlist.Xor:
+		// accumulated value is final
+	default:
+		panic(fmt.Sprintf("sim: unhandled gate type %v", g.Type))
+	}
+	return acc
+}
+
+// Run performs one full combinational pass in topological order. Inputs
+// and DFF states are consumed as-is; every other gate is recomputed.
+func (e *Evaluator) Run() {
+	get := func(id int) logic.V { return e.values[id] }
+	for _, id := range e.order {
+		g := e.N.Gate(id)
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			continue
+		}
+		e.values[id] = EvalGate(g, get)
+	}
+}
+
+// Outputs returns the current primary output values.
+func (e *Evaluator) Outputs() logic.Vector {
+	out := make(logic.Vector, len(e.N.Outputs))
+	for i, id := range e.N.Outputs {
+		out[i] = e.values[id]
+	}
+	return out
+}
+
+// Eval runs one combinational pass for the given input vector and returns
+// the primary outputs. Flip-flop states are left untouched.
+func (e *Evaluator) Eval(inputs logic.Vector) logic.Vector {
+	e.SetInputs(inputs)
+	e.Run()
+	return e.Outputs()
+}
+
+// Step applies one synchronous clock cycle: evaluate combinational logic
+// with the given inputs, sample every DFF's D pin, then update all DFFs
+// simultaneously. It returns the primary outputs observed before the
+// state update (Mealy-style observation).
+func (e *Evaluator) Step(inputs logic.Vector) logic.Vector {
+	e.SetInputs(inputs)
+	e.Run()
+	out := e.Outputs()
+	next := make([]logic.V, len(e.N.DFFs))
+	for i, id := range e.N.DFFs {
+		next[i] = e.values[e.N.Gate(id).Fanin[0]]
+	}
+	for i, id := range e.N.DFFs {
+		e.values[id] = next[i]
+	}
+	return out
+}
+
+// PropagateFrom performs event-driven selective propagation after the
+// caller has modified the values of the given gates directly (e.g. a
+// fault injection or an SEU flip). Only the fanout cones are re-evaluated.
+// It returns the number of gates whose value changed.
+func (e *Evaluator) PropagateFrom(changed ...int) int {
+	// Process in level order using a simple bucket queue.
+	maxLvl := e.N.MaxLevel()
+	buckets := make([][]int, maxLvl+1)
+	inQueue := make(map[int]bool, len(changed)*4)
+	schedule := func(id int) {
+		if !inQueue[id] {
+			inQueue[id] = true
+			lvl := e.N.Gate(id).Level
+			buckets[lvl] = append(buckets[lvl], id)
+		}
+	}
+	for _, id := range changed {
+		for _, fo := range e.N.Gate(id).Fanout {
+			if g := e.N.Gate(fo); g.Type != netlist.DFF {
+				schedule(fo)
+			}
+		}
+	}
+	events := 0
+	get := func(id int) logic.V { return e.values[id] }
+	for lvl := 0; lvl <= maxLvl; lvl++ {
+		for i := 0; i < len(buckets[lvl]); i++ {
+			id := buckets[lvl][i]
+			g := e.N.Gate(id)
+			nv := EvalGate(g, get)
+			if nv == e.values[id] {
+				continue
+			}
+			e.values[id] = nv
+			events++
+			for _, fo := range g.Fanout {
+				if fg := e.N.Gate(fo); fg.Type != netlist.DFF {
+					schedule(fo)
+				}
+			}
+		}
+	}
+	return events
+}
+
+// SetValue overrides a gate value directly (used for fault/SEU injection
+// together with PropagateFrom).
+func (e *Evaluator) SetValue(id int, v logic.V) { e.values[id] = v }

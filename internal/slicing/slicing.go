@@ -1,0 +1,262 @@
+// Package slicing accelerates fault-injection campaigns with static and
+// dynamic slicing, reproducing the RESCUE results on dynamic HDL slicing
+// ([49], [51]): fault lists are pruned to the cone that can reach an
+// observation point, injections are skipped when the fault is not even
+// activated by the current pattern, and faulty-machine evaluation is
+// bounded to the dynamic slice (the gates whose values actually change).
+package slicing
+
+import (
+	"fmt"
+
+	"rescue/internal/fault"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+// PruneUnobservable removes faults whose fanout cone does not intersect
+// any primary output — static slicing of the fault list. It returns the
+// kept faults and the indices (into the original list) of pruned ones.
+func PruneUnobservable(n *netlist.Netlist, faults fault.List) (kept fault.List, prunedIdx []int) {
+	observable := n.FaninCone(n.Outputs, false)
+	for i, f := range faults {
+		if observable[f.Gate] {
+			kept = append(kept, f)
+		} else {
+			prunedIdx = append(prunedIdx, i)
+		}
+	}
+	return kept, prunedIdx
+}
+
+// Result reports an accelerated campaign together with its cost ledger.
+type Result struct {
+	Status     []fault.Status // parallel to the input fault list
+	Detected   int
+	Pruned     int   // faults removed by static slicing
+	Skipped    int64 // injections skipped by the activation check
+	Injections int64 // faulty propagations actually performed
+	// ActualGateEvals counts gate evaluations in faulty propagation
+	// (the dynamic slice); BaselineGateEvals is the cost of the naive
+	// full-pass campaign over the same faults and patterns.
+	ActualGateEvals   int64
+	BaselineGateEvals int64
+}
+
+// Speedup returns the naive-to-sliced cost ratio.
+func (r *Result) Speedup() float64 {
+	if r.ActualGateEvals == 0 {
+		return float64(r.BaselineGateEvals)
+	}
+	return float64(r.BaselineGateEvals) / float64(r.ActualGateEvals)
+}
+
+// AcceleratedRun fault-simulates stuck-at faults over the patterns using
+// static pruning, activation-check skipping and event-driven dynamic
+// propagation. Results are equivalent to faultsim.Run's detection verdict
+// on the same inputs.
+func AcceleratedRun(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Result, error) {
+	if n.IsSequential() {
+		return nil, fmt.Errorf("slicing: AcceleratedRun handles combinational circuits")
+	}
+	eval, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	res := &Result{Status: make([]fault.Status, len(faults))}
+	for i := range res.Status {
+		res.Status[i] = fault.NotSimulated
+	}
+	observable := n.FaninCone(n.Outputs, false)
+	for i, f := range faults {
+		if !observable[f.Gate] {
+			res.Status[i] = fault.Undetected
+			res.Pruned++
+		}
+	}
+	res.BaselineGateEvals = int64(len(faults)) * int64(len(patterns)) * int64(n.NumGates())
+
+	// Scratch state for the epoch-stamped faulty overlay.
+	nGates := n.NumGates()
+	fvals := make([]logic.V, nGates)
+	stamp := make([]int, nGates)
+	epoch := 0
+	maxLvl := n.MaxLevel()
+	buckets := make([][]int, maxLvl+1)
+	queued := make([]int, nGates) // epoch stamps for queue membership
+
+	isOutput := make([]bool, nGates)
+	for _, o := range n.Outputs {
+		isOutput[o] = true
+	}
+
+	for _, pat := range patterns {
+		eval.Eval(pat)
+		goodVal := func(id int) logic.V { return eval.Value(id) }
+		for fi, f := range faults {
+			if res.Status[fi] == fault.Detected || (res.Status[fi] == fault.Undetected && !observable[f.Gate]) {
+				continue
+			}
+			if f.Kind != fault.StuckAt {
+				continue
+			}
+			// Activation check: the good value at the site must differ
+			// from the stuck value, otherwise the machines are identical.
+			site := f.Gate
+			if f.Pin >= 0 {
+				site = n.Gate(f.Gate).Fanin[f.Pin]
+			}
+			gv := goodVal(site)
+			if gv == f.Value || !gv.Known() {
+				res.Skipped++
+				if res.Status[fi] == fault.NotSimulated {
+					res.Status[fi] = fault.Undetected
+				}
+				continue
+			}
+			// Event-driven faulty propagation in the overlay.
+			epoch++
+			res.Injections++
+			get := func(id int) logic.V {
+				if stamp[id] == epoch {
+					return fvals[id]
+				}
+				return eval.Value(id)
+			}
+			set := func(id int, v logic.V) {
+				fvals[id] = v
+				stamp[id] = epoch
+			}
+			for l := range buckets {
+				buckets[l] = buckets[l][:0]
+			}
+			schedule := func(id int) {
+				if queued[id] != epoch {
+					queued[id] = epoch
+					buckets[n.Gate(id).Level] = append(buckets[n.Gate(id).Level], id)
+				}
+			}
+			var seedGate int
+			if f.Pin < 0 {
+				set(f.Gate, f.Value)
+				seedGate = f.Gate
+				for _, fo := range n.Gate(f.Gate).Fanout {
+					schedule(fo)
+				}
+			} else {
+				// Pin fault: recompute only the faulted gate with the
+				// forced pin view, then propagate from it.
+				g := n.Gate(f.Gate)
+				vals := make([]logic.V, len(g.Fanin))
+				for pi, fin := range g.Fanin {
+					vals[pi] = get(fin)
+				}
+				vals[f.Pin] = f.Value
+				nv := evalFromValues(g, vals)
+				res.ActualGateEvals++
+				if nv == eval.Value(f.Gate) {
+					res.Status[fi] = statusKeep(res.Status[fi])
+					continue
+				}
+				set(f.Gate, nv)
+				seedGate = f.Gate
+				for _, fo := range g.Fanout {
+					schedule(fo)
+				}
+			}
+			detected := isOutput[seedGate] && get(seedGate) != eval.Value(seedGate)
+			for l := 0; l <= maxLvl && !detected; l++ {
+				for qi := 0; qi < len(buckets[l]); qi++ {
+					id := buckets[l][qi]
+					g := n.Gate(id)
+					nv := sim.EvalGate(g, get)
+					res.ActualGateEvals++
+					if nv == get(id) {
+						continue
+					}
+					set(id, nv)
+					if isOutput[id] && nv != eval.Value(id) {
+						detected = true
+						break
+					}
+					for _, fo := range g.Fanout {
+						schedule(fo)
+					}
+				}
+			}
+			if detected {
+				res.Status[fi] = fault.Detected
+				res.Detected++
+			} else {
+				res.Status[fi] = statusKeep(res.Status[fi])
+			}
+		}
+	}
+	for i := range res.Status {
+		if res.Status[i] == fault.NotSimulated {
+			res.Status[i] = fault.Undetected
+		}
+	}
+	return res, nil
+}
+
+func statusKeep(s fault.Status) fault.Status {
+	if s == fault.NotSimulated {
+		return fault.Undetected
+	}
+	return s
+}
+
+// evalFromValues evaluates a gate from positional fanin values.
+func evalFromValues(g *netlist.Gate, vals []logic.V) logic.V {
+	switch g.Type {
+	case netlist.Buf:
+		return logic.Buf(vals[0])
+	case netlist.Not:
+		return logic.Not(vals[0])
+	case netlist.Mux:
+		return logic.Mux(vals[0], vals[1], vals[2])
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			acc = logic.And(acc, v)
+		case netlist.Or, netlist.Nor:
+			acc = logic.Or(acc, v)
+		case netlist.Xor, netlist.Xnor:
+			acc = logic.Xor(acc, v)
+		}
+	}
+	switch g.Type {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = logic.Not(acc)
+	}
+	return acc
+}
+
+// SliceStats summarises static slice sizes per output, used by reports.
+type SliceStats struct {
+	Output    string
+	ConeGates int
+	Fraction  float64
+}
+
+// StaticSliceSizes returns the fanin-cone size for each primary output.
+func StaticSliceSizes(n *netlist.Netlist) []SliceStats {
+	out := make([]SliceStats, 0, len(n.Outputs))
+	total := float64(n.NumGates())
+	for _, o := range n.Outputs {
+		cone := n.FaninCone([]int{o}, false)
+		out = append(out, SliceStats{
+			Output:    n.Gate(o).Name,
+			ConeGates: len(cone),
+			Fraction:  float64(len(cone)) / total,
+		})
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+// Package sram models an SRAM array with its address decoder, classical
+// memory defects (stuck-at, transition, coupling) and the FinFET-specific
+// defects that RESCUE characterised via TCAD — fin cracks and bended fins
+// that leave a cell logically functional but electrically weak (Section
+// III.E, refs [10], [26], [27]). It implements March tests (MATS+,
+// March C-) and the on-chip current-sensor DfT scheme that screens the
+// weak cells March tests cannot see.
+package sram
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DefectKind enumerates cell defect models.
+type DefectKind uint8
+
+const (
+	// NoDefect marks a healthy cell.
+	NoDefect DefectKind = iota
+	// StuckAt0 cells always read 0.
+	StuckAt0
+	// StuckAt1 cells always read 1.
+	StuckAt1
+	// TransitionUp cells cannot make the 0→1 transition.
+	TransitionUp
+	// TransitionDown cells cannot make the 1→0 transition.
+	TransitionDown
+	// CouplingInv cells invert when their aggressor neighbour — the same
+	// bit of the previous physical row — is written (inter-word coupling,
+	// the class March C- is designed to expose).
+	CouplingInv
+	// FinCrack is a FinFET defect: a cracked fin leaves the logic value
+	// intact but collapses the read current — invisible to March tests.
+	FinCrack
+	// BendedFin is a FinFET defect: moderate current reduction with a
+	// data-retention hazard under worst-case conditions.
+	BendedFin
+)
+
+// String names the defect.
+func (d DefectKind) String() string {
+	names := [...]string{
+		"none", "SA0", "SA1", "TF-up", "TF-down", "CF-inv", "fin-crack", "bended-fin",
+	}
+	if int(d) < len(names) {
+		return names[d]
+	}
+	return fmt.Sprintf("DefectKind(%d)", uint8(d))
+}
+
+// LogicVisible reports whether a March test can in principle detect the
+// defect through data comparison.
+func (d DefectKind) LogicVisible() bool {
+	switch d {
+	case StuckAt0, StuckAt1, TransitionUp, TransitionDown, CouplingInv:
+		return true
+	}
+	return false
+}
+
+// Nominal read current in µA for a healthy FinFET SRAM cell.
+const NominalCellCurrentUA = 45.0
+
+// cell is one bit of storage.
+type cell struct {
+	value     bool
+	defect    DefectKind
+	currentUA float64
+}
+
+// Defect places a defect at (word, bit).
+type Defect struct {
+	Word, Bit int
+	Kind      DefectKind
+}
+
+// Array is a Words×Bits SRAM array with an explicit address decoder.
+type Array struct {
+	Words, Bits int
+
+	cells [][]cell
+	// decoder[a] is the physical row selected by logical address a; the
+	// identity map when healthy. Address-decoder faults (and BTI-slowed
+	// decoders) remap entries.
+	decoder []int
+	// accessCount[bit] counts accesses with address bit = 1, feeding the
+	// decoder-aging analysis.
+	accesses     int
+	addrBitHighs []int
+}
+
+// New builds a healthy array.
+func New(words, bits int) *Array {
+	a := &Array{Words: words, Bits: bits}
+	a.cells = make([][]cell, words)
+	for w := range a.cells {
+		row := make([]cell, bits)
+		for b := range row {
+			row[b] = cell{currentUA: NominalCellCurrentUA}
+		}
+		a.cells[w] = row
+	}
+	a.decoder = make([]int, words)
+	for i := range a.decoder {
+		a.decoder[i] = i
+	}
+	a.addrBitHighs = make([]int, addrBits(words))
+	return a
+}
+
+func addrBits(words int) int {
+	n := 0
+	for (1 << uint(n)) < words {
+		n++
+	}
+	return n
+}
+
+// InjectDefect seeds a cell defect. FinFET defects set the published
+// current signatures: a cracked fin loses ≈60% of its drive, a bended
+// fin ≈25%.
+func (a *Array) InjectDefect(d Defect) error {
+	if d.Word < 0 || d.Word >= a.Words || d.Bit < 0 || d.Bit >= a.Bits {
+		return fmt.Errorf("sram: defect at (%d,%d) outside %dx%d array", d.Word, d.Bit, a.Words, a.Bits)
+	}
+	c := &a.cells[d.Word][d.Bit]
+	c.defect = d.Kind
+	switch d.Kind {
+	case StuckAt0:
+		c.value = false
+	case StuckAt1:
+		c.value = true
+	case FinCrack:
+		c.currentUA = NominalCellCurrentUA * 0.4
+	case BendedFin:
+		c.currentUA = NominalCellCurrentUA * 0.75
+	}
+	return nil
+}
+
+// InjectDecoderFault remaps logical address from to physical row to —
+// the address-decoder fault model (two addresses selecting one row).
+func (a *Array) InjectDecoderFault(from, to int) error {
+	if from < 0 || from >= a.Words || to < 0 || to >= a.Words {
+		return fmt.Errorf("sram: decoder fault %d->%d out of range", from, to)
+	}
+	a.decoder[from] = to
+	return nil
+}
+
+// trackAccess records address-bit activity for the aging analysis.
+func (a *Array) trackAccess(addr int) {
+	a.accesses++
+	for b := range a.addrBitHighs {
+		if addr&(1<<uint(b)) != 0 {
+			a.addrBitHighs[b]++
+		}
+	}
+}
+
+// WriteBit stores one bit, honouring defects.
+func (a *Array) WriteBit(addr, bit int, v bool) error {
+	if addr < 0 || addr >= a.Words || bit < 0 || bit >= a.Bits {
+		return fmt.Errorf("sram: write (%d,%d) out of range", addr, bit)
+	}
+	a.trackAccess(addr)
+	row := a.decoder[addr]
+	c := &a.cells[row][bit]
+	switch c.defect {
+	case StuckAt0:
+		c.value = false
+		return nil
+	case StuckAt1:
+		c.value = true
+		return nil
+	case TransitionUp:
+		if v && !c.value {
+			return nil // 0->1 fails
+		}
+	case TransitionDown:
+		if !v && c.value {
+			return nil // 1->0 fails
+		}
+	}
+	c.value = v
+	// Coupling: writing this cell toggles a CouplingInv victim in the
+	// next physical row (same bit position).
+	if row+1 < a.Words {
+		victim := &a.cells[row+1][bit]
+		if victim.defect == CouplingInv {
+			victim.value = !victim.value
+		}
+	}
+	return nil
+}
+
+// ReadBit returns the stored bit, honouring defects.
+func (a *Array) ReadBit(addr, bit int) (bool, error) {
+	if addr < 0 || addr >= a.Words || bit < 0 || bit >= a.Bits {
+		return false, fmt.Errorf("sram: read (%d,%d) out of range", addr, bit)
+	}
+	a.trackAccess(addr)
+	c := &a.cells[a.decoder[addr]][bit]
+	switch c.defect {
+	case StuckAt0:
+		return false, nil
+	case StuckAt1:
+		return true, nil
+	}
+	return c.value, nil
+}
+
+// WriteWord / ReadWord operate on whole words (LSB-first bits).
+func (a *Array) WriteWord(addr int, v uint64) error {
+	for b := 0; b < a.Bits; b++ {
+		if err := a.WriteBit(addr, b, v&(1<<uint(b)) != 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWord reads a full word.
+func (a *Array) ReadWord(addr int) (uint64, error) {
+	var v uint64
+	for b := 0; b < a.Bits; b++ {
+		bit, err := a.ReadBit(addr, b)
+		if err != nil {
+			return 0, err
+		}
+		if bit {
+			v |= 1 << uint(b)
+		}
+	}
+	return v, nil
+}
+
+// CellCurrent returns the read current of a physical cell in µA with
+// a deterministic process-variation jitter (σ≈2%) derived from seed.
+func (a *Array) CellCurrent(word, bit int, seed int64) float64 {
+	c := a.cells[word][bit]
+	rng := rand.New(rand.NewSource(seed ^ int64(word*131071+bit*8191)))
+	return c.currentUA * (1 + 0.02*rng.NormFloat64())
+}
+
+// DefectAt reports the seeded defect at a physical cell (test oracle).
+func (a *Array) DefectAt(word, bit int) DefectKind { return a.cells[word][bit].defect }
+
+// AddressDutyCycles returns, per address bit, the fraction of accesses
+// with that bit high — the stress profile consumed by the decoder-aging
+// analysis ([24]).
+func (a *Array) AddressDutyCycles() []float64 {
+	out := make([]float64, len(a.addrBitHighs))
+	if a.accesses == 0 {
+		return out
+	}
+	for i, h := range a.addrBitHighs {
+		out[i] = float64(h) / float64(a.accesses)
+	}
+	return out
+}
+
+// ResetAccessStats clears the decoder stress counters.
+func (a *Array) ResetAccessStats() {
+	a.accesses = 0
+	for i := range a.addrBitHighs {
+		a.addrBitHighs[i] = 0
+	}
+}
+
+// Accesses returns the total tracked accesses.
+func (a *Array) Accesses() int { return a.accesses }
+
+// ---------- March tests ----------
+
+// MarchOp is one operation of a March element.
+type MarchOp uint8
+
+// March operations.
+const (
+	R0 MarchOp = iota // read, expect 0
+	R1                // read, expect 1
+	W0                // write 0
+	W1                // write 1
+)
+
+// MarchElement is a direction plus an operation sequence.
+type MarchElement struct {
+	Up  bool // address order: true = ascending, false = descending
+	Ops []MarchOp
+}
+
+// MarchTest is a named sequence of elements.
+type MarchTest struct {
+	Name     string
+	Elements []MarchElement
+}
+
+// MATSPlus is the MATS+ test: {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}.
+func MATSPlus() MarchTest {
+	return MarchTest{Name: "MATS+", Elements: []MarchElement{
+		{Up: true, Ops: []MarchOp{W0}},
+		{Up: true, Ops: []MarchOp{R0, W1}},
+		{Up: false, Ops: []MarchOp{R1, W0}},
+	}}
+}
+
+// MarchCMinus is March C-:
+// {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}.
+func MarchCMinus() MarchTest {
+	return MarchTest{Name: "March C-", Elements: []MarchElement{
+		{Up: true, Ops: []MarchOp{W0}},
+		{Up: true, Ops: []MarchOp{R0, W1}},
+		{Up: true, Ops: []MarchOp{R1, W0}},
+		{Up: false, Ops: []MarchOp{R0, W1}},
+		{Up: false, Ops: []MarchOp{R1, W0}},
+		{Up: true, Ops: []MarchOp{R0}},
+	}}
+}
+
+// Failure is one observed March mismatch.
+type Failure struct {
+	Word, Bit int
+	Element   int
+	Expected  bool
+	Got       bool
+}
+
+// RunMarch executes the test bit-serially over the whole array and
+// returns all mismatches.
+func RunMarch(a *Array, t MarchTest) ([]Failure, error) {
+	var fails []Failure
+	for ei, el := range t.Elements {
+		for i := 0; i < a.Words; i++ {
+			addr := i
+			if !el.Up {
+				addr = a.Words - 1 - i
+			}
+			for _, op := range el.Ops {
+				for b := 0; b < a.Bits; b++ {
+					switch op {
+					case W0:
+						if err := a.WriteBit(addr, b, false); err != nil {
+							return nil, err
+						}
+					case W1:
+						if err := a.WriteBit(addr, b, true); err != nil {
+							return nil, err
+						}
+					case R0, R1:
+						want := op == R1
+						got, err := a.ReadBit(addr, b)
+						if err != nil {
+							return nil, err
+						}
+						if got != want {
+							fails = append(fails, Failure{
+								Word: addr, Bit: b, Element: ei, Expected: want, Got: got,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return fails, nil
+}
+
+// FailingCells collapses failures into a unique (word,bit) set.
+func FailingCells(fails []Failure) map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for _, f := range fails {
+		set[[2]int{f.Word, f.Bit}] = true
+	}
+	return set
+}
+
+// ---------- Current-sensor DfT ----------
+
+// SensorConfig tunes the on-chip current-sensor screen of [10]/[27]:
+// cells whose read current deviates from the column median by more than
+// Threshold (relative) are flagged weak.
+type SensorConfig struct {
+	Threshold float64 // e.g. 0.10 = ±10%
+	Seed      int64
+}
+
+// SensorScreen measures every cell and flags outliers column-by-column,
+// mimicking the comparative sensing ("compare the response of different
+// cells with each other") of the published DfT.
+func SensorScreen(a *Array, cfg SensorConfig) map[[2]int]bool {
+	flagged := make(map[[2]int]bool)
+	for b := 0; b < a.Bits; b++ {
+		currents := make([]float64, a.Words)
+		for w := 0; w < a.Words; w++ {
+			currents[w] = a.CellCurrent(w, b, cfg.Seed)
+		}
+		med := median(currents)
+		for w := 0; w < a.Words; w++ {
+			dev := (currents[w] - med) / med
+			if dev < -cfg.Threshold || dev > cfg.Threshold {
+				flagged[[2]int{w, b}] = true
+			}
+		}
+	}
+	return flagged
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

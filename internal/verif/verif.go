@@ -1,0 +1,194 @@
+// Package verif implements the multidimensional verification framework
+// of RESCUE refs [21]/[35] ("Towards Multidimensional Verification:
+// Where Functional Meets Non-Functional"): properties over simulation
+// traces that constrain not only functional behaviour but also
+// extra-functional dimensions — switching activity (power proxy),
+// unknown-value safety (X-propagation) and response timing — evaluated
+// together in one pass.
+package verif
+
+import (
+	"fmt"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+// Dimension tags the verification aspect a property belongs to.
+type Dimension uint8
+
+const (
+	// Functional properties constrain input/output behaviour.
+	Functional Dimension = iota
+	// Power properties constrain switching activity.
+	Power
+	// XSafety properties constrain unknown-value propagation.
+	XSafety
+	// Timing properties constrain cycle-level response latency.
+	Timing
+)
+
+// String names the dimension.
+func (d Dimension) String() string {
+	return [...]string{"functional", "power", "x-safety", "timing"}[d]
+}
+
+// Cycle is one record of a captured trace.
+type Cycle struct {
+	Inputs  logic.Vector
+	Outputs logic.Vector
+	State   logic.Vector
+	// Toggles counts gates whose value changed this cycle — the
+	// switching-activity power proxy.
+	Toggles int
+}
+
+// Trace is a captured simulation run.
+type Trace struct {
+	Circuit string
+	Cycles  []Cycle
+}
+
+// Capture simulates the sequential circuit over the stimuli and records
+// the full trace, including per-cycle toggle counts.
+func Capture(n *netlist.Netlist, stimuli []logic.Vector) (*Trace, error) {
+	e, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	e.ResetState(logic.Zero)
+	prev := make([]logic.V, n.NumGates())
+	for i := range prev {
+		prev[i] = logic.X
+	}
+	tr := &Trace{Circuit: n.Name}
+	for _, in := range stimuli {
+		out := e.Step(in)
+		toggles := 0
+		for id := 0; id < n.NumGates(); id++ {
+			v := e.Value(id)
+			if v != prev[id] {
+				toggles++
+			}
+			prev[id] = v
+		}
+		tr.Cycles = append(tr.Cycles, Cycle{
+			Inputs:  in.Clone(),
+			Outputs: out.Clone(),
+			State:   e.State().Clone(),
+			Toggles: toggles,
+		})
+	}
+	return tr, nil
+}
+
+// Property is one named check over a trace.
+type Property struct {
+	Name      string
+	Dimension Dimension
+	// Check returns an error describing the first violation, nil if the
+	// property holds.
+	Check func(*Trace) error
+}
+
+// Violation pairs a property with its failure.
+type Violation struct {
+	Property string
+	Dim      Dimension
+	Err      error
+}
+
+// Report is the outcome of evaluating a property set.
+type Report struct {
+	Circuit    string
+	Checked    int
+	Violations []Violation
+	PerDim     map[Dimension]int // checked per dimension
+}
+
+// Passed reports overall success.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Evaluate runs all properties over the trace.
+func Evaluate(tr *Trace, props []Property) *Report {
+	rep := &Report{Circuit: tr.Circuit, PerDim: make(map[Dimension]int)}
+	for _, p := range props {
+		rep.Checked++
+		rep.PerDim[p.Dimension]++
+		if err := p.Check(tr); err != nil {
+			rep.Violations = append(rep.Violations, Violation{Property: p.Name, Dim: p.Dimension, Err: err})
+		}
+	}
+	return rep
+}
+
+// ---------- Property builders ----------
+
+// Invariant checks a predicate on every cycle's outputs.
+func Invariant(name string, pred func(outputs logic.Vector) bool) Property {
+	return Property{Name: name, Dimension: Functional, Check: func(tr *Trace) error {
+		for i, c := range tr.Cycles {
+			if !pred(c.Outputs) {
+				return fmt.Errorf("invariant violated at cycle %d (outputs %v)", i, c.Outputs)
+			}
+		}
+		return nil
+	}}
+}
+
+// MaxAvgToggles bounds the average switching activity — the power budget.
+func MaxAvgToggles(name string, limit float64) Property {
+	return Property{Name: name, Dimension: Power, Check: func(tr *Trace) error {
+		if len(tr.Cycles) == 0 {
+			return nil
+		}
+		sum := 0
+		for _, c := range tr.Cycles {
+			sum += c.Toggles
+		}
+		avg := float64(sum) / float64(len(tr.Cycles))
+		if avg > limit {
+			return fmt.Errorf("average toggles %.1f exceeds budget %.1f", avg, limit)
+		}
+		return nil
+	}}
+}
+
+// NoXAfter requires all outputs to be binary from the given cycle on —
+// the reset/X-propagation safety check.
+func NoXAfter(name string, cycle int) Property {
+	return Property{Name: name, Dimension: XSafety, Check: func(tr *Trace) error {
+		for i := cycle; i < len(tr.Cycles); i++ {
+			for j, v := range tr.Cycles[i].Outputs {
+				if !v.Known() {
+					return fmt.Errorf("output %d is %v at cycle %d", j, v, i)
+				}
+			}
+		}
+		return nil
+	}}
+}
+
+// RespondsWithin requires that whenever trigger holds on the inputs,
+// response holds on the outputs within at most latency cycles.
+func RespondsWithin(name string, trigger func(logic.Vector) bool, response func(logic.Vector) bool, latency int) Property {
+	return Property{Name: name, Dimension: Timing, Check: func(tr *Trace) error {
+		for i, c := range tr.Cycles {
+			if !trigger(c.Inputs) {
+				continue
+			}
+			ok := false
+			for j := i; j <= i+latency && j < len(tr.Cycles); j++ {
+				if response(tr.Cycles[j].Outputs) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("trigger at cycle %d unanswered within %d cycles", i, latency)
+			}
+		}
+		return nil
+	}}
+}

@@ -1,0 +1,136 @@
+package verif
+
+import (
+	"strings"
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/faultsim"
+	"rescue/internal/logic"
+)
+
+func captureCounter(t *testing.T, cycles int) *Trace {
+	t.Helper()
+	n := circuits.Counter(4)
+	stimuli := make([]logic.Vector, cycles)
+	for i := range stimuli {
+		stimuli[i] = logic.Vector{logic.One}
+	}
+	tr, err := Capture(n, stimuli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCaptureRecordsTrace(t *testing.T) {
+	tr := captureCounter(t, 10)
+	if len(tr.Cycles) != 10 {
+		t.Fatalf("cycles = %d", len(tr.Cycles))
+	}
+	for i, c := range tr.Cycles {
+		if len(c.Outputs) != 4 || len(c.State) != 4 {
+			t.Fatalf("cycle %d shape wrong", i)
+		}
+	}
+	// First cycle toggles many gates (X -> binary).
+	if tr.Cycles[0].Toggles == 0 {
+		t.Error("initial cycle must toggle gates")
+	}
+}
+
+func TestFunctionalInvariant(t *testing.T) {
+	tr := captureCounter(t, 16)
+	// The counter outputs must always be binary-valued and, with en=1,
+	// the LSB alternates: check LSB = cycle parity.
+	pass := Invariant("outputs-binary", func(out logic.Vector) bool {
+		return out.FullyKnown()
+	})
+	rep := Evaluate(tr, []Property{pass})
+	if !rep.Passed() {
+		t.Errorf("binary invariant failed: %+v", rep.Violations)
+	}
+	fail := Invariant("always-zero", func(out logic.Vector) bool {
+		return out[0] == logic.Zero
+	})
+	rep = Evaluate(tr, []Property{fail})
+	if rep.Passed() {
+		t.Error("impossible invariant must fail")
+	}
+	if !strings.Contains(rep.Violations[0].Err.Error(), "cycle") {
+		t.Error("violation must name the cycle")
+	}
+}
+
+func TestPowerBudget(t *testing.T) {
+	tr := captureCounter(t, 32)
+	generous := MaxAvgToggles("power-ok", 1000)
+	tight := MaxAvgToggles("power-tight", 0.5)
+	rep := Evaluate(tr, []Property{generous, tight})
+	if len(rep.Violations) != 1 || rep.Violations[0].Property != "power-tight" {
+		t.Errorf("violations = %+v", rep.Violations)
+	}
+	if rep.PerDim[Power] != 2 {
+		t.Error("dimension accounting wrong")
+	}
+}
+
+func TestXSafety(t *testing.T) {
+	// s27 with reset state: outputs are binary from cycle 0.
+	n := circuits.S27()
+	tr, err := Capture(n, faultsim.RandomPatterns(n, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(tr, []Property{NoXAfter("no-x", 0)})
+	if !rep.Passed() {
+		t.Errorf("s27 x-safety failed: %+v", rep.Violations)
+	}
+}
+
+func TestTimingResponse(t *testing.T) {
+	tr := captureCounter(t, 20)
+	// Trigger: enable asserted (always). Response: LSB high within 2
+	// cycles (the counter's bit0 toggles every cycle).
+	prop := RespondsWithin("lsb-responds",
+		func(in logic.Vector) bool { return in[0] == logic.One },
+		func(out logic.Vector) bool { return out[0] == logic.One },
+		2)
+	rep := Evaluate(tr, []Property{prop})
+	if !rep.Passed() {
+		t.Errorf("timing property failed: %+v", rep.Violations)
+	}
+	// Impossible latency: response required instantly where none exists.
+	strict := RespondsWithin("impossible",
+		func(in logic.Vector) bool { return true },
+		func(out logic.Vector) bool { return out[0] == logic.X }, // never
+		1)
+	rep = Evaluate(tr, []Property{strict})
+	if rep.Passed() {
+		t.Error("unanswerable trigger must fail")
+	}
+}
+
+func TestMultidimensionalReport(t *testing.T) {
+	tr := captureCounter(t, 16)
+	props := []Property{
+		Invariant("binary", func(out logic.Vector) bool { return out.FullyKnown() }),
+		MaxAvgToggles("power", 1000),
+		NoXAfter("x", 0),
+		RespondsWithin("resp",
+			func(in logic.Vector) bool { return in[0] == logic.One },
+			func(out logic.Vector) bool { return out.FullyKnown() }, 0),
+	}
+	rep := Evaluate(tr, props)
+	if rep.Checked != 4 || !rep.Passed() {
+		t.Errorf("report = %+v", rep)
+	}
+	for _, d := range []Dimension{Functional, Power, XSafety, Timing} {
+		if rep.PerDim[d] != 1 {
+			t.Errorf("dimension %v count = %d", d, rep.PerDim[d])
+		}
+		if d.String() == "" {
+			t.Error("dimension must have a name")
+		}
+	}
+}

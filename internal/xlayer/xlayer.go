@@ -1,0 +1,247 @@
+// Package xlayer implements the cross-layer fault-management architecture
+// of Section III.C (refs [52], [53]): low-level hardware monitors correct
+// simple errors with cycle-scale latency, a mid-level fault manager keeps
+// per-unit history and proactively reconfigures degrading units, and the
+// operating system performs heavyweight task migration. The "meet in the
+// middle" policy combines all three layers, achieving both the low
+// reaction latency of local correction and the coverage and flexibility
+// of global management.
+package xlayer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventKind classifies fault events emitted by monitors.
+type EventKind uint8
+
+const (
+	// CorrectableBit is a single-bit error an ECC scrubber can fix.
+	CorrectableBit EventKind = iota
+	// UncorrectableWord is a multi-bit error needing re-execution.
+	UncorrectableWord
+	// ControlFlowError is a detected illegal execution path.
+	ControlFlowError
+	// UnitDegraded is an aging/temperature trend report from a monitor.
+	UnitDegraded
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	return [...]string{"correctable", "uncorrectable", "control-flow", "degraded"}[k]
+}
+
+// Event is one monitor observation.
+type Event struct {
+	Kind  EventKind
+	Unit  int   // functional unit index
+	Cycle int64 // occurrence time
+}
+
+// Level is the layer that ultimately handles an event.
+type Level uint8
+
+const (
+	// HW: local in-circuit correction.
+	HW Level = iota
+	// Manager: the mid-level fault management unit.
+	Manager
+	// OS: the operating system / software layer.
+	OS
+	// Unhandled: no layer could deal with the event.
+	Unhandled
+)
+
+// String names the level.
+func (l Level) String() string {
+	return [...]string{"hw", "manager", "os", "unhandled"}[l]
+}
+
+// Latencies of each layer in cycles: the three orders of magnitude that
+// motivate handling faults as low as possible.
+const (
+	HWLatency      = 2
+	ManagerLatency = 150
+	OSLatency      = 120000
+)
+
+// Policy selects the management architecture.
+type Policy uint8
+
+const (
+	// LocalOnly: hardware correction only; anything else is unhandled.
+	LocalOnly Policy = iota
+	// GlobalOnly: every event escalates to the OS.
+	GlobalOnly
+	// MeetInTheMiddle: HW fixes correctables, the manager handles
+	// uncorrectables/control-flow and watches degradation trends, the OS
+	// is involved only for unit remapping decisions it must authorise.
+	MeetInTheMiddle
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	return [...]string{"local-only", "global-only", "meet-in-the-middle"}[p]
+}
+
+// Report summarises a processed event stream.
+type Report struct {
+	Policy      Policy
+	Events      int
+	PerLevel    map[Level]int
+	TotalCycles int64
+	// PreventedFailures counts uncorrectable events avoided because the
+	// manager proactively remapped a degrading unit beforehand.
+	PreventedFailures int
+	// Remaps counts proactive unit reconfigurations.
+	Remaps int
+}
+
+// AvgLatency is the mean handling latency per event in cycles.
+func (r Report) AvgLatency() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.TotalCycles) / float64(r.Events)
+}
+
+// HandledFraction is the fraction of events some layer dealt with.
+func (r Report) HandledFraction() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return 1 - float64(r.PerLevel[Unhandled])/float64(r.Events)
+}
+
+// System processes event streams under a policy.
+type System struct {
+	Policy Policy
+	Units  int
+	// DegradeThreshold: correctable events on one unit before the
+	// manager declares it degrading and remaps it.
+	DegradeThreshold int
+
+	history  []int  // correctable count per unit
+	remapped []bool // unit has been moved to a spare
+}
+
+// NewSystem builds a fault-management system over n functional units.
+func NewSystem(policy Policy, units int) *System {
+	return &System{
+		Policy: policy, Units: units, DegradeThreshold: 5,
+		history: make([]int, units), remapped: make([]bool, units),
+	}
+}
+
+// Process consumes the event stream in order and returns the report.
+func (s *System) Process(events []Event) Report {
+	rep := Report{Policy: s.Policy, Events: len(events), PerLevel: make(map[Level]int)}
+	for _, e := range events {
+		if e.Unit < 0 || e.Unit >= s.Units {
+			rep.PerLevel[Unhandled]++
+			continue
+		}
+		// Events from remapped units no longer occur: the spare is
+		// healthy. Uncorrectables that would have hit the old unit count
+		// as prevented failures.
+		if s.remapped[e.Unit] {
+			if e.Kind == UncorrectableWord || e.Kind == ControlFlowError {
+				rep.PreventedFailures++
+			}
+			continue
+		}
+		level, latency := s.dispatch(e, &rep)
+		rep.PerLevel[level]++
+		rep.TotalCycles += latency
+	}
+	return rep
+}
+
+// dispatch routes one event according to the policy.
+func (s *System) dispatch(e Event, rep *Report) (Level, int64) {
+	switch s.Policy {
+	case LocalOnly:
+		if e.Kind == CorrectableBit {
+			return HW, HWLatency
+		}
+		return Unhandled, 0
+	case GlobalOnly:
+		return OS, OSLatency
+	default: // MeetInTheMiddle
+		switch e.Kind {
+		case CorrectableBit:
+			s.history[e.Unit]++
+			if s.DegradeThreshold > 0 && s.history[e.Unit] >= s.DegradeThreshold {
+				// Manager decides, OS authorises the remap once.
+				s.remapped[e.Unit] = true
+				rep.Remaps++
+				return Manager, ManagerLatency + OSLatency/100
+			}
+			return HW, HWLatency
+		case UncorrectableWord, ControlFlowError:
+			return Manager, ManagerLatency
+		case UnitDegraded:
+			s.remapped[e.Unit] = true
+			rep.Remaps++
+			return Manager, ManagerLatency
+		}
+		return Unhandled, 0
+	}
+}
+
+// StreamOptions configures the synthetic monitor-event generator.
+type StreamOptions struct {
+	Events int
+	Units  int
+	Seed   int64
+	// DegradingUnit, if >= 0, emits an accelerating burst of correctable
+	// errors on that unit which eventually turn uncorrectable — the
+	// wear-out trajectory the manager's history tracking is built for.
+	DegradingUnit int
+	// CorrectableFraction of background events (default 0.9).
+	CorrectableFraction float64
+}
+
+// GenerateStream produces a deterministic synthetic event stream.
+func GenerateStream(opt StreamOptions) []Event {
+	if opt.CorrectableFraction <= 0 {
+		opt.CorrectableFraction = 0.9
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []Event
+	cycle := int64(0)
+	for i := 0; i < opt.Events; i++ {
+		cycle += int64(1 + rng.Intn(1000))
+		e := Event{Cycle: cycle, Unit: rng.Intn(opt.Units)}
+		switch {
+		case rng.Float64() < opt.CorrectableFraction:
+			e.Kind = CorrectableBit
+		case rng.Intn(2) == 0:
+			e.Kind = UncorrectableWord
+		default:
+			e.Kind = ControlFlowError
+		}
+		out = append(out, e)
+		// The degrading unit injects extra correctables that escalate to
+		// uncorrectable errors in the last third of the stream.
+		if opt.DegradingUnit >= 0 && i%4 == 0 {
+			kind := CorrectableBit
+			if i > opt.Events*2/3 {
+				kind = UncorrectableWord
+			}
+			out = append(out, Event{Cycle: cycle + 1, Unit: opt.DegradingUnit, Kind: kind})
+		}
+	}
+	return out
+}
+
+// Validate sanity-checks a stream (monotone cycles).
+func Validate(events []Event) error {
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			return fmt.Errorf("xlayer: event %d out of order", i)
+		}
+	}
+	return nil
+}

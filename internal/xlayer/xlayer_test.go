@@ -1,0 +1,120 @@
+package xlayer
+
+import (
+	"testing"
+)
+
+func stream(t *testing.T, degrading int) []Event {
+	t.Helper()
+	ev := GenerateStream(StreamOptions{
+		Events: 2000, Units: 8, Seed: 11, DegradingUnit: degrading,
+	})
+	if err := Validate(ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestLocalOnlyFastButIncomplete(t *testing.T) {
+	rep := NewSystem(LocalOnly, 8).Process(stream(t, -1))
+	if rep.HandledFraction() >= 1 {
+		t.Error("local-only cannot handle uncorrectable events")
+	}
+	if rep.AvgLatency() > 2*HWLatency {
+		t.Errorf("local-only latency = %.1f, want near HW latency", rep.AvgLatency())
+	}
+	if rep.PerLevel[OS] != 0 || rep.PerLevel[Manager] != 0 {
+		t.Error("local-only must not escalate")
+	}
+}
+
+func TestGlobalOnlyCompleteButSlow(t *testing.T) {
+	rep := NewSystem(GlobalOnly, 8).Process(stream(t, -1))
+	if rep.HandledFraction() != 1 {
+		t.Error("global-only must handle everything")
+	}
+	if rep.AvgLatency() != OSLatency {
+		t.Errorf("global-only latency = %.1f, want %d", rep.AvgLatency(), OSLatency)
+	}
+}
+
+func TestMeetInTheMiddleWins(t *testing.T) {
+	// The E10 claim: combined policy achieves full coverage at latency
+	// orders of magnitude below global-only.
+	ev := stream(t, -1)
+	mitm := NewSystem(MeetInTheMiddle, 8).Process(ev)
+	global := NewSystem(GlobalOnly, 8).Process(ev)
+	local := NewSystem(LocalOnly, 8).Process(ev)
+	if mitm.HandledFraction() != 1 {
+		t.Error("meet-in-the-middle must handle everything")
+	}
+	if mitm.AvgLatency() >= global.AvgLatency()/10 {
+		t.Errorf("MITM latency %.1f not ≪ global %.1f", mitm.AvgLatency(), global.AvgLatency())
+	}
+	if local.HandledFraction() >= mitm.HandledFraction() {
+		t.Error("MITM coverage must beat local-only")
+	}
+}
+
+func TestProactiveRemapPreventsFailures(t *testing.T) {
+	// With a degrading unit, the manager's history tracking remaps it
+	// before its correctable bursts turn into uncorrectable failures.
+	ev := stream(t, 3)
+	mitm := NewSystem(MeetInTheMiddle, 8).Process(ev)
+	if mitm.Remaps == 0 {
+		t.Fatal("manager must remap the degrading unit")
+	}
+	if mitm.PreventedFailures == 0 {
+		t.Error("remapping must prevent late uncorrectable failures")
+	}
+	// Without history (threshold disabled via huge value) those events
+	// hit the manager as real failures instead.
+	noHist := NewSystem(MeetInTheMiddle, 8)
+	noHist.DegradeThreshold = 1 << 30
+	repNH := noHist.Process(ev)
+	if repNH.PreventedFailures >= mitm.PreventedFailures {
+		t.Error("history tracking must prevent more failures than none")
+	}
+}
+
+func TestUnknownUnitUnhandled(t *testing.T) {
+	rep := NewSystem(MeetInTheMiddle, 2).Process([]Event{{Unit: 9}})
+	if rep.PerLevel[Unhandled] != 1 {
+		t.Error("out-of-range unit must be unhandled")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := GenerateStream(StreamOptions{Events: 100, Units: 4, Seed: 5, DegradingUnit: -1})
+	b := GenerateStream(StreamOptions{Events: 100, Units: 4, Seed: 5, DegradingUnit: -1})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	rep := NewSystem(LocalOnly, 1).Process(nil)
+	if rep.AvgLatency() != 0 || rep.HandledFraction() != 0 {
+		t.Error("empty report must be zero")
+	}
+	for _, k := range []EventKind{CorrectableBit, UncorrectableWord, ControlFlowError, UnitDegraded} {
+		if k.String() == "" {
+			t.Error("kind must have a name")
+		}
+	}
+	for _, l := range []Level{HW, Manager, OS, Unhandled} {
+		if l.String() == "" {
+			t.Error("level must have a name")
+		}
+	}
+	for _, p := range []Policy{LocalOnly, GlobalOnly, MeetInTheMiddle} {
+		if p.String() == "" {
+			t.Error("policy must have a name")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package rescue is the public facade of the RESCUE toolset — a Go
+// reproduction of "RESCUE: Interdependent Challenges of Reliability,
+// Security and Quality in Nanoelectronic Systems" (Jenihhin et al.,
+// DATE 2020).
+//
+// The toolset spans the three interdependent extra-functional aspects
+// the paper is built around:
+//
+//   - Quality: gate-level netlists, logic simulation, ATPG (PODEM),
+//     fault simulation, untestable-fault identification, SBST for CPUs
+//     and GPGPUs, March tests and FinFET DfT for SRAMs, IEEE 1687
+//     reconfigurable scan networks.
+//   - Reliability: soft-error FIT estimation and monitors, transient
+//     fault injection, clock-network SET analysis, BTI aging and
+//     software rejuvenation, cross-layer fault management, ISO 26262
+//     functional-safety metrics and tool-confidence cross-checks,
+//     ML-based failure-rate prediction, dynamic-slicing FI acceleration.
+//   - Security: SRAM PUFs with fuzzy extraction, timing/power
+//     side-channel verification and attacks, laser fault injection,
+//     neural anomaly detection of fault attacks.
+//
+// The facade re-exports the most common entry points; the full API lives
+// in the internal packages, organised one package per subsystem (see
+// DESIGN.md for the inventory and the experiment index).
+package rescue
+
+import (
+	"fmt"
+
+	"rescue/internal/atpg"
+	"rescue/internal/circuits"
+	"rescue/internal/core"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/seu"
+)
+
+// Core structural types.
+type (
+	// Netlist is a gate-level circuit.
+	Netlist = netlist.Netlist
+	// Gate is one netlist node.
+	Gate = netlist.Gate
+	// Vector is a logic-value vector (test pattern / response).
+	Vector = logic.Vector
+	// Fault is a stuck-at or transient fault instance.
+	Fault = fault.Fault
+	// FaultList is an ordered fault list.
+	FaultList = fault.List
+	// FlowConfig configures the holistic Fig. 2 flow.
+	FlowConfig = core.FlowConfig
+	// FlowReport is the holistic flow outcome.
+	FlowReport = core.Report
+)
+
+// Circuit returns a named benchmark circuit from the built-in registry
+// (c17, s27, rca8..32, mul4/8, parity16/64, dec4, alu8, cnt8, lfsr16).
+func Circuit(name string) (*Netlist, error) {
+	ctor, ok := circuits.Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("rescue: unknown circuit %q (have %v)", name, circuits.Names())
+	}
+	return ctor(), nil
+}
+
+// CircuitNames lists the built-in benchmark circuits.
+func CircuitNames() []string { return circuits.Names() }
+
+// AllStuckAt enumerates the collapsed single stuck-at fault list.
+func AllStuckAt(n *Netlist) FaultList {
+	return fault.Collapse(n, fault.AllStuckAt(n))
+}
+
+// GenerateTests runs the full ATPG flow (random bootstrap + PODEM +
+// compaction) and returns the tests with per-fault classification.
+func GenerateTests(n *Netlist, faults FaultList, seed int64) (*atpg.Result, error) {
+	return atpg.GenerateTests(n, faults, atpg.FlowOptions{
+		RandomPatterns: 64, Seed: seed, Compact: true,
+	})
+}
+
+// FaultSimulate runs parallel-pattern fault simulation with dropping.
+func FaultSimulate(n *Netlist, faults FaultList, patterns []Vector) (*faultsim.Report, error) {
+	return faultsim.Run(n, faults, patterns)
+}
+
+// RandomPatterns generates deterministic random test patterns.
+func RandomPatterns(n *Netlist, count int, seed int64) []Vector {
+	return faultsim.RandomPatterns(n, count, seed)
+}
+
+// RunHolisticFlow drives the Fig. 2 quality→reliability→safety→security
+// flow over one design.
+func RunHolisticFlow(cfg FlowConfig) (*FlowReport, error) { return core.RunFlow(cfg) }
+
+// Fig1Distribution regenerates the paper's Fig. 1 research-results
+// distribution from the publication registry.
+func Fig1Distribution() []core.Bubble { return core.Distribution() }
+
+// RenderFig1 renders Fig. 1 as a text table.
+func RenderFig1() string { return core.RenderFig1() }
+
+// MemoryFITPerMbit returns the raw soft-error rate of one megabit of
+// SRAM in the given environment and technology — the Section III.B
+// "hundreds of FITs" figure.
+func MemoryFITPerMbit(env seu.Environment, tech seu.Technology) float64 {
+	return seu.MemoryFITPerMbit(env, tech)
+}

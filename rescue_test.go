@@ -1,0 +1,78 @@
+package rescue_test
+
+import (
+	"testing"
+
+	"rescue"
+	"rescue/internal/seu"
+)
+
+func TestFacadeCircuitRegistry(t *testing.T) {
+	for _, name := range rescue.CircuitNames() {
+		n, err := rescue.Circuit(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := rescue.Circuit("nope"); err == nil {
+		t.Error("unknown circuit must error")
+	}
+}
+
+func TestFacadeATPGAndFaultSim(t *testing.T) {
+	n, err := rescue.Circuit("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := rescue.AllStuckAt(n)
+	res, err := rescue.GenerateTests(n, faults, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage.Effective() < 1 {
+		t.Errorf("c17 coverage = %v", res.Coverage.Effective())
+	}
+	rep, err := rescue.FaultSimulate(n, faults, res.Tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage().Detected != len(faults) {
+		t.Error("generated tests must detect all faults under fault simulation")
+	}
+}
+
+func TestFacadeFig1AndFIT(t *testing.T) {
+	if len(rescue.Fig1Distribution()) < 8 {
+		t.Error("Fig.1 distribution too small")
+	}
+	if rescue.RenderFig1() == "" {
+		t.Error("Fig.1 rendering empty")
+	}
+	if fit := rescue.MemoryFITPerMbit(seu.SeaLevel, seu.Node28); fit < 100 {
+		t.Errorf("FIT/Mbit = %v", fit)
+	}
+}
+
+func TestFacadeHolisticFlow(t *testing.T) {
+	n, err := rescue.Circuit("rca8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rescue.RunHolisticFlow(rescue.FlowConfig{
+		Netlist:     n,
+		Environment: seu.SeaLevel,
+		Technology:  seu.Node28,
+		Years:       10,
+		Patterns:    64,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design != "rca8" {
+		t.Error("report design name wrong")
+	}
+}
