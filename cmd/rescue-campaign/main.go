@@ -1,0 +1,183 @@
+// Command rescue-campaign runs a parallel campaign: it expands a
+// declarative job matrix — circuits × environments × technologies ×
+// scenarios — onto the worker-pool engine, streams every job result as a
+// JSONL line, and writes the deterministic campaign summary JSON.
+//
+// The matrix comes either from flags or from a JSON spec file:
+//
+//	rescue-campaign -circuits all -envs sea-level,LEO -scenarios holistic \
+//	    -patterns 64 -out campaign.json -jsonl results.jsonl
+//	rescue-campaign -spec matrix.json -parallel 8 -timing timing.json
+//
+// The summary (and the per-job JSONL payloads) contain no wall-clock
+// data, so re-running the same matrix at any parallelism level yields
+// byte-identical output; -timing captures the wall-clock side separately
+// as machine-readable benchmark JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"time"
+
+	"rescue/internal/campaign"
+	"rescue/internal/circuits"
+)
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rescue-campaign: ")
+	spec := flag.String("spec", "", "matrix spec JSON file (overrides the matrix flags)")
+	circuitsFlag := flag.String("circuits", "all", `comma-separated circuit names, or "all" for the full registry`)
+	envs := flag.String("envs", "sea-level", "comma-separated environments ("+strings.Join(campaign.EnvironmentNames(), ",")+")")
+	techs := flag.String("techs", "28nm", "comma-separated technology nodes ("+strings.Join(campaign.TechnologyNames(), ",")+")")
+	scenarios := flag.String("scenarios", "holistic", "comma-separated scenarios (quality,reliability,safety,security,holistic)")
+	patterns := flag.Int("patterns", 64, "fault-injection patterns per job")
+	years := flag.Float64("years", 10, "aging horizon in years")
+	seed := flag.Int64("seed", 1, "campaign base seed")
+	shards := flag.Int("shards", 1, "fault-list shards for large circuits")
+	shardThreshold := flag.Int("shard-threshold", campaign.DefaultShardThreshold, "fault count above which sharding applies")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count")
+	jsonl := flag.String("jsonl", "-", `per-job JSONL stream path ("-" = stdout, "" = off)`)
+	out := flag.String("out", "", "campaign summary JSON path (default: render a text summary)")
+	timing := flag.String("timing", "", "machine-readable wall-clock benchmark JSON path")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	flag.Parse()
+
+	var m campaign.Matrix
+	if *spec != "" {
+		raw, err := os.ReadFile(*spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			log.Fatalf("parsing %s: %v", *spec, err)
+		}
+	} else {
+		names := splitList(*circuitsFlag)
+		if len(names) == 1 && names[0] == "all" {
+			names = circuits.Names()
+		}
+		m = campaign.Matrix{
+			Circuits:       names,
+			Environments:   splitList(*envs),
+			Technologies:   splitList(*techs),
+			Patterns:       *patterns,
+			Years:          *years,
+			Seed:           *seed,
+			Shards:         *shards,
+			ShardThreshold: *shardThreshold,
+		}
+		for _, s := range splitList(*scenarios) {
+			m.Scenarios = append(m.Scenarios, campaign.Scenario(s))
+		}
+	}
+	jobs, err := m.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var stream *json.Encoder
+	if *jsonl == "-" {
+		stream = json.NewEncoder(os.Stdout)
+	} else if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		stream = json.NewEncoder(f)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := 0
+	cfg := campaign.Config{
+		Parallelism: *parallel,
+		OnResult: func(r campaign.Result) {
+			if stream != nil {
+				if err := stream.Encode(r); err != nil {
+					log.Fatal(err)
+				}
+			}
+			done++
+			if !*quiet {
+				status := "ok"
+				if r.Canceled {
+					status = "canceled"
+				} else if r.Err != "" {
+					status = "FAILED: " + r.Err
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %8s  %s\n",
+					done, len(jobs), r.Job.Name(), r.Elapsed.Round(time.Millisecond), status)
+			}
+		},
+	}
+	start := time.Now()
+	sum, err := campaign.Run(ctx, m, cfg)
+	wall := time.Since(start)
+	if err != nil {
+		if sum != nil {
+			fmt.Fprintf(os.Stderr, "%s", sum.Render())
+		}
+		log.Fatal(err)
+	}
+
+	if *timing != "" {
+		payload, merr := json.MarshalIndent(map[string]any{
+			"jobs":         sum.Jobs,
+			"workers":      sum.Workers,
+			"wall_ms":      wall.Milliseconds(),
+			"jobs_per_sec": float64(sum.Jobs) / wall.Seconds(),
+			"goos":         runtime.GOOS,
+			"goarch":       runtime.GOARCH,
+			"num_cpu":      runtime.NumCPU(),
+		}, "", "  ")
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		if werr := os.WriteFile(*timing, append(payload, '\n'), 0o644); werr != nil {
+			log.Fatal(werr)
+		}
+	}
+	// The text summary must never interleave with a JSONL stream on
+	// stdout — consumers pipe it straight into jq and the like.
+	summaryTo := os.Stdout
+	if stream != nil && *jsonl == "-" {
+		summaryTo = os.Stderr
+	}
+	if *out != "" {
+		js, jerr := sum.JSON()
+		if jerr != nil {
+			log.Fatal(jerr)
+		}
+		if werr := os.WriteFile(*out, append(js, '\n'), 0o644); werr != nil {
+			log.Fatal(werr)
+		}
+		summaryTo = os.Stderr
+	}
+	fmt.Fprintf(summaryTo, "%s", sum.Render())
+	if sum.Failed > 0 {
+		os.Exit(1)
+	}
+}

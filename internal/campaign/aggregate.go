@@ -1,0 +1,230 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"rescue/internal/core"
+)
+
+// QualityRollup aggregates every job that ran the quality stage.
+type QualityRollup struct {
+	Jobs       int `json:"jobs"`
+	Faults     int `json:"faults"`
+	Untestable int `json:"untestable"`
+	Tests      int `json:"tests"`
+	// MeanCoverage is the fault-count-weighted effective test coverage.
+	MeanCoverage float64 `json:"mean_coverage"`
+	MinCoverage  float64 `json:"min_coverage"`
+	WorstJob     string  `json:"worst_job,omitempty"`
+}
+
+// ReliabilityRollup aggregates every job that ran the reliability stage.
+type ReliabilityRollup struct {
+	Jobs int `json:"jobs"`
+	// MeanSDC is the fault-count-weighted silent-data-corruption rate.
+	MeanSDC          float64 `json:"mean_sdc"`
+	TotalDeratedFIT  float64 `json:"total_derated_fit"`
+	MaxDeratedFIT    float64 `json:"max_derated_fit"`
+	MaxAgingSlowdown float64 `json:"max_aging_slowdown"`
+	WorstJob         string  `json:"worst_job,omitempty"`
+}
+
+// SafetyRollup aggregates every job that ran the safety stage.
+type SafetyRollup struct {
+	Jobs       int     `json:"jobs"`
+	ASILBPass  int     `json:"asil_b_pass"`
+	MeanSPFM   float64 `json:"mean_spfm"`
+	MinSPFM    float64 `json:"min_spfm"`
+	Suspicious int     `json:"suspicious"`
+	WorstJob   string  `json:"worst_job,omitempty"`
+}
+
+// SecurityRollup aggregates every job that ran the security stage.
+type SecurityRollup struct {
+	Jobs             int     `json:"jobs"`
+	Leaky            int     `json:"leaky"`
+	SecretsRecovered int     `json:"secrets_recovered"`
+	FixesVerified    int     `json:"fixes_verified"`
+	MaxTValue        float64 `json:"max_t_value"`
+}
+
+// Summary is the campaign-level aggregate: per-aspect rollups over every
+// completed job plus the full result list, sorted by job ID. It contains
+// no wall-clock data, so marshalling it yields identical bytes at any
+// parallelism level.
+type Summary struct {
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Canceled counts jobs interrupted by campaign cancellation; they
+	// are not failures of the jobs themselves.
+	Canceled int `json:"canceled,omitempty"`
+	// Workers records the pool size used; informational only.
+	Workers int `json:"-"`
+
+	Quality     *QualityRollup     `json:"quality,omitempty"`
+	Reliability *ReliabilityRollup `json:"reliability,omitempty"`
+	Safety      *SafetyRollup      `json:"safety,omitempty"`
+	Security    *SecurityRollup    `json:"security,omitempty"`
+
+	Results []Result `json:"results"`
+}
+
+func ran(rep *core.Report, stage core.StageID) bool {
+	for _, s := range rep.Stages {
+		if s == stage.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// Aggregate folds sorted job results into the campaign summary. Rollup
+// arithmetic runs in job-ID order, so floating-point sums are exactly
+// reproducible.
+func Aggregate(jobs, workers int, results []Result) *Summary {
+	sum := &Summary{Jobs: jobs, Workers: workers, Results: results}
+	// Weighted-mean accumulators; weights are each job's own fault count
+	// (1 when an older report did not record one).
+	var covNum, covDen, sdcNum, sdcDen float64
+	for _, r := range results {
+		if r.Canceled {
+			sum.Canceled++
+			continue
+		}
+		if r.Err != "" {
+			sum.Failed++
+			continue
+		}
+		sum.Completed++
+		rep := r.Report
+		name := r.Job.Name()
+		if ran(rep, core.StageQuality) {
+			q := sum.Quality
+			if q == nil {
+				q = &QualityRollup{MinCoverage: 2}
+				sum.Quality = q
+			}
+			q.Jobs++
+			q.Faults += rep.Quality.Faults
+			q.Untestable += rep.Quality.Untestable
+			q.Tests += rep.Quality.TestCount
+			covNum += rep.Quality.TestCoverage * float64(rep.Quality.Faults)
+			covDen += float64(rep.Quality.Faults)
+			if rep.Quality.TestCoverage < q.MinCoverage {
+				q.MinCoverage = rep.Quality.TestCoverage
+				q.WorstJob = name
+			}
+		}
+		if ran(rep, core.StageReliability) {
+			rl := sum.Reliability
+			if rl == nil {
+				rl = &ReliabilityRollup{}
+				sum.Reliability = rl
+			}
+			rl.Jobs++
+			w := float64(rep.Reliability.Faults)
+			if w == 0 {
+				w = 1
+			}
+			sdcNum += rep.Reliability.SDCRate * w
+			sdcDen += w
+			rl.TotalDeratedFIT += rep.Reliability.DeratedFIT
+			if rep.Reliability.DeratedFIT > rl.MaxDeratedFIT {
+				rl.MaxDeratedFIT = rep.Reliability.DeratedFIT
+				rl.WorstJob = name
+			}
+			if rep.Reliability.AgingSlowdown > rl.MaxAgingSlowdown {
+				rl.MaxAgingSlowdown = rep.Reliability.AgingSlowdown
+			}
+		}
+		if ran(rep, core.StageSafety) {
+			sf := sum.Safety
+			if sf == nil {
+				sf = &SafetyRollup{MinSPFM: 2}
+				sum.Safety = sf
+			}
+			sf.Jobs++
+			if rep.Safety.MeetsASILB {
+				sf.ASILBPass++
+			}
+			sf.MeanSPFM += rep.Safety.SPFM
+			sf.Suspicious += rep.Safety.Suspicious
+			if rep.Safety.SPFM < sf.MinSPFM {
+				sf.MinSPFM = rep.Safety.SPFM
+				sf.WorstJob = name
+			}
+		}
+		if ran(rep, core.StageSecurity) {
+			sc := sum.Security
+			if sc == nil {
+				sc = &SecurityRollup{}
+				sum.Security = sc
+			}
+			sc.Jobs++
+			if rep.Security.TimingLeaky {
+				sc.Leaky++
+			}
+			if rep.Security.SecretRecovered {
+				sc.SecretsRecovered++
+			}
+			if rep.Security.FixedVerified {
+				sc.FixesVerified++
+			}
+			if t := math.Abs(rep.Security.TValue); t > sc.MaxTValue {
+				sc.MaxTValue = t
+			}
+		}
+	}
+	if q := sum.Quality; q != nil && covDen > 0 {
+		q.MeanCoverage = covNum / covDen
+	}
+	if rl := sum.Reliability; rl != nil && sdcDen > 0 {
+		rl.MeanSDC = sdcNum / sdcDen
+	}
+	if sf := sum.Safety; sf != nil && sf.Jobs > 0 {
+		sf.MeanSPFM /= float64(sf.Jobs)
+	}
+	return sum
+}
+
+// JSON renders the summary with stable indentation — the canonical
+// campaign.json payload the determinism guarantee is stated over.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Render prints a human-readable campaign summary table.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RESCUE campaign summary — %d jobs (%d completed, %d failed, %d workers)\n",
+		s.Jobs, s.Completed, s.Failed, s.Workers)
+	if s.Canceled > 0 {
+		fmt.Fprintf(&b, "  canceled:    %d jobs interrupted before completion\n", s.Canceled)
+	}
+	if q := s.Quality; q != nil {
+		fmt.Fprintf(&b, "  quality:     %d jobs, %d faults, coverage mean %.2f%% min %.2f%% (worst %s), %d untestable, %d tests\n",
+			q.Jobs, q.Faults, 100*q.MeanCoverage, 100*q.MinCoverage, q.WorstJob, q.Untestable, q.Tests)
+	}
+	if r := s.Reliability; r != nil {
+		fmt.Fprintf(&b, "  reliability: %d jobs, mean SDC %.3f, derated FIT total %.3g max %.3g (worst %s), max aging slowdown %.3fx\n",
+			r.Jobs, r.MeanSDC, r.TotalDeratedFIT, r.MaxDeratedFIT, r.WorstJob, r.MaxAgingSlowdown)
+	}
+	if sf := s.Safety; sf != nil {
+		fmt.Fprintf(&b, "  safety:      %d jobs, ASIL-B pass %d/%d, SPFM mean %.3f min %.3f (worst %s), %d suspicious\n",
+			sf.Jobs, sf.ASILBPass, sf.Jobs, sf.MeanSPFM, sf.MinSPFM, sf.WorstJob, sf.Suspicious)
+	}
+	if sc := s.Security; sc != nil {
+		fmt.Fprintf(&b, "  security:    %d jobs, %d leaky, %d secrets recovered, %d fixes verified, max |t| %.1f\n",
+			sc.Jobs, sc.Leaky, sc.SecretsRecovered, sc.FixesVerified, sc.MaxTValue)
+	}
+	for _, r := range s.Results {
+		if r.Err != "" && !r.Canceled {
+			fmt.Fprintf(&b, "  FAILED %s: %s\n", r.Job.Name(), r.Err)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"rescue/internal/circuits"
+)
+
+func benchMatrix() Matrix {
+	return Matrix{
+		Circuits:  circuits.Names(),
+		Scenarios: []Scenario{ScenarioHolistic},
+		Patterns:  32,
+		Years:     5,
+		Seed:      1,
+	}
+}
+
+func runBench(b *testing.B, parallelism int) {
+	b.Helper()
+	m := benchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := Run(context.Background(), m, Config{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Failed != 0 {
+			b.Fatalf("campaign failures:\n%s", sum.Render())
+		}
+	}
+	b.ReportMetric(float64(len(circuits.Names()))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkCampaign compares the serial and parallel engine over the full
+// built-in circuit registry — the perf trajectory baseline for future
+// scaling PRs.
+func BenchmarkCampaign(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { runBench(b, 1) })
+	b.Run("parallel", func(b *testing.B) { runBench(b, runtime.NumCPU()) })
+}

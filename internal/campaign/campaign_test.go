@@ -1,0 +1,425 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+)
+
+// testMatrix is a ≥10-job matrix that exercises multiple circuits,
+// environments and scenarios while staying fast.
+func testMatrix() Matrix {
+	return Matrix{
+		Circuits:     []string{"c17", "rca8", "parity16"},
+		Environments: []string{"sea-level", "LEO"},
+		Scenarios:    []Scenario{ScenarioQuality, ScenarioSecurity},
+		Patterns:     32,
+		Years:        5,
+		Seed:         7,
+	}
+}
+
+func TestExpandDeterministicOrder(t *testing.T) {
+	jobs, err := testMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3*2*2 {
+		t.Fatalf("expanded %d jobs, want 12", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if j.Technology != "28nm" {
+			t.Errorf("job %d: default technology not applied: %q", i, j.Technology)
+		}
+	}
+	again, err := testMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at job %d: %+v vs %+v", i, jobs[i], again[i])
+		}
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	cases := []Matrix{
+		{},
+		{Circuits: []string{"no-such-circuit"}},
+		{Circuits: []string{"c17"}, Environments: []string{"mars"}},
+		{Circuits: []string{"c17"}, Technologies: []string{"3nm"}},
+		{Circuits: []string{"c17"}, Scenarios: []Scenario{"chaos"}},
+	}
+	for i, m := range cases {
+		if _, err := m.Expand(); err == nil {
+			t.Errorf("case %d: invalid matrix expanded without error", i)
+		}
+	}
+}
+
+func TestDeriveSeedIgnoresMatrixShape(t *testing.T) {
+	small := Matrix{Circuits: []string{"rca8"}, Environments: []string{"LEO"}, Seed: 7}
+	big := Matrix{
+		Circuits:     []string{"c17", "rca8", "alu8"},
+		Environments: []string{"sea-level", "LEO", "GEO"},
+		Seed:         7,
+	}
+	sj, err := small.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := big.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sj[0]
+	for _, j := range bj {
+		if j.Circuit == want.Circuit && j.Environment == want.Environment &&
+			j.Technology == want.Technology && j.Scenario == want.Scenario {
+			if j.Seed != want.Seed {
+				t.Errorf("same coordinates, different seeds: %d vs %d", j.Seed, want.Seed)
+			}
+			return
+		}
+	}
+	t.Fatal("matching job not found in the bigger matrix")
+}
+
+func TestShardBoundsPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 512, 1000} {
+		for _, k := range []int{1, 2, 3, 8} {
+			prev := 0
+			total := 0
+			for i := 0; i < k; i++ {
+				lo, hi := ShardBounds(n, i, k)
+				if lo != prev {
+					t.Fatalf("n=%d k=%d shard %d: gap/overlap at %d (want %d)", n, k, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d k=%d shard %d: inverted bounds", n, k, i)
+				}
+				total += hi - lo
+				prev = hi
+			}
+			if prev != n || total != n {
+				t.Fatalf("n=%d k=%d: shards cover %d elements", n, k, total)
+			}
+		}
+	}
+}
+
+func TestShardedCampaignCoversAllFaults(t *testing.T) {
+	m := Matrix{
+		Circuits:  []string{"alu8"},
+		Scenarios: []Scenario{ScenarioQuality},
+		Patterns:  16,
+		Shards:    4, ShardThreshold: 100,
+		Seed: 3,
+	}
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expected 4 shard jobs, got %d", len(jobs))
+	}
+	sum, err := Run(context.Background(), m, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("shard jobs failed:\n%s", sum.Render())
+	}
+	n, err := flowNetlist("alu8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := len(fault.Collapse(n, fault.AllStuckAt(n)))
+	if sum.Quality.Faults != all {
+		t.Errorf("shards cover %d faults, full list has %d", sum.Quality.Faults, all)
+	}
+	// Small circuits must not shard.
+	small := Matrix{Circuits: []string{"c17"}, Shards: 4, ShardThreshold: 100}
+	sj, err := small.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sj) != 1 || sj[0].Shards != 1 {
+		t.Errorf("c17 sharded below threshold: %+v", sj)
+	}
+	// The security scenario has no fault-list dependency and must never
+	// shard, even on large circuits.
+	sec := Matrix{Circuits: []string{"alu8"}, Scenarios: []Scenario{ScenarioSecurity}, Shards: 4, ShardThreshold: 100}
+	secJobs, err := sec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secJobs) != 1 || secJobs[0].Shards != 1 {
+		t.Errorf("security scenario sharded: %+v", secJobs)
+	}
+	// Over-sharding clamps to the fault count — no empty shards, which
+	// would divide by zero in the SDC computation and poison the JSON.
+	over := Matrix{Circuits: []string{"c17"}, Scenarios: []Scenario{ScenarioReliability}, Shards: 1000, ShardThreshold: 1, Patterns: 8}
+	oj, err := over.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := collapsedFaultCount("c17")
+	if len(oj) != nf {
+		t.Fatalf("1000-way shard of c17 expanded to %d jobs, want clamp to %d faults", len(oj), nf)
+	}
+	osum, err := Run(context.Background(), over, Config{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osum.Failed != 0 {
+		t.Fatalf("over-sharded run failed:\n%s", osum.Render())
+	}
+	if _, err := osum.JSON(); err != nil {
+		t.Fatalf("over-sharded summary not serialisable: %v", err)
+	}
+}
+
+func TestShardedFITNotInflated(t *testing.T) {
+	// Sharding must partition the circuit's FIT contribution, not
+	// multiply it: the sharded campaign's total derated FIT has to stay
+	// close to the unsharded run, and raw FIT shares must sum exactly.
+	base := Matrix{
+		Circuits:  []string{"alu8"},
+		Scenarios: []Scenario{ScenarioReliability},
+		Patterns:  64,
+		Seed:      5,
+	}
+	whole, err := Run(context.Background(), base, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards, sharded.ShardThreshold = 4, 100
+	parts, err := Run(context.Background(), sharded, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Failed != 0 || parts.Failed != 0 {
+		t.Fatalf("failures:\n%s%s", whole.Render(), parts.Render())
+	}
+	rawSum := 0.0
+	for _, r := range parts.Results {
+		rawSum += r.Report.Reliability.RawFIT
+	}
+	if wholeRaw := whole.Results[0].Report.Reliability.RawFIT; !closeTo(rawSum, wholeRaw, 1e-9) {
+		t.Errorf("shard raw FITs sum to %v, whole circuit has %v", rawSum, wholeRaw)
+	}
+	ratio := parts.Reliability.TotalDeratedFIT / whole.Reliability.TotalDeratedFIT
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("sharded derated FIT total is %.2fx the unsharded value", ratio)
+	}
+	// The SDC mean must weight each shard by its own fault count.
+	if parts.Reliability.MeanSDC <= 0 || parts.Reliability.MeanSDC > 1 {
+		t.Errorf("sharded mean SDC = %v", parts.Reliability.MeanSDC)
+	}
+}
+
+func closeTo(a, b, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	return d <= rel*m
+}
+
+func TestShardedHolisticMeasuresSecurityAndAgingOnce(t *testing.T) {
+	m := Matrix{
+		Circuits:  []string{"alu8"},
+		Scenarios: []Scenario{ScenarioHolistic},
+		Patterns:  16,
+		Years:     10,
+		Shards:    4, ShardThreshold: 100,
+		Seed: 9,
+	}
+	sum, err := Run(context.Background(), m, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("failures:\n%s", sum.Render())
+	}
+	if sum.Quality.Jobs != 4 || sum.Security.Jobs != 1 {
+		t.Errorf("quality jobs=%d security jobs=%d, want 4/1 (security only on shard 0)",
+			sum.Quality.Jobs, sum.Security.Jobs)
+	}
+	// The whole-netlist aging analysis likewise runs on shard 0 only.
+	for _, r := range sum.Results {
+		slow := r.Report.Reliability.AgingSlowdown
+		if r.Job.Shard == 0 && slow <= 1 {
+			t.Errorf("shard 0 must carry the aging analysis, got %v", slow)
+		}
+		if r.Job.Shard > 0 && slow != 0 {
+			t.Errorf("shard %d recomputed aging: %v", r.Job.Shard, slow)
+		}
+	}
+	if sum.Reliability.MaxAgingSlowdown <= 1 {
+		t.Errorf("rollup lost the aging number: %v", sum.Reliability.MaxAgingSlowdown)
+	}
+}
+
+// TestDeterminismAcrossParallelism is the seed-derivation regression
+// test: the aggregated campaign JSON must be byte-identical at
+// parallelism 1, 4 and NumCPU.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	m := testMatrix()
+	var baseline []byte
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		sum, err := Run(context.Background(), m, Config{Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if sum.Failed != 0 {
+			t.Fatalf("parallelism %d: failures:\n%s", p, sum.Render())
+		}
+		js, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = js
+			continue
+		}
+		if !bytes.Equal(js, baseline) {
+			t.Fatalf("parallelism %d: aggregated JSON differs from serial baseline", p)
+		}
+	}
+}
+
+func TestHolisticScenarioOverRegistry(t *testing.T) {
+	// Every registry circuit — including sequential ones, via the scan
+	// view — must survive the holistic flow.
+	m := Matrix{
+		Circuits:  circuits.Names(),
+		Scenarios: []Scenario{ScenarioHolistic},
+		Patterns:  16,
+		Years:     5,
+		Seed:      1,
+	}
+	sum, err := Run(context.Background(), m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("registry campaign failures:\n%s", sum.Render())
+	}
+	if sum.Quality == nil || sum.Reliability == nil || sum.Safety == nil || sum.Security == nil {
+		t.Fatal("holistic campaign must populate all four rollups")
+	}
+	if sum.Security.Leaky != sum.Security.Jobs {
+		t.Errorf("leaky comparer undetected in %d/%d jobs", sum.Security.Jobs-sum.Security.Leaky, sum.Security.Jobs)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int32
+	cfg := Config{
+		Parallelism: 1,
+		OnResult: func(Result) {
+			if atomic.AddInt32(&done, 1) == 2 {
+				cancel()
+			}
+		},
+	}
+	sum, err := Run(ctx, testMatrix(), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum == nil {
+		t.Fatal("cancelled run must still return the partial summary")
+	}
+	if got := len(sum.Results); got >= 12 {
+		t.Errorf("cancellation did not drop queued jobs: %d results", got)
+	}
+	// Interrupted jobs are cancelled, not failed.
+	if sum.Failed != 0 {
+		t.Errorf("cancellation counted as %d failures:\n%s", sum.Failed, sum.Render())
+	}
+	for _, r := range sum.Results {
+		if r.Err != "" && !r.Canceled {
+			t.Errorf("interrupted job %s reported as failed: %s", r.Job.Name(), r.Err)
+		}
+	}
+}
+
+func TestWorkerPanicRecovery(t *testing.T) {
+	cfg := Config{
+		Parallelism: 4,
+		runJob: func(ctx context.Context, j Job) Result {
+			if j.ID == 3 {
+				panic("injected failure")
+			}
+			return RunJob(ctx, j)
+		},
+	}
+	sum, err := Run(context.Background(), testMatrix(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 || sum.Completed != 11 {
+		t.Fatalf("completed=%d failed=%d, want 11/1", sum.Completed, sum.Failed)
+	}
+	var panicked *Result
+	for i := range sum.Results {
+		if sum.Results[i].Job.ID == 3 {
+			panicked = &sum.Results[i]
+		}
+	}
+	if panicked == nil || !strings.Contains(panicked.Err, "panic: injected failure") {
+		t.Fatalf("panic not captured as job error: %+v", panicked)
+	}
+	if !strings.Contains(sum.Render(), "FAILED") {
+		t.Error("summary rendering must surface failed jobs")
+	}
+}
+
+func TestCampaignMatchesRunFlow(t *testing.T) {
+	// A one-job holistic campaign must reproduce core.RunStages exactly
+	// (same derived seed path), keeping campaign results comparable with
+	// single-design flow runs.
+	m := Matrix{Circuits: []string{"rca8"}, Patterns: 64, Years: 10, Seed: 42}
+	sum, err := Run(context.Background(), m, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("campaign failed:\n%s", sum.Render())
+	}
+	direct := RunJob(context.Background(), sum.Results[0].Job)
+	if direct.Err != "" {
+		t.Fatal(direct.Err)
+	}
+	a, err := json.Marshal(direct.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sum.Results[0].Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("campaign result differs from direct job run:\n%s\nvs\n%s", a, b)
+	}
+}

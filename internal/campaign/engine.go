@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rescue/internal/core"
+)
+
+// Config tunes one campaign run.
+type Config struct {
+	// Parallelism is the worker count; <= 0 selects runtime.NumCPU().
+	Parallelism int
+	// OnResult, when set, streams each job result as it completes. It is
+	// called from a single collector goroutine (never concurrently), in
+	// completion order — which is nondeterministic under parallelism; the
+	// final Summary is always sorted and deterministic.
+	OnResult func(Result)
+
+	// runJob overrides the job runner in tests (panic injection etc.).
+	runJob func(context.Context, Job) Result
+}
+
+// Result is the outcome of one job. Exactly one of Report/Err is set.
+type Result struct {
+	Job    Job          `json:"job"`
+	Report *core.Report `json:"report,omitempty"`
+	Err    string       `json:"error,omitempty"`
+	// Canceled marks a job interrupted by campaign cancellation rather
+	// than failed on its own; Err still carries the context error.
+	Canceled bool `json:"canceled,omitempty"`
+	// Elapsed is wall-clock and excluded from JSON so that serialised
+	// campaign output is bit-identical across runs and parallelism levels.
+	Elapsed time.Duration `json:"-"`
+}
+
+// Run expands the matrix and executes every job on a worker pool. The
+// returned Summary aggregates all completed jobs sorted by job ID, so it
+// is byte-for-byte identical at any parallelism level. On cancellation it
+// returns the partial summary together with the context error; in-flight
+// jobs stop at the next stage boundary and are recorded as cancelled
+// (not failed), queued jobs are dropped.
+func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
+	jobs, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	run := cfg.runJob
+	if run == nil {
+		run = RunJob
+	}
+
+	jobCh := make(chan Job)
+	resCh := make(chan Result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				resCh <- safeRun(ctx, j, run)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			// Checked non-blockingly first: when a worker is ready AND the
+			// context is done, the two-case select below would pick at
+			// random and could keep dispatching after cancellation.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	results := make([]Result, 0, len(jobs))
+	for r := range resCh {
+		if cfg.OnResult != nil {
+			cfg.OnResult(r)
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Job.ID < results[j].Job.ID })
+	sum := Aggregate(len(jobs), workers, results)
+	if err := ctx.Err(); err != nil && (sum.Canceled > 0 || len(results) < len(jobs)) {
+		// A cancellation that arrived after the last job finished did not
+		// cost anything — don't discard a complete campaign over it.
+		return sum, err
+	}
+	return sum, nil
+}
+
+// safeRun shields the worker pool from a panicking job: the panic becomes
+// that job's error result and the remaining jobs keep running.
+func safeRun(ctx context.Context, j Job, run func(context.Context, Job) Result) (res Result) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Job: j, Err: fmt.Sprintf("panic: %v", r)}
+		}
+		res.Elapsed = time.Since(start)
+	}()
+	return run(ctx, j)
+}
+
+// RunJob executes one job: it rebuilds the circuit (scan-converting
+// sequential designs), takes the job's fault shard, and runs the
+// scenario's stages with the job's derived seed. Every input is recomputed
+// from the job coordinates, so the result is independent of which worker
+// runs it and of what ran before.
+func RunJob(ctx context.Context, j Job) Result {
+	n, err := flowNetlist(j.Circuit)
+	if err != nil {
+		return Result{Job: j, Err: err.Error()}
+	}
+	env, ok := Environments[j.Environment]
+	if !ok {
+		return Result{Job: j, Err: fmt.Sprintf("campaign: unknown environment %q", j.Environment)}
+	}
+	tech, ok := Technologies[j.Technology]
+	if !ok {
+		return Result{Job: j, Err: fmt.Sprintf("campaign: unknown technology %q", j.Technology)}
+	}
+	stages, err := j.Scenario.Stages()
+	if err != nil {
+		return Result{Job: j, Err: err.Error()}
+	}
+	// The memoised canonical fault list is identical to what the flow
+	// would collapse itself (fault indices are instance-independent), so
+	// every job of a circuit shares one collapse.
+	all, cerr := collapsedFaults(j.Circuit, n)
+	if cerr != nil {
+		return Result{Job: j, Err: cerr.Error()}
+	}
+	faults := all
+	var share float64
+	skipAging := false
+	if j.Shards > 1 {
+		lo, hi := ShardBounds(len(all), j.Shard, j.Shards)
+		faults = all[lo:hi]
+		share = float64(hi-lo) / float64(len(all))
+		// The security stage and the BTI aging analysis cover the whole
+		// netlist regardless of the fault subset, so only shard 0
+		// measures them — the other shards would just repeat the same
+		// whole-circuit computation at a different seed.
+		if j.Shard > 0 {
+			skipAging = true
+			kept := stages[:0]
+			for _, s := range stages {
+				if s != core.StageSecurity {
+					kept = append(kept, s)
+				}
+			}
+			stages = kept
+		}
+	}
+	rep, err := core.RunStages(ctx, core.FlowConfig{
+		Netlist:     n,
+		Faults:      faults,
+		FaultShare:  share,
+		SkipAging:   skipAging,
+		Environment: env,
+		Technology:  tech,
+		Years:       j.Years,
+		Patterns:    j.Patterns,
+		Seed:        j.Seed,
+	}, stages...)
+	if err != nil {
+		return Result{Job: j, Err: err.Error(), Canceled: ctx.Err() != nil && errors.Is(err, ctx.Err())}
+	}
+	return Result{Job: j, Report: rep}
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
 	"rescue/internal/circuits"
+	"rescue/internal/fault"
 	"rescue/internal/netlist"
 	"rescue/internal/seu"
 )
@@ -154,5 +157,51 @@ func TestRunFlowWithSafetyMechanism(t *testing.T) {
 func TestRunFlowValidation(t *testing.T) {
 	if _, err := RunFlow(FlowConfig{}); err == nil {
 		t.Error("flow must require a netlist")
+	}
+}
+
+func TestRunStagesRejectsEmptyFaultSubset(t *testing.T) {
+	_, err := RunStages(context.Background(), FlowConfig{
+		Netlist: circuits.C17(),
+		Faults:  fault.List{},
+	}, StageReliability)
+	if err == nil {
+		t.Error("empty non-nil fault subset must be rejected (would yield NaN SDC)")
+	}
+}
+
+func TestRunStagesSelective(t *testing.T) {
+	cfg := FlowConfig{
+		Netlist:     circuits.RippleCarryAdder(8),
+		Environment: seu.SeaLevel,
+		Technology:  seu.Node28,
+		Years:       10,
+		Patterns:    100,
+		Seed:        3,
+	}
+	full, err := RunFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"quality", "reliability", "safety", "security"}; !reflect.DeepEqual(full.Stages, want) {
+		t.Errorf("full flow stages = %v", full.Stages)
+	}
+	sub, err := RunStages(context.Background(), cfg, StageQuality, StageSecurity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Quality != full.Quality {
+		t.Errorf("subset quality %+v != full %+v", sub.Quality, full.Quality)
+	}
+	if sub.Security != full.Security {
+		t.Errorf("subset security %+v != full %+v", sub.Security, full.Security)
+	}
+	if sub.Reliability != (ReliabilityReport{}) || sub.Safety != (SafetyReport{}) {
+		t.Error("unselected stages must stay zero")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunStages(ctx, cfg, StageQuality); err == nil {
+		t.Error("cancelled context must abort before the first stage")
 	}
 }

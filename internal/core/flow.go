@@ -1,23 +1,33 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"rescue/internal/aging"
-	"rescue/internal/atpg"
 	"rescue/internal/fault"
-	"rescue/internal/faultsim"
-	"rescue/internal/fusa"
 	"rescue/internal/netlist"
-	"rescue/internal/sca"
 	"rescue/internal/seu"
-	"rescue/internal/slicing"
 )
 
 // FlowConfig parameterises the holistic Fig. 2 flow.
 type FlowConfig struct {
 	Netlist *netlist.Netlist
+	// Faults restricts the run to a subset of the collapsed stuck-at list
+	// (e.g. one shard of a campaign). Nil enumerates the full list.
+	Faults fault.List
+	// FaultShare is the fraction of the design's fault population this
+	// run covers; it scales the reliability stage's raw FIT so that the
+	// raw FITs of a circuit's shards sum exactly to the whole-circuit
+	// value. (Derated FITs sum only approximately: each shard measures
+	// its SDC rate on its own derived pattern set.) 0 (and anything
+	// outside (0,1]) means the full circuit.
+	FaultShare float64
+	// SkipAging omits the BTI path analysis from the reliability stage
+	// (AgingSlowdown reports 0). The analysis covers the whole netlist
+	// regardless of the fault subset, so campaign shards beyond the
+	// first would only recompute the same number.
+	SkipAging bool
 	// Functional/Alarm output split for the FuSa stage; when empty, all
 	// outputs are functional and no safety mechanism is assumed.
 	AlarmOutputs []int
@@ -40,6 +50,8 @@ type QualityReport struct {
 
 // ReliabilityReport is the soft-error/aging stage outcome.
 type ReliabilityReport struct {
+	// Faults is the size of the injected fault list (the SDC denominator).
+	Faults        int
 	RawFIT        float64
 	DeratedFIT    float64
 	SDCRate       float64
@@ -65,8 +77,11 @@ type SecurityReport struct {
 
 // Report is the merged multi-aspect result of one flow run.
 type Report struct {
-	Design      string
-	Years       float64
+	Design string
+	Years  float64
+	// Stages lists, in execution order, which stages populated this
+	// report; a full RunFlow records all four.
+	Stages      []string `json:",omitempty"`
 	Quality     QualityReport
 	Reliability ReliabilityReport
 	Safety      SafetyReport
@@ -77,106 +92,9 @@ type Report struct {
 // identification), reliability (fault-injection SDC rate, FIT budget,
 // sliced campaign, aging), functional safety (classification + metrics +
 // tool cross-check) and security (timing-leak verification), all over
-// one design.
+// one design. It is equivalent to RunStages with every stage selected.
 func RunFlow(cfg FlowConfig) (*Report, error) {
-	if cfg.Netlist == nil {
-		return nil, fmt.Errorf("core: flow needs a netlist")
-	}
-	if cfg.Patterns <= 0 {
-		cfg.Patterns = 200
-	}
-	n := cfg.Netlist
-	rep := &Report{Design: n.Name, Years: cfg.Years}
-
-	// --- Quality stage ---
-	faults := fault.Collapse(n, fault.AllStuckAt(n))
-	res, err := atpg.GenerateTests(n, faults, atpg.FlowOptions{
-		RandomPatterns: 64, Seed: cfg.Seed, Compact: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: quality stage: %v", err)
-	}
-	rep.Quality = QualityReport{
-		Faults:       len(faults),
-		TestCoverage: res.Coverage.Effective(),
-		Untestable:   res.Coverage.Untestable,
-		TestCount:    len(res.Tests),
-	}
-
-	// --- Reliability stage ---
-	pats := faultsim.RandomPatterns(n, cfg.Patterns, cfg.Seed+1)
-	acc, err := slicing.AcceleratedRun(n, faults, pats)
-	if err != nil {
-		return nil, fmt.Errorf("core: reliability stage: %v", err)
-	}
-	detected := 0
-	for _, s := range acc.Status {
-		if s == fault.Detected {
-			detected++
-		}
-	}
-	sdc := float64(detected) / float64(len(faults))
-	raw := seu.RawFIT(cfg.Environment, cfg.Technology.SETCrossSectionCm2, float64(n.NumGates()))
-	probs, err := aging.SignalProbabilities(n, pats)
-	if err != nil {
-		return nil, err
-	}
-	pathRep, err := aging.AnalyzePaths(n, probs, cfg.Years, aging.DefaultBTI())
-	if err != nil {
-		return nil, err
-	}
-	rep.Reliability = ReliabilityReport{
-		RawFIT:        raw,
-		DeratedFIT:    raw * sdc,
-		SDCRate:       sdc,
-		SlicedSpeedup: acc.Speedup(),
-		AgingSlowdown: pathRep.Slowdown(),
-	}
-
-	// --- Safety stage ---
-	functional := n.Outputs
-	if len(cfg.AlarmOutputs) > 0 {
-		alarmSet := make(map[int]bool)
-		for _, a := range cfg.AlarmOutputs {
-			alarmSet[a] = true
-		}
-		functional = nil
-		for _, o := range n.Outputs {
-			if !alarmSet[o] {
-				functional = append(functional, o)
-			}
-		}
-	}
-	sc := &fusa.SafetyCircuit{N: n, FunctionalOutputs: functional, AlarmOutputs: cfg.AlarmOutputs}
-	classes, err := fusa.Classify(sc, faults, pats)
-	if err != nil {
-		return nil, fmt.Errorf("core: safety stage: %v", err)
-	}
-	metrics := fusa.ComputeMetrics(classes, 0.01)
-	sus, err := fusa.CrossCheck(sc, faults, classes, atpg.Options{})
-	if err != nil {
-		return nil, err
-	}
-	rep.Safety = SafetyReport{
-		SPFM: metrics.SPFM, LFM: metrics.LFM,
-		MeetsASILB: metrics.MeetsASIL(fusa.ASILB),
-		Suspicious: len(sus),
-	}
-
-	// --- Security stage ---
-	secret := cfg.Secret
-	if len(secret) == 0 {
-		secret = []byte{0x52, 0x45, 0x53, 0x43} // "RESC"
-	}
-	leaky := sca.VerifyTiming(n.Name+"-leaky", sca.NewLeakyComparer(secret, cfg.Seed), secret, cfg.Seed+2)
-	fixed := sca.VerifyTiming(n.Name+"-ct", sca.NewConstantTimeComparer(secret, cfg.Seed), secret, cfg.Seed+2)
-	rep.Security = SecurityReport{
-		TimingLeaky:     leaky.Leaky,
-		TValue:          leaky.TValue,
-		SecretRecovered: string(leaky.Recovered) == string(secret),
-		FixedVerified:   !fixed.Leaky,
-	}
-	return rep, nil
+	return RunStages(context.Background(), cfg, AllStages()...)
 }
 
 // Render prints the report as the flow's summary table.

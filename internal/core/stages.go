@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"rescue/internal/aging"
+	"rescue/internal/atpg"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/fusa"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sca"
+	"rescue/internal/seu"
+	"rescue/internal/slicing"
+)
+
+// StageID identifies one independently-runnable stage of the Fig. 2 flow.
+// Stages share the same deterministic inputs (collapsed fault list,
+// pattern set, seeds), so running a subset produces exactly the fields a
+// full RunFlow would have produced for those aspects.
+type StageID uint8
+
+const (
+	// StageQuality is ATPG + untestable-fault identification.
+	StageQuality StageID = iota
+	// StageReliability is FI-based SDC rate, FIT derating and BTI aging.
+	StageReliability
+	// StageSafety is ISO 26262 classification, metrics and cross-check.
+	StageSafety
+	// StageSecurity is the timing side-channel verification pass.
+	StageSecurity
+	numStages
+)
+
+// String names the stage.
+func (s StageID) String() string {
+	if s >= numStages {
+		return fmt.Sprintf("StageID(%d)", uint8(s))
+	}
+	return [...]string{"quality", "reliability", "safety", "security"}[s]
+}
+
+// ParseStage resolves a stage name.
+func ParseStage(name string) (StageID, error) {
+	for s := StageQuality; s < numStages; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown stage %q (have quality, reliability, safety, security)", name)
+}
+
+// AllStages returns every stage in the canonical Fig. 2 order.
+func AllStages() []StageID {
+	return []StageID{StageQuality, StageReliability, StageSafety, StageSecurity}
+}
+
+// flowState carries the inputs shared by all stages of one flow run.
+// Fault list and pattern set are derived lazily but from the config seed
+// only, so any stage subset sees the same values a full run would — and a
+// stage subset that needs neither (security) pays for neither.
+type flowState struct {
+	cfg    FlowConfig
+	n      *netlist.Netlist
+	faults fault.List
+	pats   []logic.Vector
+}
+
+func newFlowState(cfg FlowConfig) (*flowState, error) {
+	if cfg.Netlist == nil {
+		return nil, fmt.Errorf("core: flow needs a netlist")
+	}
+	if cfg.Faults != nil && len(cfg.Faults) == 0 {
+		// An empty list would make the SDC rate 0/0 = NaN downstream.
+		return nil, fmt.Errorf("core: flow needs a non-empty fault subset (nil means the full list)")
+	}
+	if cfg.Patterns <= 0 {
+		cfg.Patterns = 200
+	}
+	return &flowState{cfg: cfg, n: cfg.Netlist}, nil
+}
+
+func (st *flowState) faultList() fault.List {
+	if st.faults == nil {
+		st.faults = st.cfg.Faults
+		if st.faults == nil {
+			st.faults = fault.Collapse(st.n, fault.AllStuckAt(st.n))
+		}
+	}
+	return st.faults
+}
+
+func (st *flowState) patterns() []logic.Vector {
+	if st.pats == nil {
+		st.pats = faultsim.RandomPatterns(st.n, st.cfg.Patterns, st.cfg.Seed+1)
+	}
+	return st.pats
+}
+
+func (st *flowState) runQuality(rep *Report) error {
+	faults := st.faultList()
+	res, err := atpg.GenerateTests(st.n, faults, atpg.FlowOptions{
+		RandomPatterns: 64, Seed: st.cfg.Seed, Compact: true,
+	})
+	if err != nil {
+		return fmt.Errorf("core: quality stage: %v", err)
+	}
+	rep.Quality = QualityReport{
+		Faults:       len(faults),
+		TestCoverage: res.Coverage.Effective(),
+		Untestable:   res.Coverage.Untestable,
+		TestCount:    len(res.Tests),
+	}
+	return nil
+}
+
+func (st *flowState) runReliability(rep *Report) error {
+	faults := st.faultList()
+	pats := st.patterns()
+	acc, err := slicing.AcceleratedRun(st.n, faults, pats)
+	if err != nil {
+		return fmt.Errorf("core: reliability stage: %v", err)
+	}
+	detected := 0
+	for _, s := range acc.Status {
+		if s == fault.Detected {
+			detected++
+		}
+	}
+	sdc := float64(detected) / float64(len(faults))
+	raw := seu.RawFIT(st.cfg.Environment, st.cfg.Technology.SETCrossSectionCm2, float64(st.n.NumGates()))
+	if share := st.cfg.FaultShare; share > 0 && share <= 1 {
+		raw *= share
+	}
+	slowdown := 0.0
+	if !st.cfg.SkipAging {
+		probs, err := aging.SignalProbabilities(st.n, pats)
+		if err != nil {
+			return err
+		}
+		pathRep, err := aging.AnalyzePaths(st.n, probs, st.cfg.Years, aging.DefaultBTI())
+		if err != nil {
+			return err
+		}
+		slowdown = pathRep.Slowdown()
+	}
+	rep.Reliability = ReliabilityReport{
+		Faults:        len(faults),
+		RawFIT:        raw,
+		DeratedFIT:    raw * sdc,
+		SDCRate:       sdc,
+		SlicedSpeedup: acc.Speedup(),
+		AgingSlowdown: slowdown,
+	}
+	return nil
+}
+
+func (st *flowState) runSafety(rep *Report) error {
+	functional := st.n.Outputs
+	if len(st.cfg.AlarmOutputs) > 0 {
+		alarmSet := make(map[int]bool)
+		for _, a := range st.cfg.AlarmOutputs {
+			alarmSet[a] = true
+		}
+		functional = nil
+		for _, o := range st.n.Outputs {
+			if !alarmSet[o] {
+				functional = append(functional, o)
+			}
+		}
+	}
+	sc := &fusa.SafetyCircuit{N: st.n, FunctionalOutputs: functional, AlarmOutputs: st.cfg.AlarmOutputs}
+	classes, err := fusa.Classify(sc, st.faultList(), st.patterns())
+	if err != nil {
+		return fmt.Errorf("core: safety stage: %v", err)
+	}
+	metrics := fusa.ComputeMetrics(classes, 0.01)
+	sus, err := fusa.CrossCheck(sc, st.faultList(), classes, atpg.Options{})
+	if err != nil {
+		return err
+	}
+	rep.Safety = SafetyReport{
+		SPFM: metrics.SPFM, LFM: metrics.LFM,
+		MeetsASILB: metrics.MeetsASIL(fusa.ASILB),
+		Suspicious: len(sus),
+	}
+	return nil
+}
+
+func (st *flowState) runSecurity(rep *Report) error {
+	secret := st.cfg.Secret
+	if len(secret) == 0 {
+		secret = []byte{0x52, 0x45, 0x53, 0x43} // "RESC"
+	}
+	leaky := sca.VerifyTiming(st.n.Name+"-leaky", sca.NewLeakyComparer(secret, st.cfg.Seed), secret, st.cfg.Seed+2)
+	fixed := sca.VerifyTiming(st.n.Name+"-ct", sca.NewConstantTimeComparer(secret, st.cfg.Seed), secret, st.cfg.Seed+2)
+	rep.Security = SecurityReport{
+		TimingLeaky:     leaky.Leaky,
+		TValue:          leaky.TValue,
+		SecretRecovered: string(leaky.Recovered) == string(secret),
+		FixedVerified:   !fixed.Leaky,
+	}
+	return nil
+}
+
+func (st *flowState) run(id StageID, rep *Report) error {
+	switch id {
+	case StageQuality:
+		return st.runQuality(rep)
+	case StageReliability:
+		return st.runReliability(rep)
+	case StageSafety:
+		return st.runSafety(rep)
+	case StageSecurity:
+		return st.runSecurity(rep)
+	}
+	return fmt.Errorf("core: unknown stage %d", id)
+}
+
+// RunStages runs the selected Fig. 2 stages over one design and returns
+// the report with exactly those aspects populated (the rest stay zero).
+// The context is checked between stages, so a cancelled campaign stops at
+// the next stage boundary. Duplicate stage IDs run once.
+func RunStages(ctx context.Context, cfg FlowConfig, stages ...StageID) (*Report, error) {
+	st, err := newFlowState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Validate up front: a bad trailing ID must not discard the work of
+	// expensive stages that already ran.
+	for _, id := range stages {
+		if id >= numStages {
+			return nil, fmt.Errorf("core: unknown stage %d", id)
+		}
+	}
+	rep := &Report{Design: st.n.Name, Years: cfg.Years}
+	done := make(map[StageID]bool)
+	for _, id := range stages {
+		if done[id] {
+			continue
+		}
+		done[id] = true
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := st.run(id, rep); err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, id.String())
+	}
+	return rep, nil
+}

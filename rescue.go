@@ -25,9 +25,11 @@
 package rescue
 
 import (
+	"context"
 	"fmt"
 
 	"rescue/internal/atpg"
+	"rescue/internal/campaign"
 	"rescue/internal/circuits"
 	"rescue/internal/core"
 	"rescue/internal/fault"
@@ -53,6 +55,24 @@ type (
 	FlowConfig = core.FlowConfig
 	// FlowReport is the holistic flow outcome.
 	FlowReport = core.Report
+	// FlowStage identifies one independently-runnable flow stage.
+	FlowStage = core.StageID
+)
+
+// Campaign orchestration types (see internal/campaign).
+type (
+	// CampaignMatrix declares a campaign's job cross product.
+	CampaignMatrix = campaign.Matrix
+	// CampaignConfig tunes parallelism and progress streaming.
+	CampaignConfig = campaign.Config
+	// CampaignJob is one expanded matrix cell.
+	CampaignJob = campaign.Job
+	// CampaignResult is one job outcome.
+	CampaignResult = campaign.Result
+	// CampaignSummary is the deterministic campaign-level aggregate.
+	CampaignSummary = campaign.Summary
+	// CampaignScenario selects the stages a job runs.
+	CampaignScenario = campaign.Scenario
 )
 
 // Circuit returns a named benchmark circuit from the built-in registry
@@ -94,6 +114,23 @@ func RandomPatterns(n *Netlist, count int, seed int64) []Vector {
 // RunHolisticFlow drives the Fig. 2 quality→reliability→safety→security
 // flow over one design.
 func RunHolisticFlow(cfg FlowConfig) (*FlowReport, error) { return core.RunFlow(cfg) }
+
+// RunFlowStages runs a subset of the Fig. 2 flow stages over one design;
+// the context is checked at every stage boundary.
+func RunFlowStages(ctx context.Context, cfg FlowConfig, stages ...FlowStage) (*FlowReport, error) {
+	return core.RunStages(ctx, cfg, stages...)
+}
+
+// FlowStages lists every flow stage in canonical Fig. 2 order.
+func FlowStages() []FlowStage { return core.AllStages() }
+
+// RunCampaign expands the matrix and fans its jobs across a worker pool;
+// the summary is byte-identical at any parallelism level. See
+// internal/campaign for sharding, seed derivation and cancellation
+// semantics, and cmd/rescue-campaign for the CLI.
+func RunCampaign(ctx context.Context, m CampaignMatrix, cfg CampaignConfig) (*CampaignSummary, error) {
+	return campaign.Run(ctx, m, cfg)
+}
 
 // Fig1Distribution regenerates the paper's Fig. 1 research-results
 // distribution from the publication registry.

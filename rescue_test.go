@@ -1,6 +1,7 @@
 package rescue_test
 
 import (
+	"context"
 	"testing"
 
 	"rescue"
@@ -74,5 +75,52 @@ func TestFacadeHolisticFlow(t *testing.T) {
 	}
 	if rep.Design != "rca8" {
 		t.Error("report design name wrong")
+	}
+}
+
+func TestFacadeSelectiveStages(t *testing.T) {
+	n, err := rescue.Circuit("rca8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rescue.FlowConfig{
+		Netlist:     n,
+		Environment: seu.SeaLevel,
+		Technology:  seu.Node28,
+		Patterns:    64,
+		Seed:        2,
+	}
+	rep, err := rescue.RunFlowStages(context.Background(), cfg, rescue.FlowStages()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality.Faults == 0 {
+		t.Error("quality stage did not run")
+	}
+	if rep.Reliability.RawFIT != 0 || rep.Security.TimingLeaky {
+		t.Error("unselected stages must stay zero")
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	sum, err := rescue.RunCampaign(context.Background(), rescue.CampaignMatrix{
+		Circuits:     []string{"c17", "rca8"},
+		Environments: []string{"sea-level", "LEO"},
+		Scenarios:    []rescue.CampaignScenario{"quality", "holistic"},
+		Patterns:     32,
+		Years:        5,
+		Seed:         11,
+	}, rescue.CampaignConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 8 || sum.Failed != 0 {
+		t.Fatalf("campaign jobs=%d failed=%d:\n%s", sum.Jobs, sum.Failed, sum.Render())
+	}
+	if sum.Quality == nil || sum.Quality.Jobs != 8 {
+		t.Error("quality rollup must cover all jobs")
+	}
+	if sum.Security == nil || sum.Security.Jobs != 4 {
+		t.Error("security rollup must cover the holistic jobs only")
 	}
 }
