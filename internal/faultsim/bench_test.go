@@ -1,0 +1,42 @@
+package faultsim
+
+import (
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+)
+
+// BenchmarkFaultSimCone compares the cone-restricted incremental engine
+// against the full-pass reference on the largest combinational registry
+// circuit — the per-PR record of the PPSFP hot-path trajectory. The
+// gate_evals metric is deterministic; ns/op tracks the realised speedup.
+func BenchmarkFaultSimCone(b *testing.B) {
+	n := circuits.ArrayMultiplier(8)
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	pats := RandomPatterns(n, 128, 3)
+	b.Run("cone", func(b *testing.B) {
+		b.ReportAllocs()
+		var evals int64
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(n, faults, pats)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals = rep.GateEvals
+		}
+		b.ReportMetric(float64(evals), "gate_evals")
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		var evals int64
+		for i := 0; i < b.N; i++ {
+			rep, err := RunFull(n, faults, pats)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals = rep.GateEvals
+		}
+		b.ReportMetric(float64(evals), "gate_evals")
+	})
+}

@@ -1,0 +1,96 @@
+// Differential tests: the cone-restricted incremental engine (Run) must
+// be bit-identical to the full-pass reference engine (RunFull) on every
+// registry circuit, while evaluating far fewer gates. Sequential circuits
+// are exercised through their full-scan combinational view, so the whole
+// registry is covered. The test lives in an external package so it can
+// use atpg.ScanView (atpg itself imports faultsim).
+package faultsim_test
+
+import (
+	"testing"
+
+	"rescue/internal/atpg"
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/netlist"
+)
+
+// combView returns the circuit, scan-converted if sequential.
+func combView(t testing.TB, name string) *netlist.Netlist {
+	t.Helper()
+	n := circuits.Registry[name]()
+	if n.IsSequential() {
+		sv, err := atpg.ScanView(n)
+		if err != nil {
+			t.Fatalf("%s: scan view: %v", name, err)
+		}
+		n = sv.Comb
+	}
+	return n
+}
+
+func TestConeEngineMatchesFullPassOnRegistry(t *testing.T) {
+	for _, name := range circuits.Names() {
+		n := combView(t, name)
+		// Uncollapsed list: exercises every output and pin fault site.
+		faults := fault.AllStuckAt(n)
+		// 100 patterns = one full block plus a partial tail block.
+		pats := faultsim.RandomPatterns(n, 100, 17)
+		cone, err := faultsim.Run(n, faults, pats)
+		if err != nil {
+			t.Fatalf("%s: cone engine: %v", name, err)
+		}
+		full, err := faultsim.RunFull(n, faults, pats)
+		if err != nil {
+			t.Fatalf("%s: full engine: %v", name, err)
+		}
+		for fi := range faults {
+			if cone.Status[fi] != full.Status[fi] {
+				t.Errorf("%s: fault %s: cone status %v != full %v",
+					name, faults[fi].Describe(n), cone.Status[fi], full.Status[fi])
+			}
+			if cone.DetectedBy[fi] != full.DetectedBy[fi] {
+				t.Errorf("%s: fault %s: cone DetectedBy %d != full %d",
+					name, faults[fi].Describe(n), cone.DetectedBy[fi], full.DetectedBy[fi])
+			}
+		}
+		if cone.Coverage() != full.Coverage() {
+			t.Errorf("%s: coverage mismatch: cone %+v != full %+v",
+				name, cone.Coverage(), full.Coverage())
+		}
+		if cone.GateEvals > full.GateEvals {
+			t.Errorf("%s: cone engine evaluated more gates (%d) than full pass (%d)",
+				name, cone.GateEvals, full.GateEvals)
+		}
+	}
+}
+
+func TestConeEngineCostAdvantageOnLargestCircuit(t *testing.T) {
+	largest := ""
+	gates := 0
+	for _, name := range circuits.Names() {
+		if g := combView(t, name).NumGates(); g > gates {
+			largest, gates = name, g
+		}
+	}
+	n := combView(t, largest)
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	pats := faultsim.RandomPatterns(n, 128, 3)
+	cone, err := faultsim.Run(n, faults, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := faultsim.RunFull(n, faults, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone.GateEvals*2 > full.GateEvals {
+		t.Errorf("%s (%d gates): cone engine must evaluate >=2x fewer gates: cone %d vs full %d (%.2fx)",
+			largest, gates, cone.GateEvals, full.GateEvals,
+			float64(full.GateEvals)/float64(cone.GateEvals))
+	}
+	t.Logf("%s (%d gates, %d faults): cone %d vs full %d gate evals (%.1fx fewer)",
+		largest, gates, len(faults), cone.GateEvals, full.GateEvals,
+		float64(full.GateEvals)/float64(cone.GateEvals))
+}

@@ -4,11 +4,20 @@
 // analysis, and campaign drivers (exhaustive and statistical random
 // sampling with confidence intervals) reproducing the cost/accuracy
 // trade-off discussed in Section III.B of the RESCUE paper.
+//
+// The stuck-at engine (Run) is cone-restricted and incremental: per
+// 64-pattern block the good machine is simulated once, and each faulty
+// machine re-evaluates only the gates inside the fault's transitive
+// fanout cone, comparing only the primary outputs that cone can reach.
+// Gates outside the cone cannot depend on the fault site, so results are
+// bit-identical to the full-pass reference engine (RunFull, kept for
+// differential testing and cost baselines) at a fraction of the cost.
 package faultsim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"rescue/internal/fault"
@@ -24,7 +33,8 @@ type Report struct {
 	Faults     int
 	Status     []fault.Status // parallel to the input fault list
 	DetectedBy []int          // first detecting pattern index, -1 if none
-	// GateEvals counts faulty-machine full passes, the dominant cost
+	// GateEvals counts gates actually evaluated — good-machine passes
+	// plus every faulty-machine (cone) evaluation — the dominant cost
 	// driver; campaign comparisons (E7, E12) report it as "cost".
 	GateEvals int64
 }
@@ -45,10 +55,59 @@ func (r *Report) Coverage() fault.Coverage {
 	return c
 }
 
+// newStuckAtReport allocates a report with every status NotSimulated.
+func newStuckAtReport(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) *Report {
+	rep := &Report{
+		Circuit:    n.Name,
+		Patterns:   len(patterns),
+		Faults:     len(faults),
+		Status:     make([]fault.Status, len(faults)),
+		DetectedBy: make([]int, len(faults)),
+	}
+	for i := range rep.Status {
+		rep.Status[i] = fault.NotSimulated
+		rep.DetectedBy[i] = -1
+	}
+	return rep
+}
+
+// combGateCount returns the number of gates one combinational pass
+// actually evaluates (everything except primary inputs and DFF state).
+func combGateCount(n *netlist.Netlist) int {
+	return n.NumGates() - len(n.Inputs) - len(n.DFFs)
+}
+
+// validateSite rejects fault sites that reference gates or pins outside
+// the circuit — previously these crashed or simulated silently wrong.
+func validateSite(n *netlist.Netlist, f fault.Fault) error {
+	if f.Gate < 0 || f.Gate >= n.NumGates() {
+		return fmt.Errorf("faultsim: fault references unknown gate id %d", f.Gate)
+	}
+	if f.Pin >= 0 && f.Pin >= len(n.Gate(f.Gate).Fanin) {
+		return fmt.Errorf("faultsim: fault on gate %q pin %d out of range (fanin %d)",
+			n.Gate(f.Gate).Name, f.Pin, len(n.Gate(f.Gate).Fanin))
+	}
+	return nil
+}
+
+// detectionSlot folds a block-local diff mask into the report: the lowest
+// set bit across *all* compared outputs is the first detecting pattern.
+func (r *Report) detectionSlot(fi, base int, diff uint64) {
+	if diff != 0 {
+		r.Status[fi] = fault.Detected
+		r.DetectedBy[fi] = base + bits.TrailingZeros64(diff)
+	} else if r.Status[fi] == fault.NotSimulated {
+		r.Status[fi] = fault.Undetected
+	}
+}
+
 // Run fault-simulates the given stuck-at fault list against the pattern
-// set using PPSFP with fault dropping: each 64-pattern block is simulated
-// once fault-free, then every still-undetected fault is injected and its
-// primary outputs compared against the good machine.
+// set using cone-restricted incremental PPSFP with fault dropping: each
+// 64-pattern block is simulated once fault-free, then every
+// still-undetected fault re-evaluates only its fanout cone against the
+// good machine and compares only the cone's reachable primary outputs.
+// Status, DetectedBy and Coverage are bit-identical to RunFull;
+// GateEvals counts the gates actually evaluated.
 func Run(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Report, error) {
 	if n.IsSequential() {
 		return nil, fmt.Errorf("faultsim: Run handles combinational circuits; use SequentialRun")
@@ -61,18 +120,23 @@ func Run(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Repor
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		Circuit:    n.Name,
-		Patterns:   len(patterns),
-		Faults:     len(faults),
-		Status:     make([]fault.Status, len(faults)),
-		DetectedBy: make([]int, len(faults)),
+	rep := newStuckAtReport(n, faults, patterns)
+	// Resolve every fault's cone up front; the per-root cache on the
+	// netlist makes repeated sites (s-a-0/s-a-1, pin faults on one gate)
+	// free and shares cones across campaign stages on the same circuit.
+	cones := make([]*netlist.Cone, len(faults))
+	for fi, f := range faults {
+		if f.Kind != fault.StuckAt {
+			continue
+		}
+		if err := validateSite(n, f); err != nil {
+			return nil, err
+		}
+		if cones[fi], err = n.FanoutConeOrdered(f.Gate); err != nil {
+			return nil, err
+		}
 	}
-	for i := range rep.Status {
-		rep.Status[i] = fault.NotSimulated
-		rep.DetectedBy[i] = -1
-	}
-	outIDs := n.Outputs
+	comb := int64(combGateCount(n))
 	for base := 0; base < len(patterns); base += 64 {
 		hi := base + 64
 		if hi > len(patterns) {
@@ -83,6 +147,72 @@ func Run(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Repor
 			return nil, err
 		}
 		good.Run()
+		rep.GateEvals += comb
+		blockMask := ^uint64(0)
+		if len(block) < 64 {
+			blockMask = (uint64(1) << uint(len(block))) - 1
+		}
+		for fi := range faults {
+			if rep.Status[fi] == fault.Detected {
+				continue // dropped
+			}
+			f := faults[fi]
+			if f.Kind != fault.StuckAt {
+				continue
+			}
+			cone := cones[fi]
+			evals := bad.RunConeWithFault(good, cone,
+				sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
+			rep.GateEvals += int64(evals)
+			var diff uint64
+			for _, oi := range cone.Outputs {
+				oid := n.Outputs[oi]
+				diff |= logic.DiffW(good.Word(oid), bad.Word(oid))
+			}
+			rep.detectionSlot(fi, base, diff&blockMask)
+		}
+	}
+	return rep, nil
+}
+
+// RunFull is the full-pass PPSFP reference engine: every faulty machine
+// re-simulates the entire netlist and compares every primary output. It
+// exists as the differential-testing oracle and cost baseline for the
+// cone-restricted Run; results (Status/DetectedBy/Coverage) are
+// bit-identical, only GateEvals differs.
+func RunFull(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Report, error) {
+	if n.IsSequential() {
+		return nil, fmt.Errorf("faultsim: RunFull handles combinational circuits; use SequentialRun")
+	}
+	good, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	rep := newStuckAtReport(n, faults, patterns)
+	for _, f := range faults {
+		if f.Kind != fault.StuckAt {
+			continue
+		}
+		if err := validateSite(n, f); err != nil {
+			return nil, err
+		}
+	}
+	comb := int64(combGateCount(n))
+	for base := 0; base < len(patterns); base += 64 {
+		hi := base + 64
+		if hi > len(patterns) {
+			hi = len(patterns)
+		}
+		block := patterns[base:hi]
+		if err := good.LoadPatterns(block); err != nil {
+			return nil, err
+		}
+		good.Run()
+		rep.GateEvals += comb
 		blockMask := ^uint64(0)
 		if len(block) < 64 {
 			blockMask = (uint64(1) << uint(len(block))) - 1
@@ -99,27 +229,15 @@ func Run(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Repor
 				return nil, err
 			}
 			bad.RunWithFault(sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
-			rep.GateEvals += int64(n.NumGates())
+			rep.GateEvals += comb
+			// Accumulate the diff over *all* outputs before taking the
+			// lowest bit: breaking on the first differing output reported
+			// a wrong (non-minimal) DetectedBy pattern.
 			var diff uint64
-			for oi, oid := range outIDs {
-				_ = oi
-				diff |= logic.DiffW(good.Word(oid), bad.Word(oid)) & blockMask
-				if diff != 0 {
-					break
-				}
+			for _, oid := range n.Outputs {
+				diff |= logic.DiffW(good.Word(oid), bad.Word(oid))
 			}
-			if diff != 0 {
-				rep.Status[fi] = fault.Detected
-				// Lowest set bit = first detecting pattern in this block.
-				slot := 0
-				for diff&1 == 0 {
-					diff >>= 1
-					slot++
-				}
-				rep.DetectedBy[fi] = base + slot
-			} else if rep.Status[fi] == fault.NotSimulated {
-				rep.Status[fi] = fault.Undetected
-			}
+			rep.detectionSlot(fi, base, diff&blockMask)
 		}
 	}
 	return rep, nil
@@ -156,28 +274,58 @@ type Injection struct {
 	Cycle int
 }
 
+// goldenTrace is the fault-independent reference run: per-cycle primary
+// outputs and the final flip-flop state from reset. Campaigns compute it
+// once and share it across every injection instead of re-simulating the
+// golden machine O(faults × cycles) times.
+type goldenTrace struct {
+	outs  []string
+	state string
+}
+
+func traceGolden(n *netlist.Netlist, stimuli []logic.Vector) (*goldenTrace, error) {
+	golden, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	golden.ResetState(logic.Zero)
+	tr := &goldenTrace{outs: make([]string, len(stimuli))}
+	for c, in := range stimuli {
+		tr.outs[c] = golden.Step(in).String()
+	}
+	tr.state = golden.State().String()
+	return tr, nil
+}
+
 // InjectTransient runs the sequential circuit over the stimuli twice —
 // golden and faulty — flipping the target at the given cycle, and
 // classifies the outcome. SEU faults flip a flip-flop's state before the
 // cycle's evaluation; SET faults flip a combinational node's value after
-// evaluation and re-propagate it, modelling a latched glitch.
-func InjectTransient(n *netlist.Netlist, stimuli []logic.Vector, inj Injection) (TransientOutcome, error) {
-	if inj.Cycle < 0 || inj.Cycle >= len(stimuli) {
-		return Masked, fmt.Errorf("faultsim: injection cycle %d out of range", inj.Cycle)
-	}
-	golden, err := sim.New(n)
+// evaluation and re-propagate it, modelling a latched glitch. The second
+// return value is the number of cycles actually simulated: an SDC stops
+// the run early, so campaigns charging cost must use it rather than
+// assuming len(stimuli) cycles.
+func InjectTransient(n *netlist.Netlist, stimuli []logic.Vector, inj Injection) (TransientOutcome, int, error) {
+	tr, err := traceGolden(n, stimuli)
 	if err != nil {
-		return Masked, err
+		return Masked, 0, err
+	}
+	return injectAgainstGolden(n, stimuli, inj, tr)
+}
+
+// injectAgainstGolden simulates only the faulty machine, comparing each
+// cycle against the precomputed golden trace.
+func injectAgainstGolden(n *netlist.Netlist, stimuli []logic.Vector, inj Injection, tr *goldenTrace) (TransientOutcome, int, error) {
+	if inj.Cycle < 0 || inj.Cycle >= len(stimuli) {
+		return Masked, 0, fmt.Errorf("faultsim: injection cycle %d out of range", inj.Cycle)
 	}
 	faulty, err := sim.New(n)
 	if err != nil {
-		return Masked, err
+		return Masked, 0, err
 	}
-	golden.ResetState(logic.Zero)
 	faulty.ResetState(logic.Zero)
-	outcome := Masked
+	cycles := 0
 	for c, in := range stimuli {
-		goldOut := golden.Step(in)
 		var faultOut logic.Vector
 		if c == inj.Cycle {
 			switch inj.Fault.Kind {
@@ -197,19 +345,20 @@ func InjectTransient(n *netlist.Netlist, stimuli []logic.Vector, inj Injection) 
 				faultOut = faulty.Outputs()
 				latchAndAdvance(faulty)
 			default:
-				return Masked, fmt.Errorf("faultsim: InjectTransient needs SEU or SET, got %v", inj.Fault.Kind)
+				return Masked, cycles, fmt.Errorf("faultsim: InjectTransient needs SEU or SET, got %v", inj.Fault.Kind)
 			}
 		} else {
 			faultOut = faulty.Step(in)
 		}
-		if faultOut.String() != goldOut.String() {
-			return SDC, nil
+		cycles++
+		if faultOut.String() != tr.outs[c] {
+			return SDC, cycles, nil
 		}
 	}
-	if golden.State().String() != faulty.State().String() {
-		outcome = Latent
+	if tr.state != faulty.State().String() {
+		return Latent, cycles, nil
 	}
-	return outcome, nil
+	return Masked, cycles, nil
 }
 
 // latchAndAdvance latches D pins into DFFs (the tail end of a Step).
@@ -228,7 +377,12 @@ func latchAndAdvance(e *sim.Evaluator) {
 type TransientReport struct {
 	Injections int
 	Counts     map[TransientOutcome]int
-	// GateEvals approximates simulation cost (faulty passes × gates).
+	// GateEvals is the exact faulty-machine simulation cost: cycles
+	// actually stepped × combinational gates (one pass per cycle). SDC
+	// early exits charge only the cycles that ran. The single golden
+	// trace shared by all injections is not charged (it is amortised
+	// across the campaign), and a SET's re-propagation rides within its
+	// cycle's pass.
 	GateEvals int64
 }
 
@@ -253,16 +407,20 @@ func (r *TransientReport) MaskRate() float64 {
 // Cost grows as |faults| × |cycles| × |gates| — the "ultimate in accuracy
 // but very cumbersome" method of Section III.B.
 func ExhaustiveTransient(n *netlist.Netlist, stimuli []logic.Vector, faults fault.List) (*TransientReport, error) {
+	tr, err := traceGolden(n, stimuli)
+	if err != nil {
+		return nil, err
+	}
 	rep := &TransientReport{Counts: make(map[TransientOutcome]int)}
 	for _, f := range faults {
 		for c := range stimuli {
-			out, err := InjectTransient(n, stimuli, Injection{Fault: f, Cycle: c})
+			out, cycles, err := injectAgainstGolden(n, stimuli, Injection{Fault: f, Cycle: c}, tr)
 			if err != nil {
 				return nil, err
 			}
 			rep.Counts[out]++
 			rep.Injections++
-			rep.GateEvals += int64(n.NumGates() * len(stimuli))
+			rep.GateEvals += int64(cycles) * int64(combGateCount(n))
 		}
 	}
 	return rep, nil
@@ -272,17 +430,21 @@ func ExhaustiveTransient(n *netlist.Netlist, stimuli []logic.Vector, faults faul
 // using the given seed — the statistical fault injection method.
 func RandomTransient(n *netlist.Netlist, stimuli []logic.Vector, faults fault.List, samples int, seed int64) (*TransientReport, error) {
 	rng := rand.New(rand.NewSource(seed))
+	tr, err := traceGolden(n, stimuli)
+	if err != nil {
+		return nil, err
+	}
 	rep := &TransientReport{Counts: make(map[TransientOutcome]int)}
 	for i := 0; i < samples; i++ {
 		f := faults[rng.Intn(len(faults))]
 		c := rng.Intn(len(stimuli))
-		out, err := InjectTransient(n, stimuli, Injection{Fault: f, Cycle: c})
+		out, cycles, err := injectAgainstGolden(n, stimuli, Injection{Fault: f, Cycle: c}, tr)
 		if err != nil {
 			return nil, err
 		}
 		rep.Counts[out]++
 		rep.Injections++
-		rep.GateEvals += int64(n.NumGates() * len(stimuli))
+		rep.GateEvals += int64(cycles) * int64(combGateCount(n))
 	}
 	return rep, nil
 }
@@ -356,10 +518,15 @@ func (r *SequentialResult) Coverage() fault.Coverage {
 // SequentialRun fault-simulates permanent stuck-at faults on a
 // sequential circuit: golden and faulty machines start from the all-zero
 // reset state and step through the stimuli; a fault is detected on the
-// first cycle a primary output differs. Output faults only (collapsed
-// lists map pin faults onto representatives).
+// first cycle a primary output differs. Both output-site and input-pin
+// faults are injected (pin faults were previously simulated fault-free
+// and silently reported Undetected); out-of-range sites error out.
 func SequentialRun(n *netlist.Netlist, faults fault.List, stimuli []logic.Vector) (*SequentialResult, error) {
 	golden, err := sim.New(n)
+	if err != nil {
+		return nil, err
+	}
+	order, err := n.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
@@ -368,11 +535,15 @@ func SequentialRun(n *netlist.Netlist, faults fault.List, stimuli []logic.Vector
 	for c, in := range stimuli {
 		goldenOuts[c] = golden.Step(in).String()
 	}
+	comb := int64(combGateCount(n))
 	res := &SequentialResult{Status: make([]fault.Status, len(faults))}
 	for fi, f := range faults {
 		if f.Kind != fault.StuckAt {
 			res.Status[fi] = fault.NotSimulated
 			continue
+		}
+		if err := validateSite(n, f); err != nil {
+			return nil, fmt.Errorf("faultsim: SequentialRun: %v", err)
 		}
 		faulty, err := sim.New(n)
 		if err != nil {
@@ -381,8 +552,8 @@ func SequentialRun(n *netlist.Netlist, faults fault.List, stimuli []logic.Vector
 		faulty.ResetState(logic.Zero)
 		res.Status[fi] = fault.Undetected
 		for c, in := range stimuli {
-			out := stepWithStuckAt(faulty, f, in)
-			res.GateEvals += int64(n.NumGates())
+			out := stepWithStuckAt(faulty, order, f, in)
+			res.GateEvals += comb
 			if out.String() != goldenOuts[c] {
 				res.Status[fi] = fault.Detected
 				break
@@ -393,32 +564,49 @@ func SequentialRun(n *netlist.Netlist, faults fault.List, stimuli []logic.Vector
 }
 
 // stepWithStuckAt performs one synchronous cycle with a permanent
-// stuck-at fault forced: the site is overridden after evaluation and the
-// override propagated before outputs are sampled and state is latched.
-func stepWithStuckAt(e *sim.Evaluator, f fault.Fault, in logic.Vector) logic.Vector {
+// stuck-at fault forced during the combinational pass: an output-site
+// fault overrides the gate's (or input's/DFF's) value so every reader
+// sees it; an input-pin fault overrides exactly that pin of that gate,
+// including a DFF's D pin at latch time. order must be n.TopoOrder().
+func stepWithStuckAt(e *sim.Evaluator, order []int, f fault.Fault, in logic.Vector) logic.Vector {
 	e.SetInputs(in)
-	// Force DFF-site faults before evaluation too (state is held wrong).
-	if f.Pin < 0 {
-		e.SetValue(f.Gate, f.Value)
-	}
-	e.Run()
-	if f.Pin < 0 {
-		e.SetValue(f.Gate, f.Value)
-		e.PropagateFrom(f.Gate)
-		e.SetValue(f.Gate, f.Value)
+	get := e.Value
+	for _, id := range order {
+		g := e.N.Gate(id)
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			if id == f.Gate && f.Pin < 0 {
+				e.SetValue(id, f.Value) // stuck input / stuck Q
+			}
+			continue
+		}
+		var v logic.V
+		if id == f.Gate && f.Pin >= 0 {
+			v = sim.EvalGateWithPin(g, get, f.Pin, f.Value)
+		} else {
+			v = sim.EvalGate(g, get)
+		}
+		if id == f.Gate && f.Pin < 0 {
+			v = f.Value
+		}
+		e.SetValue(id, v)
 	}
 	out := e.Outputs()
-	// Latch D pins into DFFs (Step's tail), honouring the forced value.
+	// Latch D pins into DFFs (Step's tail), honouring forced values: a
+	// stuck D pin latches the stuck value regardless of its driver.
 	n := e.N
 	next := make([]logic.V, len(n.DFFs))
 	for i, id := range n.DFFs {
-		next[i] = e.Value(n.Gate(id).Fanin[0])
+		if id == f.Gate && f.Pin == 0 {
+			next[i] = f.Value
+		} else {
+			next[i] = e.Value(n.Gate(id).Fanin[0])
+		}
 	}
 	for i, id := range n.DFFs {
 		e.SetValue(id, next[i])
 	}
 	if f.Pin < 0 {
-		e.SetValue(f.Gate, f.Value) // a stuck DFF stays stuck
+		e.SetValue(f.Gate, f.Value) // a stuck site stays stuck across cycles
 	}
 	return out
 }

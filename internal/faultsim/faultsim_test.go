@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"rescue/internal/circuits"
@@ -121,7 +122,7 @@ func TestSEUInjectionOutcomes(t *testing.T) {
 	for i := range stimuli {
 		stimuli[i] = logic.Vector{logic.Zero}
 	}
-	out, err := InjectTransient(n, stimuli, Injection{
+	out, cycles, err := InjectTransient(n, stimuli, Injection{
 		Fault: fault.Fault{Kind: fault.SEU, Gate: q1}, Cycle: 1,
 	})
 	if err != nil {
@@ -130,10 +131,15 @@ func TestSEUInjectionOutcomes(t *testing.T) {
 	if out != SDC {
 		t.Errorf("SEU in shift register = %v, want SDC", out)
 	}
+	// The flip lands in q2 after cycle 1's latch and reaches the output
+	// at cycle 2: the SDC early exit must stop after 3 simulated cycles.
+	if cycles != 3 {
+		t.Errorf("SDC run simulated %d cycles, want 3", cycles)
+	}
 	// An SEU at the very last cycle in q2's shadow can at most be latent:
 	// inject into q1 at the final cycle — the flipped value never reaches
 	// the output before the run ends, but the final state differs.
-	out, err = InjectTransient(n, stimuli, Injection{
+	out, cycles, err = InjectTransient(n, stimuli, Injection{
 		Fault: fault.Fault{Kind: fault.SEU, Gate: q1}, Cycle: len(stimuli) - 1,
 	})
 	if err != nil {
@@ -141,6 +147,9 @@ func TestSEUInjectionOutcomes(t *testing.T) {
 	}
 	if out != Latent {
 		t.Errorf("last-cycle SEU = %v, want latent", out)
+	}
+	if cycles != len(stimuli) {
+		t.Errorf("full run simulated %d cycles, want %d", cycles, len(stimuli))
 	}
 }
 
@@ -158,7 +167,7 @@ func TestSEUMaskedByLogic(t *testing.T) {
 		{logic.Zero, logic.Zero},
 		{logic.Zero, logic.Zero},
 	}
-	out, err := InjectTransient(n, stimuli, Injection{
+	out, _, err := InjectTransient(n, stimuli, Injection{
 		Fault: fault.Fault{Kind: fault.SEU, Gate: q}, Cycle: 1,
 	})
 	if err != nil {
@@ -191,13 +200,13 @@ func TestSETInjection(t *testing.T) {
 
 func TestInjectionCycleBounds(t *testing.T) {
 	n := circuits.S27()
-	_, err := InjectTransient(n, RandomPatterns(n, 3, 1), Injection{
+	_, _, err := InjectTransient(n, RandomPatterns(n, 3, 1), Injection{
 		Fault: fault.Fault{Kind: fault.SEU, Gate: n.DFFs[0]}, Cycle: 99,
 	})
 	if err == nil {
 		t.Error("out-of-range cycle must error")
 	}
-	_, err = InjectTransient(n, RandomPatterns(n, 3, 1), Injection{
+	_, _, err = InjectTransient(n, RandomPatterns(n, 3, 1), Injection{
 		Fault: fault.Fault{Kind: fault.StuckAt, Gate: 0}, Cycle: 0,
 	})
 	if err == nil {
@@ -349,5 +358,151 @@ func TestSequentialRunStuckDFF(t *testing.T) {
 	}
 	if rep.Status[0] != fault.Detected {
 		t.Error("stuck LSB flip-flop must be detected within 8 cycles")
+	}
+}
+
+func TestDetectedByIsMinimumSlotAcrossOutputs(t *testing.T) {
+	// Regression: the engine used to take the lowest set bit of the
+	// *first differing output* instead of the minimum slot across all
+	// outputs. Here output o1 (compared first) detects g s-a-0 only at
+	// pattern 2, while o2 already detects it at pattern 1.
+	n := netlist.New("multiout")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	g, _ := n.AddGate("g", netlist.Buf, a)
+	o1, _ := n.AddGate("o1", netlist.And, g, b)
+	o2, _ := n.AddGate("o2", netlist.Buf, g)
+	_ = n.MarkOutput(o1)
+	_ = n.MarkOutput(o2)
+	patterns := []logic.Vector{
+		{logic.Zero, logic.Zero}, // no difference anywhere
+		{logic.One, logic.Zero},  // o2 differs, o1 masked by b=0
+		{logic.One, logic.One},   // both differ
+	}
+	faults := fault.List{{Kind: fault.StuckAt, Gate: g, Pin: -1, Value: logic.Zero}}
+	for name, run := range map[string]func(*netlist.Netlist, fault.List, []logic.Vector) (*Report, error){
+		"cone": Run, "full": RunFull,
+	} {
+		rep, err := run(n, faults, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status[0] != fault.Detected {
+			t.Fatalf("%s: fault undetected", name)
+		}
+		if rep.DetectedBy[0] != 1 {
+			t.Errorf("%s: DetectedBy = %d, want 1 (minimum slot across all outputs)",
+				name, rep.DetectedBy[0])
+		}
+	}
+}
+
+// xorFeedback builds: q = DFF(g), g = XOR(q, in), o = BUF(q).
+func xorFeedback(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n, err := netlist.ParseBench("xorfb", strings.NewReader(`
+INPUT(in)
+OUTPUT(o)
+q = DFF(g)
+g = XOR(q, in)
+o = BUF(q)
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSequentialRunInjectsPinFaults(t *testing.T) {
+	// Regression: input-pin faults used to be silently simulated
+	// fault-free and reported Undetected. With an all-zero stimulus the
+	// golden machine never raises the output, so any detection can only
+	// come from the injected pin fault.
+	n := xorFeedback(t)
+	g, _ := n.Lookup("g")
+	q, _ := n.Lookup("q")
+	stimuli := make([]logic.Vector, 5)
+	for i := range stimuli {
+		stimuli[i] = logic.Vector{logic.Zero}
+	}
+	faults := fault.List{
+		// g's pin 1 is the primary input "in": stuck-at-1 makes g=XOR(q,1).
+		{Kind: fault.StuckAt, Gate: g.ID, Pin: 1, Value: logic.One},
+		// q's D pin stuck-at-1 latches 1 regardless of g.
+		{Kind: fault.StuckAt, Gate: q.ID, Pin: 0, Value: logic.One},
+	}
+	rep, err := SequentialRun(n, faults, stimuli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range faults {
+		if rep.Status[fi] != fault.Detected {
+			t.Errorf("pin fault %s: status = %v, want detected",
+				f.Describe(n), rep.Status[fi])
+		}
+	}
+	// A pin index outside the gate's fanin must be a loud error, never a
+	// silently wrong status.
+	bad := fault.List{{Kind: fault.StuckAt, Gate: g.ID, Pin: 7, Value: logic.One}}
+	if _, err := SequentialRun(n, bad, stimuli); err == nil {
+		t.Error("out-of-range pin must error")
+	}
+}
+
+func TestRunRejectsOutOfRangeSites(t *testing.T) {
+	n := circuits.C17()
+	pats := allBinaryPatterns(5)
+	bad := fault.List{{Kind: fault.StuckAt, Gate: n.Outputs[0], Pin: 9, Value: logic.One}}
+	if _, err := Run(n, bad, pats); err == nil {
+		t.Error("Run must reject out-of-range pins")
+	}
+	if _, err := RunFull(n, bad, pats); err == nil {
+		t.Error("RunFull must reject out-of-range pins")
+	}
+	if _, err := Run(n, fault.List{{Kind: fault.StuckAt, Gate: -3, Pin: -1}}, pats); err == nil {
+		t.Error("Run must reject unknown gate ids")
+	}
+}
+
+func TestTransientCampaignChargesActualCycles(t *testing.T) {
+	// Regression: campaigns used to charge NumGates × len(stimuli) per
+	// injection even when an SDC stopped the run early. The exhaustive
+	// report must equal the sum of per-injection actual cycles.
+	n := netlist.New("shift2obs")
+	in, _ := n.AddInput("in")
+	q1, _ := n.AddGate("q1", netlist.DFF, in)
+	q2, _ := n.AddGate("q2", netlist.DFF, q1)
+	o, _ := n.AddGate("o", netlist.Buf, q2)
+	_ = n.MarkOutput(o)
+	stimuli := make([]logic.Vector, 6)
+	for i := range stimuli {
+		stimuli[i] = logic.Vector{logic.Zero}
+	}
+	comb := int64(combGateCount(n))
+	if comb != 1 {
+		t.Fatalf("combGateCount = %d, want 1 (only the Buf is evaluated per cycle)", comb)
+	}
+	faults := fault.List{{Kind: fault.SEU, Gate: q1}, {Kind: fault.SEU, Gate: q2}}
+	rep, err := ExhaustiveTransient(n, stimuli, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, f := range faults {
+		for c := range stimuli {
+			_, cycles, err := InjectTransient(n, stimuli, Injection{Fault: f, Cycle: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += int64(cycles) * comb
+		}
+	}
+	if rep.GateEvals != want {
+		t.Errorf("GateEvals = %d, want %d (sum of actual cycles)", rep.GateEvals, want)
+	}
+	naive := int64(rep.Injections) * int64(len(stimuli)) * comb
+	if rep.GateEvals >= naive {
+		t.Errorf("GateEvals = %d must be below the naive charge %d: SDC runs exit early",
+			rep.GateEvals, naive)
 	}
 }

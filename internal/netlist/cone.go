@@ -1,0 +1,116 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cone is the transitive fanout cone of one gate, precomputed for
+// incremental fault simulation: the set of gates whose value can depend
+// combinationally on the root, in a valid evaluation order, together
+// with the primary outputs reachable from the root. DFFs act as cut
+// points — a fanout DFF's Q is next-cycle state, not a combinational
+// consequence of the root — so they are excluded unless they are the
+// root itself (a stuck Q forces level-0 state).
+//
+// Cones are immutable once built; Netlist caches them per root (behind
+// a mutex, so concurrent queries on an otherwise-quiescent netlist are
+// safe) and invalidates the cache on any structural mutation.
+type Cone struct {
+	// Root is the gate the cone was grown from. It is always the first
+	// entry of Order.
+	Root int
+	// Order lists the cone's gate IDs sorted by (level, id): a valid
+	// combinational evaluation order restricted to the cone.
+	Order []int
+	// Evals is the number of combinational gates in Order — the exact
+	// evaluation cost of one incremental pass over the cone.
+	Evals int
+	// Outputs holds the indices into Netlist.Outputs (not gate IDs)
+	// whose gates lie inside the cone: the only primary outputs a fault
+	// at Root can ever flip.
+	Outputs []int
+
+	member []uint64 // bitset over gate IDs
+}
+
+// Contains reports whether the gate ID lies inside the cone.
+func (c *Cone) Contains(id int) bool {
+	return c.member[id>>6]&(1<<uint(id&63)) != 0
+}
+
+// Size returns the number of gates in the cone, including the root.
+func (c *Cone) Size() int { return len(c.Order) }
+
+// FanoutConeOrdered returns the root's fanout cone with a cached,
+// topologically ordered gate list and the reachable primary-output
+// indices. Results are memoised per root on the netlist; the cache is
+// dropped whenever the circuit structure changes (AddGate/AddInput/
+// MarkOutput). The netlist is levelized as a side effect. Concurrent
+// cone queries on one netlist are serialised by the cache mutex, but a
+// Netlist is not generally goroutine-safe: do not query cones while
+// another goroutine mutates the circuit or levelizes it through other
+// entry points (TopoOrder, Stats, ...).
+func (n *Netlist) FanoutConeOrdered(root int) (*Cone, error) {
+	if root < 0 || root >= len(n.Gates) {
+		return nil, fmt.Errorf("netlist: FanoutConeOrdered: unknown gate id %d", root)
+	}
+	n.coneMu.Lock()
+	defer n.coneMu.Unlock()
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	if c, ok := n.coneCache[root]; ok {
+		return c, nil
+	}
+	c := n.buildCone(root)
+	if n.coneCache == nil {
+		n.coneCache = make(map[int]*Cone)
+	}
+	n.coneCache[root] = c
+	return c, nil
+}
+
+func (n *Netlist) buildCone(root int) *Cone {
+	c := &Cone{Root: root, member: make([]uint64, (len(n.Gates)+63)/64)}
+	mark := func(id int) { c.member[id>>6] |= 1 << uint(id&63) }
+	stack := []int{root}
+	mark(root)
+	c.Order = append(c.Order, root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range n.Gates[id].Fanout {
+			if c.Contains(fo) {
+				continue
+			}
+			if n.Gates[fo].Type == DFF {
+				continue // sequential cut: Q is not combinationally driven
+			}
+			mark(fo)
+			c.Order = append(c.Order, fo)
+			stack = append(stack, fo)
+		}
+	}
+	// Every non-root cone gate is a strict combinational successor of the
+	// root, so (level, id) order is a valid evaluation order with the
+	// root first.
+	sort.Slice(c.Order, func(a, b int) bool {
+		la, lb := n.Gates[c.Order[a]].Level, n.Gates[c.Order[b]].Level
+		if la != lb {
+			return la < lb
+		}
+		return c.Order[a] < c.Order[b]
+	})
+	for _, id := range c.Order {
+		if t := n.Gates[id].Type; t != Input && t != DFF {
+			c.Evals++
+		}
+	}
+	for oi, oid := range n.Outputs {
+		if c.Contains(oid) {
+			c.Outputs = append(c.Outputs, oi)
+		}
+	}
+	return c
+}

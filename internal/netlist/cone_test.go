@@ -1,0 +1,168 @@
+package netlist
+
+import "testing"
+
+// diamond builds the classic reconvergent-fanout structure:
+//
+//	a ──► b=NOT(a) ──► d=AND(b,c)
+//	 └──► c=BUF(a) ──┘
+//
+// with d and b as primary outputs (in that order).
+func diamond(t *testing.T) (*Netlist, int, int, int, int) {
+	t.Helper()
+	n := New("diamond")
+	a, err := n.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := n.AddGate("b", Not, a)
+	c, _ := n.AddGate("c", Buf, a)
+	d, _ := n.AddGate("d", And, b, c)
+	if err := n.MarkOutput(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput(b); err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b, c, d
+}
+
+func TestFanoutConeReconvergent(t *testing.T) {
+	n, a, b, c, d := diamond(t)
+	cone, err := n.FanoutConeOrdered(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone.Root != a || cone.Size() != 4 {
+		t.Fatalf("cone(a): root=%d size=%d, want root=%d size=4", cone.Root, cone.Size(), a)
+	}
+	// Reconvergence must not duplicate d in the order.
+	seen := map[int]int{}
+	for _, id := range cone.Order {
+		seen[id]++
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Errorf("gate %d appears %d times in Order", id, cnt)
+		}
+	}
+	if cone.Order[0] != a {
+		t.Errorf("root must come first, got %v", cone.Order)
+	}
+	// Order must be a valid evaluation order: level non-decreasing.
+	for i := 1; i < len(cone.Order); i++ {
+		if n.Gate(cone.Order[i]).Level < n.Gate(cone.Order[i-1]).Level {
+			t.Errorf("Order not level-sorted: %v", cone.Order)
+		}
+	}
+	for _, id := range []int{a, b, c, d} {
+		if !cone.Contains(id) {
+			t.Errorf("cone(a) must contain gate %d", id)
+		}
+	}
+	if cone.Evals != 3 {
+		t.Errorf("cone(a).Evals = %d, want 3 (input is not evaluated)", cone.Evals)
+	}
+	// Both primary outputs are reachable from a.
+	if len(cone.Outputs) != 2 || cone.Outputs[0] != 0 || cone.Outputs[1] != 1 {
+		t.Errorf("cone(a).Outputs = %v, want [0 1]", cone.Outputs)
+	}
+	// cone(c) reaches only d (output index 0), not b.
+	cc, err := n.FanoutConeOrdered(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Size() != 2 || cc.Contains(b) {
+		t.Errorf("cone(c) = %v, want {c, d}", cc.Order)
+	}
+	if len(cc.Outputs) != 1 || cc.Outputs[0] != 0 {
+		t.Errorf("cone(c).Outputs = %v, want [0]", cc.Outputs)
+	}
+}
+
+func TestFanoutConeCachingAndInvalidation(t *testing.T) {
+	n, a, _, c, d := diamond(t)
+	c1, err := n.FanoutConeOrdered(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := n.FanoutConeOrdered(a)
+	if c1 != c2 {
+		t.Error("second lookup must hit the cache (same *Cone)")
+	}
+	// Structural mutation invalidates: a new gate extends the cone.
+	e, err := n.AddGate("e", Not, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := n.FanoutConeOrdered(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Error("AddGate must drop cached cones")
+	}
+	if !c3.Contains(e) {
+		t.Error("recomputed cone must include the new gate")
+	}
+	// MarkOutput invalidates: the reachable-output list changes.
+	if err := n.MarkOutput(e); err != nil {
+		t.Fatal(err)
+	}
+	c4, err := n.FanoutConeOrdered(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, oi := range c4.Outputs {
+		if n.Outputs[oi] == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cone(c).Outputs = %v must include new output e", c4.Outputs)
+	}
+}
+
+func TestFanoutConeCutsAtDFFs(t *testing.T) {
+	n := New("seqcut")
+	in, _ := n.AddInput("in")
+	g, _ := n.AddGate("g", Not, in)
+	q, _ := n.AddGate("q", DFF, g)
+	h, _ := n.AddGate("h", Buf, q)
+	if err := n.MarkOutput(h); err != nil {
+		t.Fatal(err)
+	}
+	// g's combinational influence ends at the DFF's D pin.
+	cg, err := n.FanoutConeOrdered(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Size() != 1 || cg.Contains(q) || cg.Contains(h) {
+		t.Errorf("cone(g) = %v, want {g} (DFF is a cut point)", cg.Order)
+	}
+	if len(cg.Outputs) != 0 {
+		t.Errorf("cone(g).Outputs = %v, want empty", cg.Outputs)
+	}
+	// A cone rooted at the DFF itself models a stuck Q: it reaches h.
+	cq, err := n.FanoutConeOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.Size() != 2 || !cq.Contains(h) {
+		t.Errorf("cone(q) = %v, want {q, h}", cq.Order)
+	}
+	if cq.Evals != 1 {
+		t.Errorf("cone(q).Evals = %d, want 1 (the DFF root is state, not evaluated)", cq.Evals)
+	}
+}
+
+func TestFanoutConeRejectsBadRoot(t *testing.T) {
+	n, _, _, _, _ := diamond(t)
+	if _, err := n.FanoutConeOrdered(-1); err == nil {
+		t.Error("negative root must error")
+	}
+	if _, err := n.FanoutConeOrdered(n.NumGates()); err == nil {
+		t.Error("out-of-range root must error")
+	}
+}

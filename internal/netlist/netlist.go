@@ -7,6 +7,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the supported cell types.
@@ -105,6 +106,9 @@ type Netlist struct {
 	byName    map[string]int
 	levelized bool
 	maxLevel  int
+
+	coneMu    sync.Mutex
+	coneCache map[int]*Cone
 }
 
 // New returns an empty netlist with the given name.
@@ -182,7 +186,17 @@ func (n *Netlist) addGate(name string, t GateType, fanin []int) (int, error) {
 	n.Gates = append(n.Gates, g)
 	n.byName[name] = id
 	n.levelized = false
+	n.invalidateCones()
 	return id, nil
+}
+
+// invalidateCones drops every cached fanout cone; called on any
+// structural mutation (new gates change reachability, new outputs change
+// the reachable-output lists).
+func (n *Netlist) invalidateCones() {
+	n.coneMu.Lock()
+	n.coneCache = nil
+	n.coneMu.Unlock()
 }
 
 // MarkOutput declares an existing gate as a primary output.
@@ -196,6 +210,7 @@ func (n *Netlist) MarkOutput(id int) error {
 		}
 	}
 	n.Outputs = append(n.Outputs, id)
+	n.invalidateCones()
 	return nil
 }
 

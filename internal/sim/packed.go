@@ -140,6 +140,52 @@ func (p *Packed) RunWithFault(f FaultSite, mask uint64) {
 	}
 }
 
+// RunConeWithFault performs an incremental faulty pass restricted to the
+// fault's fanout cone: only the cone's gates are (re)evaluated, with
+// out-of-cone fanins read directly from the good machine. good must be a
+// simulator over the same netlist holding a completed fault-free pass for
+// the same pattern block; p's own words are valid only for cone gates
+// afterwards (compare primary outputs via cone.Outputs). Gates outside
+// the cone cannot depend on the fault site, so the cone gates' words are
+// bit-identical to a full RunWithFault pass. It returns the number of
+// gates actually evaluated — the exact cost of the pass.
+func (p *Packed) RunConeWithFault(good *Packed, cone *netlist.Cone, f FaultSite, mask uint64) int {
+	forced := logic.WordAll(f.SA)
+	get := func(id int) logic.Word {
+		if cone.Contains(id) {
+			return p.words[id]
+		}
+		return good.words[id]
+	}
+	evals := 0
+	for _, id := range cone.Order {
+		g := p.N.Gate(id)
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			// Only the root can be a cone Input/DFF (nothing combinational
+			// drives them), and only an output-site fault forces it.
+			w := good.words[id]
+			if id == f.Gate && f.Pin < 0 {
+				w = mergeMask(w, forced, mask)
+			}
+			p.words[id] = w
+			continue
+		}
+		var w logic.Word
+		if id == f.Gate && f.Pin >= 0 {
+			pinGate := g.Fanin[f.Pin]
+			w = evalGateWPin(g, get, f.Pin, mergeMask(get(pinGate), forced, mask))
+		} else {
+			w = evalGateW(g, get)
+		}
+		if id == f.Gate && f.Pin < 0 {
+			w = mergeMask(w, forced, mask)
+		}
+		p.words[id] = w
+		evals++
+	}
+	return evals
+}
+
 // evalGateWPin evaluates g where exactly the pin-th fanin sees pinVal and
 // all other fanins see their true values (even if driven by the same net).
 func evalGateWPin(g *netlist.Gate, getTrue func(int) logic.Word, pin int, pinVal logic.Word) logic.Word {

@@ -109,6 +109,45 @@ func EvalGate(g *netlist.Gate, get func(int) logic.V) logic.V {
 	return acc
 }
 
+// EvalGateWithPin computes g's output where exactly the pin-th fanin sees
+// pinVal and every other fanin sees its true value from get — the scalar
+// counterpart of the packed simulator's pin-fault evaluation, used by
+// sequential stuck-at injection. The distinction matters when one driver
+// feeds several pins of the same gate: only the faulted pin is overridden.
+func EvalGateWithPin(g *netlist.Gate, get func(int) logic.V, pin int, pinVal logic.V) logic.V {
+	val := func(i int) logic.V {
+		if i == pin {
+			return pinVal
+		}
+		return get(g.Fanin[i])
+	}
+	switch g.Type {
+	case netlist.Buf:
+		return logic.Buf(val(0))
+	case netlist.Not:
+		return logic.Not(val(0))
+	case netlist.Mux:
+		return logic.Mux(val(0), val(1), val(2))
+	}
+	acc := val(0)
+	for i := 1; i < len(g.Fanin); i++ {
+		v := val(i)
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			acc = logic.And(acc, v)
+		case netlist.Or, netlist.Nor:
+			acc = logic.Or(acc, v)
+		case netlist.Xor, netlist.Xnor:
+			acc = logic.Xor(acc, v)
+		}
+	}
+	switch g.Type {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = logic.Not(acc)
+	}
+	return acc
+}
+
 // Run performs one full combinational pass in topological order. Inputs
 // and DFF states are consumed as-is; every other gate is recomputed.
 func (e *Evaluator) Run() {

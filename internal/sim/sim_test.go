@@ -429,3 +429,81 @@ func TestStepLatchesSimultaneously(t *testing.T) {
 		t.Errorf("state after one shift = %v, want 10", st)
 	}
 }
+
+func TestRunConeWithFaultMatchesFullPass(t *testing.T) {
+	// The cone-restricted incremental pass must produce bit-identical
+	// words for every cone gate (and, by construction, leave out-of-cone
+	// outputs equal to the good machine) for every stuck-at site —
+	// output and pin, s-a-0 and s-a-1 — on reconvergent circuits.
+	for _, build := range []func() *netlist.Netlist{
+		circuits.C17,
+		func() *netlist.Netlist { return circuits.ArrayMultiplier(4) },
+		func() *netlist.Netlist {
+			return circuits.RandomCombinational(circuits.RandomOptions{Inputs: 8, Gates: 120, Outputs: 6, Seed: 42})
+		},
+	} {
+		n := build()
+		good, err := NewPacked(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(23))
+		patterns := make([]logic.Vector, 64)
+		for k := range patterns {
+			v := make(logic.Vector, len(n.Inputs))
+			for j := range v {
+				v[j] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			patterns[k] = v
+		}
+		if err := good.LoadPatterns(patterns); err != nil {
+			t.Fatal(err)
+		}
+		good.Run()
+		full, _ := NewPacked(n)
+		cone, _ := NewPacked(n)
+		for _, g := range n.Gates {
+			sites := []FaultSite{{Gate: g.ID, Pin: -1}}
+			for pin := range g.Fanin {
+				sites = append(sites, FaultSite{Gate: g.ID, Pin: pin})
+			}
+			for _, site := range sites {
+				for _, sa := range []logic.V{logic.Zero, logic.One} {
+					site.SA = sa
+					if err := full.LoadPatterns(patterns); err != nil {
+						t.Fatal(err)
+					}
+					full.RunWithFault(site, ^uint64(0))
+					fc, err := n.FanoutConeOrdered(site.Gate)
+					if err != nil {
+						t.Fatal(err)
+					}
+					evals := cone.RunConeWithFault(good, fc, site, ^uint64(0))
+					if evals != fc.Evals {
+						t.Fatalf("%s: site %+v evaluated %d gates, cone says %d",
+							n.Name, site, evals, fc.Evals)
+					}
+					for _, id := range fc.Order {
+						if cone.Word(id) != full.Word(id) {
+							t.Fatalf("%s: site %+v: cone gate %q word %v != full %v",
+								n.Name, site, n.Gate(id).Name, cone.Word(id), full.Word(id))
+						}
+					}
+					// Outputs outside the cone must be untouched by the fault.
+					for oi, oid := range n.Outputs {
+						inCone := false
+						for _, ci := range fc.Outputs {
+							if ci == oi {
+								inCone = true
+							}
+						}
+						if !inCone && logic.DiffW(full.Word(oid), good.Word(oid)) != 0 {
+							t.Fatalf("%s: site %+v flipped out-of-cone output %q",
+								n.Name, site, n.Gate(oid).Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -101,9 +101,18 @@ func GenerateTests(n *Netlist, faults FaultList, seed int64) (*atpg.Result, erro
 	})
 }
 
-// FaultSimulate runs parallel-pattern fault simulation with dropping.
+// FaultSimulate runs parallel-pattern fault simulation with dropping,
+// using the cone-restricted incremental engine: per 64-pattern block,
+// each faulty machine re-evaluates only the fault's fanout cone.
 func FaultSimulate(n *Netlist, faults FaultList, patterns []Vector) (*faultsim.Report, error) {
 	return faultsim.Run(n, faults, patterns)
+}
+
+// FaultSimulateFull runs the full-pass reference engine. Results are
+// bit-identical to FaultSimulate; it exists as a differential-testing
+// oracle and cost baseline (Report.GateEvals shows the cone advantage).
+func FaultSimulateFull(n *Netlist, faults FaultList, patterns []Vector) (*faultsim.Report, error) {
+	return faultsim.RunFull(n, faults, patterns)
 }
 
 // RandomPatterns generates deterministic random test patterns.
