@@ -7,6 +7,7 @@ package rescue_test
 
 import (
 	"testing"
+	"time"
 
 	"rescue/internal/atpg"
 	"rescue/internal/circuits"
@@ -76,6 +77,41 @@ func BenchmarkAblation_FaultDropping(b *testing.B) {
 	b.ReportMetric(float64(withoutDrop)/float64(withDrop), "dropping_gain_x")
 	b.Logf("fault dropping: %d vs %d gate-evals (%.1fx saved)",
 		withDrop, withoutDrop, float64(withoutDrop)/float64(withDrop))
+}
+
+// BenchmarkAblation_TestAndDrop ablates test-and-drop in the
+// deterministic ATPG phase: with dropping, each generated vector is
+// fault-simulated against the remaining set and its collateral
+// detections never reach PODEM; without, every fault pays a full
+// deterministic search. Reports each side's flows/s alongside the PODEM
+// call reduction (the counts BenchmarkATPG prints per circuit).
+func BenchmarkAblation_TestAndDrop(b *testing.B) {
+	n := circuits.ArrayMultiplier(8)
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	var drop, nodrop *atpg.Result
+	var tDrop, tNoDrop time.Duration
+	for i := 0; i < b.N; i++ {
+		var err error
+		t0 := time.Now()
+		drop, err = atpg.GenerateTests(n, faults, atpg.FlowOptions{Seed: 3, Compact: true})
+		tDrop += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 = time.Now()
+		nodrop, err = atpg.GenerateTests(n, faults, atpg.FlowOptions{Seed: 3, Compact: true, NoDrop: true})
+		tNoDrop += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/tDrop.Seconds(), "drop_flows_per_sec")
+	b.ReportMetric(float64(b.N)/tNoDrop.Seconds(), "nodrop_flows_per_sec")
+	b.ReportMetric(float64(nodrop.PODEMCalls)/float64(drop.PODEMCalls), "podem_call_reduction_x")
+	b.Logf("test-and-drop on mul8: %d vs %d PODEM calls (%.1fx), %.2f vs %.2f flows/s",
+		drop.PODEMCalls, nodrop.PODEMCalls,
+		float64(nodrop.PODEMCalls)/float64(drop.PODEMCalls),
+		float64(b.N)/tDrop.Seconds(), float64(b.N)/tNoDrop.Seconds())
 }
 
 // BenchmarkAblation_RandomBootstrap compares ATPG with and without the

@@ -327,11 +327,11 @@ func BenchmarkE12_FuSaToolConfidence(b *testing.B) {
 				continue
 			}
 			seeded++
-			sus, err := fusa.CrossCheck(sc, f2, bad, atpg.Options{})
+			cc, err := fusa.CrossCheck(sc, f2, bad, atpg.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			for _, s := range sus {
+			for _, s := range cc.Suspicions {
 				if s.FaultIndex == fi {
 					caught++
 					break

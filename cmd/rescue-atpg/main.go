@@ -1,17 +1,26 @@
 // Command rescue-atpg generates and evaluates stuck-at test sets for the
-// built-in benchmark circuits: random-pattern bootstrap, PODEM,
-// untestable-fault identification and static compaction.
+// built-in benchmark circuits: random-pattern bootstrap, deterministic
+// PODEM with test-and-drop (optionally parallel — results are identical
+// at any worker count), untestable-fault identification and static
+// compaction, all on one persistent fault-simulation session.
 //
 // Usage:
 //
-//	rescue-atpg -circuit mul4 -random 64 -seed 1
+//	rescue-atpg -circuit mul8 -random 64 -seed 1 -parallel 8 -timing t.json
+//
+// -timing writes machine-readable wall-clock benchmark JSON (like
+// rescue-campaign's): deterministic flow counters plus the wall-clock
+// and host facts, so perf trajectories can be tracked across runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"rescue"
 	"rescue/internal/atpg"
@@ -25,6 +34,9 @@ func main() {
 	random := flag.Int("random", 64, "random patterns before deterministic ATPG")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	compact := flag.Bool("compact", true, "apply reverse-order static compaction")
+	parallel := flag.Int("parallel", 1, "deterministic-phase PODEM workers (results are identical at any level)")
+	noDrop := flag.Bool("no-drop", false, "disable test-and-drop (reference flow: one PODEM call per remaining fault)")
+	timing := flag.String("timing", "", "machine-readable wall-clock benchmark JSON path")
 	list := flag.Bool("list", false, "list available circuits and exit")
 	flag.Parse()
 
@@ -47,9 +59,12 @@ func main() {
 		n = sv.Comb
 	}
 	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	start := time.Now()
 	res, err := atpg.GenerateTests(n, faults, atpg.FlowOptions{
 		RandomPatterns: *random, Seed: *seed, Compact: *compact,
+		Parallelism: *parallel, NoDrop: *noDrop,
 	})
+	wall := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,10 +73,40 @@ func main() {
 		s.Name, s.Gates, s.Inputs, s.Outputs, s.MaxLevel)
 	fmt.Printf("faults    %d collapsed stuck-at\n", len(faults))
 	fmt.Printf("random    %d faults detected by bootstrap\n", res.RandomDetected)
+	fmt.Printf("podem     %d calls (%d dropped unsearched, %d speculative vectors discarded), %d backtracks, %d workers\n",
+		res.PODEMCalls, res.DropDetected, res.DiscardedTests, res.Backtracks, *parallel)
 	fmt.Printf("tests     %d vectors after compaction\n", len(res.Tests))
 	fmt.Printf("coverage  raw %.2f%%  effective %.2f%%  (untestable %d, aborted %d)\n",
 		res.Coverage.Raw()*100, res.Coverage.Effective()*100,
 		res.Coverage.Untestable, res.Coverage.Aborted)
+
+	if *timing != "" {
+		payload, merr := json.MarshalIndent(map[string]any{
+			"circuit":            *circuit,
+			"faults":             len(faults),
+			"random_patterns":    *random,
+			"random_detected":    res.RandomDetected,
+			"drop_detected":      res.DropDetected,
+			"discarded_tests":    res.DiscardedTests,
+			"podem_calls":        res.PODEMCalls,
+			"backtracks":         res.Backtracks,
+			"sim_gate_evals":     res.SimGateEvals,
+			"tests":              len(res.Tests),
+			"coverage_effective": res.Coverage.Effective(),
+			"no_drop":            *noDrop,
+			"parallel":           *parallel,
+			"wall_ms":            wall.Milliseconds(),
+			"goos":               runtime.GOOS,
+			"goarch":             runtime.GOARCH,
+			"num_cpu":            runtime.NumCPU(),
+		}, "", "  ")
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		if werr := os.WriteFile(*timing, append(payload, '\n'), 0o644); werr != nil {
+			log.Fatal(werr)
+		}
+	}
 	if res.Coverage.Aborted > 0 {
 		os.Exit(2)
 	}

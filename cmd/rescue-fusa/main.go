@@ -64,12 +64,13 @@ func main() {
 	for _, lvl := range []fusa.ASIL{fusa.ASILB, fusa.ASILC, fusa.ASILD} {
 		fmt.Printf("meets %s: %v\n", lvl, m.MeetsASIL(lvl))
 	}
-	sus, err := fusa.CrossCheck(sc, faults, classes, atpg.Options{})
+	cc, err := fusa.CrossCheck(sc, faults, classes, atpg.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("tool-confidence cross-check: %d suspicious classifications\n", len(sus))
-	for _, s := range sus {
+	fmt.Printf("tool-confidence cross-check: %d suspicious classifications (%d PODEM calls, %d backtracks)\n",
+		len(cc.Suspicions), cc.PODEMCalls, cc.Backtracks)
+	for _, s := range cc.Suspicions {
 		fmt.Printf("  fault %d (%s): %s\n", s.FaultIndex, s.Class, s.Reason)
 	}
 }

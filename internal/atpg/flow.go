@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"fmt"
+	"sync"
 
 	"rescue/internal/fault"
 	"rescue/internal/faultsim"
@@ -111,8 +112,23 @@ type Result struct {
 	Coverage fault.Coverage
 	// RandomDetected counts faults removed by the random-pattern phase.
 	RandomDetected int
+	// DropDetected counts faults removed by test-and-drop before any
+	// PODEM search was spent on them: another target's vector detected
+	// them while they were still queued.
+	DropDetected int
+	// DiscardedTests counts targets whose PODEM search did run (they are
+	// included in PODEMCalls) but whose vector was discarded because an
+	// earlier vector of the same round already detected them.
+	DiscardedTests int
+	// PODEMCalls counts deterministic-phase Generate invocations — the
+	// figure test-and-drop exists to shrink.
+	PODEMCalls int
 	// Backtracks accumulates PODEM backtracks across all targets.
 	Backtracks int
+	// SimGateEvals is the exact fault-simulation cost of the flow (random
+	// bootstrap, test-and-drop, compaction and final verification), in
+	// gate evaluations on the shared session.
+	SimGateEvals int64
 }
 
 // FlowOptions configures GenerateTests.
@@ -124,77 +140,88 @@ type FlowOptions struct {
 	PODEM          Options
 	// Compact enables reverse-order static compaction of the test set.
 	Compact bool
+	// Parallelism is the deterministic-phase worker count (one PODEM
+	// engine per worker); <=1 runs serially. Results — Tests, Status,
+	// Coverage, PODEMCalls, Backtracks — are byte-identical at every
+	// parallelism level: each round's targets are fixed by fault index
+	// before generation, and dropping is applied sequentially afterwards.
+	Parallelism int
+	// RoundSize is the number of lowest-index undetected targets each
+	// deterministic round generates before its vectors are simulated and
+	// dropped (0 selects DefaultRoundSize). Smaller rounds drop more
+	// eagerly (fewer PODEM calls); larger rounds expose more parallelism.
+	// It must be held constant for byte-identical results.
+	RoundSize int
+	// NoDrop disables test-and-drop: every fault left after the random
+	// phase is targeted individually, as the pre-session flow did. It is
+	// the reference side of the ablation benchmarks and regression tests.
+	NoDrop bool
 }
 
+// DefaultRoundSize is the deterministic-round width: wide enough to keep
+// a typical worker pool busy, narrow enough that dropping stays fresh.
+const DefaultRoundSize = 16
+
 // GenerateTests runs the full ATPG flow on a combinational circuit:
-// random-pattern bootstrap with fault dropping, PODEM per remaining
-// fault, classification of untestable faults and optional compaction.
+// random-pattern bootstrap, deterministic PODEM with test-and-drop
+// (every generated vector is fault-simulated against the remaining set
+// and its collateral detections dropped before the next target is
+// picked), untestable-fault classification, optional static compaction,
+// and a final verification pass. All fault simulation runs on one
+// persistent faultsim.Session, so packed state is built exactly once.
 func GenerateTests(n *netlist.Netlist, faults fault.List, opt FlowOptions) (*Result, error) {
 	res := &Result{Status: make([]fault.Status, len(faults))}
 	for i := range res.Status {
 		res.Status[i] = fault.NotSimulated
 	}
-	remaining := make([]int, 0, len(faults))
-
-	if opt.RandomPatterns > 0 {
-		pats := faultsim.RandomPatterns(n, opt.RandomPatterns, opt.Seed)
-		rep, err := faultsim.Run(n, faults, pats)
-		if err != nil {
-			return nil, err
-		}
-		used := make(map[int]bool)
-		for i, s := range rep.Status {
-			if s == fault.Detected {
-				res.Status[i] = fault.Detected
-				res.RandomDetected++
-				if !used[rep.DetectedBy[i]] {
-					used[rep.DetectedBy[i]] = true
-					res.Tests = append(res.Tests, pats[rep.DetectedBy[i]])
-				}
-			} else {
-				remaining = append(remaining, i)
-			}
-		}
-	} else {
-		for i := range faults {
-			remaining = append(remaining, i)
-		}
-	}
-
-	eng, err := NewEngine(n, opt.PODEM)
+	sess, err := faultsim.NewSession(n, faults)
 	if err != nil {
 		return nil, err
 	}
-	for _, fi := range remaining {
-		vec, out := eng.Generate(faults[fi])
-		res.Backtracks += eng.backtracks
-		switch out {
-		case TestFound:
-			res.Status[fi] = fault.Detected
-			res.Tests = append(res.Tests, fillX(vec, opt.Seed+int64(fi)))
-		case ProvenUntestable:
-			res.Status[fi] = fault.Untestable
-		case AbortedLimit:
-			res.Status[fi] = fault.Aborted
+
+	if opt.RandomPatterns > 0 {
+		pats := faultsim.RandomPatterns(n, opt.RandomPatterns, opt.Seed)
+		if _, err := sess.Simulate(pats); err != nil {
+			return nil, err
+		}
+		used := make(map[int]bool)
+		for i := range faults {
+			if sess.StatusOf(i) != fault.Detected {
+				continue
+			}
+			res.Status[i] = fault.Detected
+			res.RandomDetected++
+			if by := sess.DetectedBy(i); !used[by] {
+				used[by] = true
+				res.Tests = append(res.Tests, pats[by])
+			}
 		}
 	}
+
+	if err := generateDeterministic(n, faults, opt, sess, res); err != nil {
+		return nil, err
+	}
+
 	if opt.Compact && len(res.Tests) > 1 {
-		compacted, err := CompactTests(n, faults, res.Tests)
+		sess.Reset()
+		compacted, err := compactOnSession(sess, res.Tests)
 		if err != nil {
 			return nil, err
 		}
 		res.Tests = compacted
 	}
-	// Final verification pass: coverage measured by fault simulation.
-	rep, err := faultsim.Run(n, faults, res.Tests)
-	if err != nil {
+	// Final verification pass on the same (reset) session: coverage
+	// measured by fault simulation of the emitted test set.
+	sess.Reset()
+	if _, err := sess.Simulate(res.Tests); err != nil {
 		return nil, err
 	}
-	for i, s := range rep.Status {
-		if s == fault.Detected {
+	for i := range faults {
+		if sess.StatusOf(i) == fault.Detected {
 			res.Status[i] = fault.Detected
 		}
 	}
+	res.SimGateEvals = sess.GateEvals()
 	cov := fault.Coverage{Total: len(faults)}
 	for _, s := range res.Status {
 		switch s {
@@ -208,6 +235,212 @@ func GenerateTests(n *netlist.Netlist, faults fault.List, opt FlowOptions) (*Res
 	}
 	res.Coverage = cov
 	return res, nil
+}
+
+// generateDeterministic runs the deterministic PODEM phase over every
+// stuck-at fault the random phase left undetected. Non-stuck-at faults
+// are skipped outright (their status stays NotSimulated — the
+// NotApplicable outcome, not an abort).
+//
+// With dropping enabled the phase proceeds in rounds: the RoundSize
+// lowest-index still-undetected targets are generated — in parallel when
+// opt.Parallelism allows, one Engine per worker — and then dropped
+// sequentially in fault-index order: each TestFound vector is filled,
+// emitted and fault-simulated on the session, removing its collateral
+// detections from every later round. A target that an earlier vector of
+// its own round already detected keeps the Detected status and its
+// redundant vector is discarded. Because round composition, generation
+// and dropping order depend only on fault indices — never on worker
+// scheduling — the result is byte-identical at any parallelism level.
+func generateDeterministic(n *netlist.Netlist, faults fault.List, opt FlowOptions, sess *faultsim.Session, res *Result) error {
+	pending := make([]int, 0, len(faults))
+	for i := range faults {
+		if faults[i].Kind != fault.StuckAt {
+			continue
+		}
+		if res.Status[i] != fault.Detected {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+
+	if opt.NoDrop {
+		eng, err := NewEngine(n, opt.PODEM)
+		if err != nil {
+			return err
+		}
+		for _, fi := range pending {
+			g, err := safeGenerate(eng, faults[fi])
+			if err != nil {
+				return err
+			}
+			res.PODEMCalls++
+			res.Backtracks += g.backtracks
+			switch g.out {
+			case TestFound:
+				res.Status[fi] = fault.Detected
+				res.Tests = append(res.Tests, fillX(g.vec, opt.Seed+int64(fi)))
+			case ProvenUntestable:
+				res.Status[fi] = fault.Untestable
+			case AbortedLimit:
+				res.Status[fi] = fault.Aborted
+			}
+		}
+		return nil
+	}
+
+	roundSize := opt.RoundSize
+	if roundSize <= 0 {
+		roundSize = DefaultRoundSize
+	}
+	workers := opt.Parallelism
+	if workers <= 1 {
+		workers = 1
+	}
+	if workers > roundSize {
+		workers = roundSize
+	}
+	engines := make([]*Engine, workers)
+	for w := range engines {
+		e, err := NewEngine(n, opt.PODEM)
+		if err != nil {
+			return err
+		}
+		engines[w] = e
+	}
+
+	round := make([]int, 0, roundSize)
+	gens := make([]podemResult, roundSize)
+	queue := pending
+	for len(queue) > 0 {
+		round = round[:0]
+		for len(queue) > 0 && len(round) < roundSize {
+			fi := queue[0]
+			queue = queue[1:]
+			if sess.StatusOf(fi) == fault.Detected {
+				// Dropped by a vector from an earlier round.
+				res.Status[fi] = fault.Detected
+				res.DropDetected++
+				continue
+			}
+			round = append(round, fi)
+		}
+		if len(round) == 0 {
+			return nil
+		}
+		if err := generateRound(engines, faults, round, gens); err != nil {
+			return err
+		}
+		for ri, fi := range round {
+			g := gens[ri]
+			res.PODEMCalls++
+			res.Backtracks += g.backtracks
+			if sess.StatusOf(fi) == fault.Detected {
+				// Dropped by an earlier vector of this same round; the
+				// speculatively generated test is redundant — discard it.
+				res.Status[fi] = fault.Detected
+				res.DiscardedTests++
+				continue
+			}
+			switch g.out {
+			case TestFound:
+				full := fillX(g.vec, opt.Seed+int64(fi))
+				res.Tests = append(res.Tests, full)
+				if _, err := sess.Simulate([]logic.Vector{full}); err != nil {
+					return err
+				}
+				res.Status[fi] = fault.Detected
+			case ProvenUntestable:
+				res.Status[fi] = fault.Untestable
+				// The fault can never be detected: stop paying for its
+				// cone on every later drop-phase vector. (Reset before
+				// compaction/verify restores it; statuses are unchanged.)
+				sess.Exclude(fi)
+			case AbortedLimit:
+				res.Status[fi] = fault.Aborted
+				// Never retargeted either; a collateral detection could
+				// only matter in the final verify pass, which runs on a
+				// reset session — so exclusion cannot change any result.
+				sess.Exclude(fi)
+			}
+		}
+	}
+	return nil
+}
+
+// podemResult carries one speculative Generate outcome from a worker to
+// the sequential drop pass.
+type podemResult struct {
+	vec        logic.Vector
+	out        Outcome
+	backtracks int
+}
+
+// safeGenerate runs one PODEM search with the campaign engine's
+// per-unit recovery idiom: a panic inside Generate becomes an error
+// instead of taking down the flow, identically on the serial, parallel
+// and NoDrop paths.
+func safeGenerate(e *Engine, f fault.Fault) (g podemResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("atpg: PODEM panic on %v: %v", f, r)
+		}
+	}()
+	vec, out := e.Generate(f)
+	return podemResult{vec: vec, out: out, backtracks: e.Backtracks()}, nil
+}
+
+// generateRound fills gens[i] for every round[i], fanning the targets
+// over the engine pool. Workers pull target indices from a channel;
+// which worker serves which target never affects the result, because
+// Generate is deterministic and engines carry no state between calls.
+func generateRound(engines []*Engine, faults fault.List, round []int, gens []podemResult) error {
+	workers := len(engines)
+	if workers > len(round) {
+		workers = len(round)
+	}
+	if workers <= 1 {
+		e := engines[0]
+		for ri, fi := range round {
+			g, err := safeGenerate(e, faults[fi])
+			if err != nil {
+				return err
+			}
+			gens[ri] = g
+		}
+		return nil
+	}
+	idx := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := engines[w]
+			for ri := range idx {
+				g, err := safeGenerate(e, faults[round[ri]])
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				gens[ri] = g
+			}
+		}(w)
+	}
+	for ri := range round {
+		idx <- ri
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fillX replaces don't-cares with deterministic pseudo-random values so
@@ -229,32 +462,28 @@ func fillX(vec logic.Vector, seed int64) logic.Vector {
 // fault-simulated in reverse insertion order with fault dropping, and any
 // pattern that detects no not-yet-detected fault is discarded.
 func CompactTests(n *netlist.Netlist, faults fault.List, tests []logic.Vector) ([]logic.Vector, error) {
-	detected := make([]bool, len(faults))
+	sess, err := faultsim.NewSession(n, faults)
+	if err != nil {
+		return nil, err
+	}
+	return compactOnSession(sess, tests)
+}
+
+// compactOnSession is the compaction kernel: the session's drop set is
+// the "already covered" bookkeeping, so each pattern is simulated only
+// against the faults no later-kept pattern detects. The session must be
+// freshly constructed or Reset.
+func compactOnSession(sess *faultsim.Session, tests []logic.Vector) ([]logic.Vector, error) {
 	var kept []logic.Vector
 	for i := len(tests) - 1; i >= 0; i-- {
-		var pending fault.List
-		var pendingIdx []int
-		for fi := range faults {
-			if !detected[fi] {
-				pending = append(pending, faults[fi])
-				pendingIdx = append(pendingIdx, fi)
-			}
-		}
-		if len(pending) == 0 {
+		if sess.RemainingCount() == 0 {
 			break
 		}
-		rep, err := faultsim.Run(n, pending, []logic.Vector{tests[i]})
+		sr, err := sess.Simulate(tests[i : i+1])
 		if err != nil {
 			return nil, err
 		}
-		newDetect := false
-		for j, s := range rep.Status {
-			if s == fault.Detected {
-				detected[pendingIdx[j]] = true
-				newDetect = true
-			}
-		}
-		if newDetect {
+		if len(sr.Detected) > 0 {
 			kept = append(kept, tests[i])
 		}
 	}
@@ -265,19 +494,50 @@ func CompactTests(n *netlist.Netlist, faults fault.List, tests []logic.Vector) (
 	return kept, nil
 }
 
-// IdentifyUntestable classifies each fault as testable, untestable or
-// aborted using PODEM with the given backtrack limit. This implements the
-// "functionally untestable fault identification" step of Section III.A:
-// excluding proven-untestable faults corrects the coverage denominator
-// and removes wasted fault-simulation effort.
-func IdentifyUntestable(n *netlist.Netlist, faults fault.List, opt Options) ([]Outcome, error) {
+// Classification is the outcome of a PODEM testability pass over a fault
+// list, with its search cost. It is the single engine-allocation path
+// shared by IdentifyUntestable and fusa.CrossCheck, so untestable-fault
+// classification cost is measured once and reported everywhere.
+type Classification struct {
+	// Outcomes is parallel to the fault list; non-stuck-at faults report
+	// NotApplicable without a search.
+	Outcomes []Outcome
+	// Calls counts actual PODEM searches (NotApplicable excluded).
+	Calls int
+	// Backtracks totals PODEM backtracks across all searches — the cost
+	// figure surfaced by timing outputs.
+	Backtracks int
+}
+
+// ClassifyFaults runs PODEM over every fault on one shared engine and
+// returns the per-fault outcomes with the accumulated search cost.
+func ClassifyFaults(n *netlist.Netlist, faults fault.List, opt Options) (*Classification, error) {
 	eng, err := NewEngine(n, opt)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Outcome, len(faults))
+	c := &Classification{Outcomes: make([]Outcome, len(faults))}
 	for i, f := range faults {
-		_, out[i] = eng.Generate(f)
+		_, c.Outcomes[i] = eng.Generate(f)
+		if c.Outcomes[i] == NotApplicable {
+			continue
+		}
+		c.Calls++
+		c.Backtracks += eng.Backtracks()
 	}
-	return out, nil
+	return c, nil
+}
+
+// IdentifyUntestable classifies each fault as testable, untestable or
+// aborted using PODEM with the given backtrack limit. This implements the
+// "functionally untestable fault identification" step of Section III.A:
+// excluding proven-untestable faults corrects the coverage denominator
+// and removes wasted fault-simulation effort. It is a thin wrapper over
+// ClassifyFaults; use that directly when the search cost matters.
+func IdentifyUntestable(n *netlist.Netlist, faults fault.List, opt Options) ([]Outcome, error) {
+	c, err := ClassifyFaults(n, faults, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.Outcomes, nil
 }

@@ -1,0 +1,260 @@
+package atpg
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+// combRegistry returns the named registry circuit, scan-converted if
+// sequential, so flow tests cover the whole registry.
+func combRegistry(t testing.TB, name string) *netlist.Netlist {
+	t.Helper()
+	n := circuits.Registry[name]()
+	if n.IsSequential() {
+		sv, err := ScanView(n)
+		if err != nil {
+			t.Fatalf("%s: scan view: %v", name, err)
+		}
+		n = sv.Comb
+	}
+	return n
+}
+
+func TestGenerateTestsParallelDeterminism(t *testing.T) {
+	// The acceptance bar: Status, Coverage and Tests byte-identical at
+	// parallelism 1, 4 and NumCPU — and the cost counters too, since the
+	// round schedule is fixed by fault index, not worker timing.
+	for _, name := range []string{"c17", "s27", "rca8", "mul4"} {
+		n := combRegistry(t, name)
+		faults := fault.Collapse(n, fault.AllStuckAt(n))
+		var ref *Result
+		for _, workers := range []int{1, 4, runtime.NumCPU()} {
+			res, err := GenerateTests(n, faults, FlowOptions{
+				RandomPatterns: 16, Seed: 5, Compact: true, Parallelism: workers,
+			})
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Status, ref.Status) {
+				t.Errorf("%s p=%d: Status differs from serial", name, workers)
+			}
+			if !reflect.DeepEqual(res.Tests, ref.Tests) {
+				t.Errorf("%s p=%d: Tests differ from serial (%d vs %d vectors)",
+					name, workers, len(res.Tests), len(ref.Tests))
+			}
+			if res.Coverage != ref.Coverage {
+				t.Errorf("%s p=%d: Coverage %+v != serial %+v", name, workers, res.Coverage, ref.Coverage)
+			}
+			if res.PODEMCalls != ref.PODEMCalls || res.Backtracks != ref.Backtracks ||
+				res.RandomDetected != ref.RandomDetected || res.DropDetected != ref.DropDetected ||
+				res.DiscardedTests != ref.DiscardedTests {
+				t.Errorf("%s p=%d: counters (%d,%d,%d,%d,%d) != serial (%d,%d,%d,%d,%d)",
+					name, workers,
+					res.PODEMCalls, res.Backtracks, res.RandomDetected, res.DropDetected, res.DiscardedTests,
+					ref.PODEMCalls, ref.Backtracks, ref.RandomDetected, ref.DropDetected, ref.DiscardedTests)
+			}
+		}
+	}
+}
+
+func TestGenerateTestsDropMatchesNoDropStatus(t *testing.T) {
+	// Regression against the pre-session flow: with RandomPatterns=0 the
+	// NoDrop path reproduces the old algorithm (one PODEM call per
+	// fault), and test-and-drop must classify every fault identically —
+	// a dropped fault is exactly a fault the old flow proved testable.
+	// Equality is exact as long as nothing aborts (an aborted fault's
+	// final status depends on which collateral tests exist).
+	for _, name := range []string{"c17", "rca8", "mul4", "dec4"} {
+		n := combRegistry(t, name)
+		faults := fault.Collapse(n, fault.AllStuckAt(n))
+		drop, err := GenerateTests(n, faults, FlowOptions{RandomPatterns: 0, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s drop: %v", name, err)
+		}
+		nodrop, err := GenerateTests(n, faults, FlowOptions{RandomPatterns: 0, Seed: 2, NoDrop: true})
+		if err != nil {
+			t.Fatalf("%s nodrop: %v", name, err)
+		}
+		if drop.Coverage.Aborted != 0 || nodrop.Coverage.Aborted != 0 {
+			t.Fatalf("%s: aborts (%d/%d) make the status comparison unsound — pick another circuit",
+				name, drop.Coverage.Aborted, nodrop.Coverage.Aborted)
+		}
+		if !reflect.DeepEqual(drop.Status, nodrop.Status) {
+			for i := range drop.Status {
+				if drop.Status[i] != nodrop.Status[i] {
+					t.Errorf("%s: fault %s: drop %v != no-drop %v",
+						name, faults[i].Describe(n), drop.Status[i], nodrop.Status[i])
+				}
+			}
+		}
+		if drop.PODEMCalls >= nodrop.PODEMCalls {
+			t.Errorf("%s: dropping must reduce PODEM calls: %d >= %d",
+				name, drop.PODEMCalls, nodrop.PODEMCalls)
+		}
+		if nodrop.PODEMCalls != len(faults) {
+			t.Errorf("%s: no-drop flow must target every fault: %d calls for %d faults",
+				name, nodrop.PODEMCalls, len(faults))
+		}
+	}
+}
+
+func TestGenerateNotApplicableForTransientFaults(t *testing.T) {
+	n := circuits.C17()
+	eng, err := NewEngine(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []fault.Kind{fault.SEU, fault.SET} {
+		vec, out := eng.Generate(fault.Fault{Kind: k, Gate: n.Outputs[0], Pin: -1})
+		if out != NotApplicable {
+			t.Errorf("%v fault outcome = %v, want not-applicable", k, out)
+		}
+		if vec != nil {
+			t.Errorf("%v fault must not produce a vector", k)
+		}
+		if eng.Backtracks() != 0 {
+			t.Errorf("%v fault charged %d backtracks without searching", k, eng.Backtracks())
+		}
+	}
+	if NotApplicable.String() != "not-applicable" {
+		t.Errorf("NotApplicable name = %q", NotApplicable.String())
+	}
+}
+
+func TestGenerateTestsMixedFaultListNotPoisoned(t *testing.T) {
+	// SEU/SET entries in a mixed list previously came back AbortedLimit,
+	// inflating Coverage.Aborted and dragging Effective below 1 on fully
+	// testable circuits. They must stay NotSimulated.
+	n := circuits.C17()
+	mixed := append(fault.Collapse(n, fault.AllStuckAt(n)),
+		fault.Fault{Kind: fault.SEU, Gate: n.Outputs[0], Pin: -1},
+		fault.Fault{Kind: fault.SET, Gate: n.Outputs[0], Pin: -1},
+	)
+	for _, noDrop := range []bool{false, true} {
+		res, err := GenerateTests(n, mixed, FlowOptions{RandomPatterns: 8, Seed: 4, NoDrop: noDrop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage.Aborted != 0 {
+			t.Errorf("noDrop=%v: transient faults counted as aborted (%d)", noDrop, res.Coverage.Aborted)
+		}
+		for i := len(mixed) - 2; i < len(mixed); i++ {
+			if res.Status[i] != fault.NotSimulated {
+				t.Errorf("noDrop=%v: transient fault %d status = %v, want not-simulated",
+					noDrop, i, res.Status[i])
+			}
+		}
+		// Every stuck-at fault on c17 is testable: effective coverage
+		// must not be poisoned by the transient entries.
+		if got := res.Coverage.Detected; got != len(mixed)-2 {
+			t.Errorf("noDrop=%v: detected %d of %d stuck-at faults", noDrop, got, len(mixed)-2)
+		}
+	}
+}
+
+func TestCompactTestsNeverLowersCoverageOnRegistry(t *testing.T) {
+	// Property: compaction discards only patterns that detect nothing
+	// new, so the detected fault set — not just its size — is invariant,
+	// on every registry circuit.
+	for _, name := range circuits.Names() {
+		n := combRegistry(t, name)
+		faults := fault.Collapse(n, fault.AllStuckAt(n))
+		pats := faultsim.RandomPatterns(n, 120, int64(7+len(name)))
+		before, err := faultsim.Run(n, faults, pats)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		compact, err := CompactTests(n, faults, pats)
+		if err != nil {
+			t.Fatalf("%s: compact: %v", name, err)
+		}
+		after, err := faultsim.Run(n, faults, compact)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for fi := range faults {
+			b := before.Status[fi] == fault.Detected
+			a := after.Status[fi] == fault.Detected
+			if b != a {
+				t.Errorf("%s: fault %s: detected before=%v after=%v",
+					name, faults[fi].Describe(n), b, a)
+			}
+		}
+		if len(compact) > len(pats) {
+			t.Errorf("%s: compaction grew the set: %d -> %d", name, len(pats), len(compact))
+		}
+	}
+}
+
+func TestClassifyFaultsSharedPath(t *testing.T) {
+	// The redundant-cone circuit exercises all outcome kinds; the shared
+	// classification must agree with IdentifyUntestable and report its
+	// search cost.
+	n := netlist.New("mix")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	na, _ := n.AddGate("na", netlist.Not, a)
+	c, _ := n.AddGate("c", netlist.And, a, na)
+	y, _ := n.AddGate("y", netlist.Or, c, b)
+	_ = n.MarkOutput(y)
+	faults := fault.List{
+		{Kind: fault.StuckAt, Gate: c, Pin: -1, Value: logic.Zero},
+		{Kind: fault.StuckAt, Gate: y, Pin: -1, Value: logic.Zero},
+		{Kind: fault.SEU, Gate: y, Pin: -1},
+	}
+	cls, err := ClassifyFaults(n, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Outcome{ProvenUntestable, TestFound, NotApplicable}
+	if !reflect.DeepEqual(cls.Outcomes, want) {
+		t.Errorf("outcomes = %v, want %v", cls.Outcomes, want)
+	}
+	if cls.Calls != 2 {
+		t.Errorf("calls = %d, want 2 (NotApplicable excluded)", cls.Calls)
+	}
+	if cls.Backtracks <= 0 {
+		t.Errorf("proving untestability must cost backtracks, got %d", cls.Backtracks)
+	}
+	ident, err := IdentifyUntestable(n, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ident, cls.Outcomes) {
+		t.Errorf("IdentifyUntestable %v != ClassifyFaults %v", ident, cls.Outcomes)
+	}
+}
+
+func TestGenerateTestsSessionCountersPopulated(t *testing.T) {
+	n := circuits.RippleCarryAdder(8)
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	res, err := GenerateTests(n, faults, FlowOptions{RandomPatterns: 32, Seed: 6, Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimGateEvals <= 0 {
+		t.Error("SimGateEvals must account the session's simulation cost")
+	}
+	// Every fault is accounted exactly once: detected by the random
+	// phase, dropped before its search, or targeted by PODEM (which
+	// includes discarded, untestable and aborted targets).
+	if res.RandomDetected+res.DropDetected+res.PODEMCalls != len(faults) {
+		t.Errorf("accounting hole: random %d + dropped %d + targeted %d != %d faults",
+			res.RandomDetected, res.DropDetected, res.PODEMCalls, len(faults))
+	}
+	if res.DiscardedTests > res.PODEMCalls {
+		t.Errorf("discarded targets (%d) cannot exceed PODEM calls (%d)",
+			res.DiscardedTests, res.PODEMCalls)
+	}
+}

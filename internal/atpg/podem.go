@@ -26,6 +26,11 @@ const (
 	ProvenUntestable
 	// AbortedLimit means the backtrack limit was hit before a verdict.
 	AbortedLimit
+	// NotApplicable means the fault model is outside PODEM's scope
+	// (SEU/SET transients in a mixed list): no search was attempted.
+	// Previously such faults were misreported as AbortedLimit, inflating
+	// the aborted count and poisoning Coverage.Effective.
+	NotApplicable
 )
 
 // String names the outcome.
@@ -37,6 +42,8 @@ func (o Outcome) String() string {
 		return "untestable"
 	case AbortedLimit:
 		return "aborted"
+	case NotApplicable:
+		return "not-applicable"
 	}
 	return fmt.Sprintf("Outcome(%d)", uint8(o))
 }
@@ -99,10 +106,12 @@ func NewEngine(n *netlist.Netlist, opt Options) (*Engine, error) {
 }
 
 // Generate runs PODEM for the fault. On TestFound the returned vector has
-// one value per primary input, with X marking don't-cares.
+// one value per primary input, with X marking don't-cares. Non-stuck-at
+// faults are skipped without searching and report NotApplicable.
 func (e *Engine) Generate(f fault.Fault) (logic.Vector, Outcome) {
 	if f.Kind != fault.StuckAt {
-		return nil, AbortedLimit
+		e.backtracks = 0
+		return nil, NotApplicable
 	}
 	e.target = f
 	e.backtracks = 0
@@ -173,6 +182,11 @@ func (e *Engine) Generate(f fault.Fault) (logic.Vector, Outcome) {
 		stack = append(stack, frame{pi: pi, val: v})
 	}
 }
+
+// Backtracks reports how many backtracks the most recent Generate call
+// performed — the dominant deterministic-search cost metric, surfaced by
+// the flow and cross-check timing outputs.
+func (e *Engine) Backtracks() int { return e.backtracks }
 
 type searchState uint8
 

@@ -46,6 +46,10 @@ type QualityReport struct {
 	TestCoverage float64 // effective (untestable-corrected)
 	Untestable   int
 	TestCount    int
+	// PODEMCalls and Backtracks expose the deterministic-phase search
+	// cost (test-and-drop keeps PODEMCalls far below the fault count).
+	PODEMCalls int
+	Backtracks int
 }
 
 // ReliabilityReport is the soft-error/aging stage outcome.
@@ -65,6 +69,9 @@ type SafetyReport struct {
 	LFM        float64
 	MeetsASILB bool
 	Suspicious int // tool-confidence cross-check findings
+	// CrossCheckBacktracks is the PODEM search cost of the
+	// tool-confidence classification pass.
+	CrossCheckBacktracks int
 }
 
 // SecurityReport is the side-channel stage outcome.

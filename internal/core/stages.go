@@ -101,6 +101,9 @@ func (st *flowState) patterns() []logic.Vector {
 
 func (st *flowState) runQuality(rep *Report) error {
 	faults := st.faultList()
+	// Serial deterministic phase: campaign workers already saturate the
+	// CPU with whole jobs, and the flow's results are identical at any
+	// parallelism level anyway.
 	res, err := atpg.GenerateTests(st.n, faults, atpg.FlowOptions{
 		RandomPatterns: 64, Seed: st.cfg.Seed, Compact: true,
 	})
@@ -112,6 +115,8 @@ func (st *flowState) runQuality(rep *Report) error {
 		TestCoverage: res.Coverage.Effective(),
 		Untestable:   res.Coverage.Untestable,
 		TestCount:    len(res.Tests),
+		PODEMCalls:   res.PODEMCalls,
+		Backtracks:   res.Backtracks,
 	}
 	return nil
 }
@@ -177,14 +182,15 @@ func (st *flowState) runSafety(rep *Report) error {
 		return fmt.Errorf("core: safety stage: %v", err)
 	}
 	metrics := fusa.ComputeMetrics(classes, 0.01)
-	sus, err := fusa.CrossCheck(sc, st.faultList(), classes, atpg.Options{})
+	cc, err := fusa.CrossCheck(sc, st.faultList(), classes, atpg.Options{})
 	if err != nil {
 		return err
 	}
 	rep.Safety = SafetyReport{
 		SPFM: metrics.SPFM, LFM: metrics.LFM,
-		MeetsASILB: metrics.MeetsASIL(fusa.ASILB),
-		Suspicious: len(sus),
+		MeetsASILB:           metrics.MeetsASIL(fusa.ASILB),
+		Suspicious:           len(cc.Suspicions),
+		CrossCheckBacktracks: cc.Backtracks,
 	}
 	return nil
 }

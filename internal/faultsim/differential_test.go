@@ -66,6 +66,55 @@ func TestConeEngineMatchesFullPassOnRegistry(t *testing.T) {
 	}
 }
 
+// TestSessionChunksMatchOneShotOnRegistry routes the differential test
+// through the persistent Session: feeding the pattern set in uneven
+// chunks (crossing and splitting 64-slot block boundaries) must yield
+// the same Status/DetectedBy/Coverage as a single Run call — which is
+// itself bit-identical to RunFull per the test above. Only GateEvals may
+// differ (extra chunks mean extra good-machine passes).
+func TestSessionChunksMatchOneShotOnRegistry(t *testing.T) {
+	for _, name := range circuits.Names() {
+		n := combView(t, name)
+		faults := fault.AllStuckAt(n)
+		pats := faultsim.RandomPatterns(n, 100, 17)
+		oneShot, err := faultsim.Run(n, faults, pats)
+		if err != nil {
+			t.Fatalf("%s: one-shot: %v", name, err)
+		}
+		s, err := faultsim.NewSession(n, faults)
+		if err != nil {
+			t.Fatalf("%s: session: %v", name, err)
+		}
+		detections := 0
+		for _, chunk := range [][2]int{{0, 30}, {30, 60}, {60, 64}, {64, 100}} {
+			sr, err := s.Simulate(pats[chunk[0]:chunk[1]])
+			if err != nil {
+				t.Fatalf("%s: chunk %v: %v", name, chunk, err)
+			}
+			detections += len(sr.Detected)
+		}
+		chunked := s.Report()
+		for fi := range faults {
+			if chunked.Status[fi] != oneShot.Status[fi] {
+				t.Errorf("%s: fault %s: chunked status %v != one-shot %v",
+					name, faults[fi].Describe(n), chunked.Status[fi], oneShot.Status[fi])
+			}
+			if chunked.DetectedBy[fi] != oneShot.DetectedBy[fi] {
+				t.Errorf("%s: fault %s: chunked DetectedBy %d != one-shot %d",
+					name, faults[fi].Describe(n), chunked.DetectedBy[fi], oneShot.DetectedBy[fi])
+			}
+		}
+		if chunked.Coverage() != oneShot.Coverage() {
+			t.Errorf("%s: coverage mismatch: chunked %+v != one-shot %+v",
+				name, chunked.Coverage(), oneShot.Coverage())
+		}
+		if detections != oneShot.Coverage().Detected {
+			t.Errorf("%s: per-call detections sum %d != total detected %d",
+				name, detections, oneShot.Coverage().Detected)
+		}
+	}
+}
+
 func TestConeEngineCostAdvantageOnLargestCircuit(t *testing.T) {
 	largest := ""
 	gates := 0

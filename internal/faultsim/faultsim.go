@@ -5,13 +5,16 @@
 // sampling with confidence intervals) reproducing the cost/accuracy
 // trade-off discussed in Section III.B of the RESCUE paper.
 //
-// The stuck-at engine (Run) is cone-restricted and incremental: per
-// 64-pattern block the good machine is simulated once, and each faulty
-// machine re-evaluates only the gates inside the fault's transitive
-// fanout cone, comparing only the primary outputs that cone can reach.
-// Gates outside the cone cannot depend on the fault site, so results are
-// bit-identical to the full-pass reference engine (RunFull, kept for
-// differential testing and cost baselines) at a fraction of the cost.
+// The stuck-at engine is cone-restricted and incremental: per 64-pattern
+// block the good machine is simulated once, and each faulty machine
+// re-evaluates only the gates inside the fault's transitive fanout cone,
+// comparing only the primary outputs that cone can reach. Gates outside
+// the cone cannot depend on the fault site, so results are bit-identical
+// to the full-pass reference engine (RunFull, kept for differential
+// testing and cost baselines) at a fraction of the cost. The engine
+// lives in Session, a persistent fault-dropping kernel that keeps packed
+// machines and cone caches warm across calls; Run wraps a single-use
+// Session for one-shot campaigns.
 package faultsim
 
 import (
@@ -108,71 +111,20 @@ func (r *Report) detectionSlot(fi, base int, diff uint64) {
 // good machine and compares only the cone's reachable primary outputs.
 // Status, DetectedBy and Coverage are bit-identical to RunFull;
 // GateEvals counts the gates actually evaluated.
+//
+// Run is a thin wrapper over a single-use Session; callers that simulate
+// the same circuit and fault list repeatedly (ATPG test-and-drop,
+// compaction, incremental verification) should hold a Session instead
+// and keep its packed machines and cone caches warm.
 func Run(n *netlist.Netlist, faults fault.List, patterns []logic.Vector) (*Report, error) {
-	if n.IsSequential() {
-		return nil, fmt.Errorf("faultsim: Run handles combinational circuits; use SequentialRun")
-	}
-	good, err := sim.NewPacked(n)
+	s, err := NewSession(n, faults)
 	if err != nil {
 		return nil, err
 	}
-	bad, err := sim.NewPacked(n)
-	if err != nil {
+	if _, err := s.Simulate(patterns); err != nil {
 		return nil, err
 	}
-	rep := newStuckAtReport(n, faults, patterns)
-	// Resolve every fault's cone up front; the per-root cache on the
-	// netlist makes repeated sites (s-a-0/s-a-1, pin faults on one gate)
-	// free and shares cones across campaign stages on the same circuit.
-	cones := make([]*netlist.Cone, len(faults))
-	for fi, f := range faults {
-		if f.Kind != fault.StuckAt {
-			continue
-		}
-		if err := validateSite(n, f); err != nil {
-			return nil, err
-		}
-		if cones[fi], err = n.FanoutConeOrdered(f.Gate); err != nil {
-			return nil, err
-		}
-	}
-	comb := int64(combGateCount(n))
-	for base := 0; base < len(patterns); base += 64 {
-		hi := base + 64
-		if hi > len(patterns) {
-			hi = len(patterns)
-		}
-		block := patterns[base:hi]
-		if err := good.LoadPatterns(block); err != nil {
-			return nil, err
-		}
-		good.Run()
-		rep.GateEvals += comb
-		blockMask := ^uint64(0)
-		if len(block) < 64 {
-			blockMask = (uint64(1) << uint(len(block))) - 1
-		}
-		for fi := range faults {
-			if rep.Status[fi] == fault.Detected {
-				continue // dropped
-			}
-			f := faults[fi]
-			if f.Kind != fault.StuckAt {
-				continue
-			}
-			cone := cones[fi]
-			evals := bad.RunConeWithFault(good, cone,
-				sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
-			rep.GateEvals += int64(evals)
-			var diff uint64
-			for _, oi := range cone.Outputs {
-				oid := n.Outputs[oi]
-				diff |= logic.DiffW(good.Word(oid), bad.Word(oid))
-			}
-			rep.detectionSlot(fi, base, diff&blockMask)
-		}
-	}
-	return rep, nil
+	return s.Report(), nil
 }
 
 // RunFull is the full-pass PPSFP reference engine: every faulty machine

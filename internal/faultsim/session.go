@@ -1,0 +1,225 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rescue/internal/fault"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/sim"
+)
+
+// Session is a persistent fault-dropping simulation kernel. It keeps the
+// packed good- and faulty-machine simulators and the per-fault fanout
+// cones warm across calls, tracks the still-undetected fault set in a
+// bitset, and drops every fault on its first detection — so callers that
+// interleave simulation with other work (ATPG test-and-drop, static
+// compaction, incremental verification) never rebuild simulation state
+// and never re-simulate a detected fault.
+//
+// A Session is single-goroutine; the cone cache it shares through the
+// netlist is internally synchronised, but the packed machines are not.
+// Run is a thin wrapper over a fresh Session, and its results are
+// bit-identical to the pre-session engine (enforced by the differential
+// tests against RunFull).
+type Session struct {
+	n          *netlist.Netlist
+	good, bad  *sim.Packed
+	faults     fault.List
+	cones      []*netlist.Cone
+	st         []fault.Status
+	detectedBy []int
+	undet      []uint64 // bitset over fault indices: undetected stuck-at faults
+	remaining  int
+	patterns   int   // total patterns simulated since the last Reset
+	gateEvals  int64 // cumulative over the session lifetime (survives Reset)
+	comb       int64
+}
+
+// SimResult reports one Simulate call: which faults it newly detected
+// (and therefore dropped) and exactly how many gates it evaluated.
+type SimResult struct {
+	// Patterns is the number of patterns this call simulated.
+	Patterns int
+	// Detected lists the fault indices newly detected by this call, in
+	// detection order: block-major, ascending fault index within a block.
+	Detected []int
+	// GateEvals is the exact evaluation cost of this call: one good pass
+	// per 64-pattern block plus every faulty-machine cone evaluation.
+	GateEvals int64
+}
+
+// NewSession builds a session for a combinational circuit. Stuck-at
+// fault sites are validated and their fanout cones resolved up front
+// (the per-root cache on the netlist makes repeated sites free and
+// shares cones across sessions on the same circuit). Non-stuck-at faults
+// are carried but never simulated: their status stays NotSimulated.
+func NewSession(n *netlist.Netlist, faults fault.List) (*Session, error) {
+	if n.IsSequential() {
+		return nil, fmt.Errorf("faultsim: Session handles combinational circuits; use SequentialRun")
+	}
+	good, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		n: n, good: good, bad: bad,
+		faults:     faults,
+		cones:      make([]*netlist.Cone, len(faults)),
+		st:         make([]fault.Status, len(faults)),
+		detectedBy: make([]int, len(faults)),
+		undet:      make([]uint64, (len(faults)+63)/64),
+		comb:       int64(combGateCount(n)),
+	}
+	for fi, f := range faults {
+		if f.Kind != fault.StuckAt {
+			continue
+		}
+		if err := validateSite(n, f); err != nil {
+			return nil, err
+		}
+		if s.cones[fi], err = n.FanoutConeOrdered(f.Gate); err != nil {
+			return nil, err
+		}
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset clears the detection state — statuses, first-detecting-pattern
+// indices, the pattern counter and the undetected set — while keeping
+// the packed machines and cone caches warm. The cumulative GateEvals
+// counter is preserved: it measures session-lifetime simulation cost.
+func (s *Session) Reset() {
+	s.patterns = 0
+	s.remaining = 0
+	for i := range s.undet {
+		s.undet[i] = 0
+	}
+	for fi := range s.faults {
+		s.st[fi] = fault.NotSimulated
+		s.detectedBy[fi] = -1
+		if s.faults[fi].Kind == fault.StuckAt {
+			s.undet[fi>>6] |= 1 << uint(fi&63)
+			s.remaining++
+		}
+	}
+}
+
+// Simulate runs the patterns against the still-undetected fault set,
+// dropping every fault on its first detection. Detection indices
+// (DetectedBy) are global: they continue from the patterns simulated by
+// earlier calls since the last Reset. Simulating in chunks yields the
+// same Status/DetectedBy as one call with the concatenated patterns.
+func (s *Session) Simulate(patterns []logic.Vector) (*SimResult, error) {
+	res := &SimResult{Patterns: len(patterns)}
+	for base := 0; base < len(patterns); base += 64 {
+		hi := base + 64
+		if hi > len(patterns) {
+			hi = len(patterns)
+		}
+		block := patterns[base:hi]
+		if err := s.good.LoadPatterns(block); err != nil {
+			return nil, err
+		}
+		s.good.Run()
+		res.GateEvals += s.comb
+		blockMask := ^uint64(0)
+		if len(block) < 64 {
+			blockMask = (uint64(1) << uint(len(block))) - 1
+		}
+		for wi, w := range s.undet {
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				w &^= 1 << uint(bit)
+				fi := wi<<6 + bit
+				f := s.faults[fi]
+				cone := s.cones[fi]
+				evals := s.bad.RunConeWithFault(s.good, cone,
+					sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
+				res.GateEvals += int64(evals)
+				var diff uint64
+				for _, oi := range cone.Outputs {
+					oid := s.n.Outputs[oi]
+					diff |= logic.DiffW(s.good.Word(oid), s.bad.Word(oid))
+				}
+				diff &= blockMask
+				if diff != 0 {
+					s.st[fi] = fault.Detected
+					s.detectedBy[fi] = s.patterns + base + bits.TrailingZeros64(diff)
+					s.undet[fi>>6] &^= 1 << uint(fi&63)
+					s.remaining--
+					res.Detected = append(res.Detected, fi)
+				} else if s.st[fi] == fault.NotSimulated {
+					s.st[fi] = fault.Undetected
+				}
+			}
+		}
+	}
+	s.patterns += len(patterns)
+	s.gateEvals += res.GateEvals
+	return res, nil
+}
+
+// Exclude removes fault fi from the undetected set without changing its
+// status: subsequent Simulate calls stop paying for its cone. Callers
+// use it for faults proven untestable (or given up on), whose cones can
+// never produce a detection. Reset restores excluded faults.
+func (s *Session) Exclude(fi int) {
+	if s.undet[fi>>6]&(1<<uint(fi&63)) != 0 {
+		s.undet[fi>>6] &^= 1 << uint(fi&63)
+		s.remaining--
+	}
+}
+
+// StatusOf returns the current status of fault fi.
+func (s *Session) StatusOf(fi int) fault.Status { return s.st[fi] }
+
+// DetectedBy returns the global index of the first pattern that detected
+// fault fi since the last Reset, or -1 if it is undetected.
+func (s *Session) DetectedBy(fi int) int { return s.detectedBy[fi] }
+
+// RemainingCount returns how many stuck-at faults are still undetected.
+func (s *Session) RemainingCount() int { return s.remaining }
+
+// Remaining returns the indices of the still-undetected stuck-at faults
+// in ascending order. Non-stuck-at faults are never included.
+func (s *Session) Remaining() []int {
+	out := make([]int, 0, s.remaining)
+	for wi, w := range s.undet {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			out = append(out, wi<<6+bit)
+		}
+	}
+	return out
+}
+
+// PatternsSimulated returns the number of patterns simulated since the
+// last Reset.
+func (s *Session) PatternsSimulated() int { return s.patterns }
+
+// GateEvals returns the cumulative gate-evaluation count over the
+// session lifetime (it is not cleared by Reset).
+func (s *Session) GateEvals() int64 { return s.gateEvals }
+
+// Report snapshots the session as a campaign Report: statuses and
+// first-detecting-pattern indices since the last Reset, and the
+// session-lifetime GateEvals. The slices are copies — later Simulate
+// calls do not mutate a returned report.
+func (s *Session) Report() *Report {
+	return &Report{
+		Circuit:    s.n.Name,
+		Patterns:   s.patterns,
+		Faults:     len(s.faults),
+		Status:     append([]fault.Status(nil), s.st...),
+		DetectedBy: append([]int(nil), s.detectedBy...),
+		GateEvals:  s.gateEvals,
+	}
+}

@@ -229,6 +229,20 @@ type Suspicion struct {
 	Reason     string
 }
 
+// CrossCheckReport carries the cross-check verdicts together with the
+// cost of the underlying testability classification, so the
+// tool-confidence pass shows up in timing output instead of hiding
+// inside the safety stage.
+type CrossCheckReport struct {
+	Suspicions []Suspicion
+	// Outcomes is the per-fault PODEM verdict over the functional view
+	// (parallel to the fault list).
+	Outcomes []atpg.Outcome
+	// PODEMCalls and Backtracks measure the classification search cost.
+	PODEMCalls int
+	Backtracks int
+}
+
 // CrossCheck implements the tool-confidence methodology: an independent
 // testability engine (PODEM with a proof-capable backtrack budget) checks
 // every fault classified by fault injection.
@@ -239,32 +253,39 @@ type Suspicion struct {
 //   - A fault with a generated test that the campaign classified Safe
 //     means the FI pattern set missed a real violation path: the verdict
 //     is unsound (insufficient patterns or a tool bug).
-func CrossCheck(sc *SafetyCircuit, faults fault.List, classes []FaultClass, opt atpg.Options) ([]Suspicion, error) {
+//
+// The classification runs through atpg.ClassifyFaults — the same engine
+// allocation path as IdentifyUntestable — so both tools share one PODEM
+// setup per netlist view and report comparable backtrack costs.
+func CrossCheck(sc *SafetyCircuit, faults fault.List, classes []FaultClass, opt atpg.Options) (*CrossCheckReport, error) {
 	// Build a view whose outputs are only the functional ones, so PODEM
 	// reasons about safety-goal observability.
 	view := sc.N.Clone()
 	view.Outputs = append([]int(nil), sc.FunctionalOutputs...)
-	eng, err := atpg.NewEngine(view, opt)
+	cls, err := atpg.ClassifyFaults(view, faults, opt)
 	if err != nil {
 		return nil, err
 	}
-	var sus []Suspicion
-	for i, f := range faults {
-		_, out := eng.Generate(f)
-		switch {
+	rep := &CrossCheckReport{
+		Outcomes:   cls.Outcomes,
+		PODEMCalls: cls.Calls,
+		Backtracks: cls.Backtracks,
+	}
+	for i := range faults {
+		switch out := cls.Outcomes[i]; {
 		case out == atpg.ProvenUntestable && (classes[i] == SinglePoint || classes[i] == Residual):
-			sus = append(sus, Suspicion{
+			rep.Suspicions = append(rep.Suspicions, Suspicion{
 				FaultIndex: i, Class: classes[i], ATPG: out,
 				Reason: "formally untestable fault classified as safety-goal violating",
 			})
 		case out == atpg.TestFound && classes[i] == Safe:
-			sus = append(sus, Suspicion{
+			rep.Suspicions = append(rep.Suspicions, Suspicion{
 				FaultIndex: i, Class: classes[i], ATPG: out,
 				Reason: "testable fault classified safe: FI pattern set insufficient",
 			})
 		}
 	}
-	return sus, nil
+	return rep, nil
 }
 
 // Duplicate synthesises the duplication-with-comparator safety mechanism

@@ -189,33 +189,55 @@ func TestCrossCheckFindsSeededMisclassifications(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Healthy tool: no suspicions.
-	sus, err := CrossCheck(sc, faults, classes, atpg.Options{})
+	// Healthy tool: no suspicions, but the classification cost is visible.
+	cc, err := CrossCheck(sc, faults, classes, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sus) != 0 {
-		t.Fatalf("healthy classification flagged: %+v", sus)
+	if len(cc.Suspicions) != 0 {
+		t.Fatalf("healthy classification flagged: %+v", cc.Suspicions)
+	}
+	if len(cc.Outcomes) != len(faults) {
+		t.Fatalf("cross-check outcomes = %d, want %d", len(cc.Outcomes), len(faults))
+	}
+	if cc.PODEMCalls != len(faults) {
+		t.Errorf("cross-check PODEM calls = %d, want %d", cc.PODEMCalls, len(faults))
+	}
+	if cc.Outcomes[0] != atpg.ProvenUntestable || cc.Outcomes[1] != atpg.TestFound {
+		t.Errorf("cross-check outcomes = %v, want [untestable test-found]", cc.Outcomes)
+	}
+	// The shared classification path must agree with IdentifyUntestable
+	// on the same functional view.
+	view := sc.N.Clone()
+	view.Outputs = append([]int(nil), sc.FunctionalOutputs...)
+	ident, err := atpg.IdentifyUntestable(view, faults, atpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ident {
+		if ident[i] != cc.Outcomes[i] {
+			t.Errorf("fault %d: IdentifyUntestable %v != CrossCheck %v", i, ident[i], cc.Outcomes[i])
+		}
 	}
 	// Buggy tool #1: marks the untestable fault as residual.
 	buggy := append([]FaultClass(nil), classes...)
 	buggy[0] = Residual
-	sus, err = CrossCheck(sc, faults, buggy, atpg.Options{})
+	cc, err = CrossCheck(sc, faults, buggy, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sus) != 1 || sus[0].FaultIndex != 0 {
-		t.Errorf("expected exactly fault 0 flagged, got %+v", sus)
+	if len(cc.Suspicions) != 1 || cc.Suspicions[0].FaultIndex != 0 {
+		t.Errorf("expected exactly fault 0 flagged, got %+v", cc.Suspicions)
 	}
 	// Buggy tool #2: marks the testable violating fault as safe.
 	buggy2 := append([]FaultClass(nil), classes...)
 	buggy2[1] = Safe
-	sus, err = CrossCheck(sc, faults, buggy2, atpg.Options{})
+	cc, err = CrossCheck(sc, faults, buggy2, atpg.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sus) != 1 || sus[0].FaultIndex != 1 {
-		t.Errorf("expected exactly fault 1 flagged, got %+v", sus)
+	if len(cc.Suspicions) != 1 || cc.Suspicions[0].FaultIndex != 1 {
+		t.Errorf("expected exactly fault 1 flagged, got %+v", cc.Suspicions)
 	}
 }
 

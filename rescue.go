@@ -93,17 +93,38 @@ func AllStuckAt(n *Netlist) FaultList {
 	return fault.Collapse(n, fault.AllStuckAt(n))
 }
 
-// GenerateTests runs the full ATPG flow (random bootstrap + PODEM +
-// compaction) and returns the tests with per-fault classification.
+// GenerateTests runs the full ATPG flow (random bootstrap, PODEM with
+// test-and-drop, compaction) and returns the tests with per-fault
+// classification.
 func GenerateTests(n *Netlist, faults FaultList, seed int64) (*atpg.Result, error) {
 	return atpg.GenerateTests(n, faults, atpg.FlowOptions{
 		RandomPatterns: 64, Seed: seed, Compact: true,
 	})
 }
 
+// GenerateTestsParallel is GenerateTests with the deterministic PODEM
+// phase fanned over the given worker count. Results are byte-identical
+// to the serial flow at every parallelism level.
+func GenerateTestsParallel(n *Netlist, faults FaultList, seed int64, workers int) (*atpg.Result, error) {
+	return atpg.GenerateTests(n, faults, atpg.FlowOptions{
+		RandomPatterns: 64, Seed: seed, Compact: true, Parallelism: workers,
+	})
+}
+
+// FaultSimSession is a persistent fault-dropping simulation kernel: it
+// keeps packed machines and cone caches warm across Simulate calls and
+// drops each fault on first detection. See faultsim.Session.
+type FaultSimSession = faultsim.Session
+
+// NewFaultSimSession opens a session over the circuit and fault list.
+func NewFaultSimSession(n *Netlist, faults FaultList) (*FaultSimSession, error) {
+	return faultsim.NewSession(n, faults)
+}
+
 // FaultSimulate runs parallel-pattern fault simulation with dropping,
 // using the cone-restricted incremental engine: per 64-pattern block,
-// each faulty machine re-evaluates only the fault's fanout cone.
+// each faulty machine re-evaluates only the fault's fanout cone. It
+// wraps a single-use FaultSimSession.
 func FaultSimulate(n *Netlist, faults FaultList, patterns []Vector) (*faultsim.Report, error) {
 	return faultsim.Run(n, faults, patterns)
 }
