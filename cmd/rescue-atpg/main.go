@@ -25,6 +25,7 @@ import (
 	"rescue"
 	"rescue/internal/atpg"
 	"rescue/internal/fault"
+	"rescue/internal/profiling"
 )
 
 func main() {
@@ -38,7 +39,20 @@ func main() {
 	noDrop := flag.Bool("no-drop", false, "disable test-and-drop (reference flow: one PODEM call per remaining fault)")
 	timing := flag.String("timing", "", "machine-readable wall-clock benchmark JSON path")
 	list := flag.Bool("list", false, "list available circuits and exit")
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	defer stopProf()
+	// log.Fatal exits without running defers; fatal flushes the profiles
+	// first so a failed run still leaves usable pprof output.
+	fatal := func(v ...any) {
+		stopProf()
+		log.Fatal(v...)
+	}
 
 	if *list {
 		for _, name := range rescue.CircuitNames() {
@@ -48,12 +62,12 @@ func main() {
 	}
 	n, err := rescue.Circuit(*circuit)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if n.IsSequential() {
 		sv, err := atpg.ScanView(n)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("sequential circuit: using full-scan view (%d pseudo inputs)\n", len(sv.PseudoInputs))
 		n = sv.Comb
@@ -66,7 +80,7 @@ func main() {
 	})
 	wall := time.Since(start)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	s := n.Stats()
 	fmt.Printf("circuit   %s: %d gates, %d inputs, %d outputs, depth %d\n",
@@ -101,13 +115,14 @@ func main() {
 			"num_cpu":            runtime.NumCPU(),
 		}, "", "  ")
 		if merr != nil {
-			log.Fatal(merr)
+			fatal(merr)
 		}
 		if werr := os.WriteFile(*timing, append(payload, '\n'), 0o644); werr != nil {
-			log.Fatal(werr)
+			fatal(werr)
 		}
 	}
 	if res.Coverage.Aborted > 0 {
+		stopProf() // os.Exit skips defers; flush the profiles first
 		os.Exit(2)
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"rescue/internal/campaign"
 	"rescue/internal/circuits"
+	"rescue/internal/profiling"
 )
 
 func splitList(s string) []string {
@@ -62,16 +63,29 @@ func main() {
 	out := flag.String("out", "", "campaign summary JSON path (default: render a text summary)")
 	timing := flag.String("timing", "", "machine-readable wall-clock benchmark JSON path")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	// log.Fatal exits without running defers; fatal flushes the profiles
+	// first so a failed run still leaves usable pprof output.
+	fatal := func(v ...any) {
+		stopProf()
+		log.Fatal(v...)
+	}
 
 	var m campaign.Matrix
 	if *spec != "" {
 		raw, err := os.ReadFile(*spec)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := json.Unmarshal(raw, &m); err != nil {
-			log.Fatalf("parsing %s: %v", *spec, err)
+			fatal(fmt.Sprintf("parsing %s: %v", *spec, err))
 		}
 	} else {
 		names := splitList(*circuitsFlag)
@@ -94,7 +108,7 @@ func main() {
 	}
 	jobs, err := m.Expand()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	var stream *json.Encoder
@@ -103,7 +117,7 @@ func main() {
 	} else if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		stream = json.NewEncoder(f)
@@ -117,7 +131,7 @@ func main() {
 		OnResult: func(r campaign.Result) {
 			if stream != nil {
 				if err := stream.Encode(r); err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 			}
 			done++
@@ -140,7 +154,7 @@ func main() {
 		if sum != nil {
 			fmt.Fprintf(os.Stderr, "%s", sum.Render())
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	if *timing != "" {
@@ -154,10 +168,10 @@ func main() {
 			"num_cpu":      runtime.NumCPU(),
 		}, "", "  ")
 		if merr != nil {
-			log.Fatal(merr)
+			fatal(merr)
 		}
 		if werr := os.WriteFile(*timing, append(payload, '\n'), 0o644); werr != nil {
-			log.Fatal(werr)
+			fatal(werr)
 		}
 	}
 	// The text summary must never interleave with a JSONL stream on
@@ -169,15 +183,16 @@ func main() {
 	if *out != "" {
 		js, jerr := sum.JSON()
 		if jerr != nil {
-			log.Fatal(jerr)
+			fatal(jerr)
 		}
 		if werr := os.WriteFile(*out, append(js, '\n'), 0o644); werr != nil {
-			log.Fatal(werr)
+			fatal(werr)
 		}
 		summaryTo = os.Stderr
 	}
 	fmt.Fprintf(summaryTo, "%s", sum.Render())
 	if sum.Failed > 0 {
+		stopProf() // os.Exit skips defers; flush the profiles first
 		os.Exit(1)
 	}
 }

@@ -61,13 +61,14 @@ const DefaultBacktrackLimit = 20000
 // Engine generates tests for one circuit. It is not safe for concurrent
 // use; create one Engine per goroutine.
 type Engine struct {
-	n     *netlist.Netlist
-	order []int
-	cc    *Controllability
-	gv    []logic.V // good-machine values
-	fv    []logic.V // faulty-machine values
-	piVal []logic.V // current PI assignment, indexed like n.Inputs
-	piIdx map[int]int
+	n       *netlist.Netlist
+	c       *sim.Compiled // shared compiled machine driving imply
+	cc      *Controllability
+	gv      []logic.V // good-machine values
+	fv      []logic.V // faulty-machine values
+	scratch []logic.V // fanin gather buffer for pin-fault evaluation
+	piVal   []logic.V // current PI assignment, indexed like n.Inputs
+	piIdx   map[int]int
 
 	target     fault.Fault
 	backtracks int
@@ -80,7 +81,7 @@ func NewEngine(n *netlist.Netlist, opt Options) (*Engine, error) {
 	if n.IsSequential() {
 		return nil, fmt.Errorf("atpg: sequential circuit %q: build a ScanView first", n.Name)
 	}
-	order, err := n.TopoOrder()
+	c, err := sim.Compile(n) // levelizes and validates acyclicity
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +90,13 @@ func NewEngine(n *netlist.Netlist, opt Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		n: n, order: order, cc: cc,
-		gv:    make([]logic.V, n.NumGates()),
-		fv:    make([]logic.V, n.NumGates()),
-		piVal: make([]logic.V, len(n.Inputs)),
-		piIdx: make(map[int]int, len(n.Inputs)),
-		limit: opt.BacktrackLimit,
+		n: n, c: c, cc: cc,
+		gv:      make([]logic.V, n.NumGates()),
+		fv:      make([]logic.V, n.NumGates()),
+		scratch: c.NewValueScratch(),
+		piVal:   make([]logic.V, len(n.Inputs)),
+		piIdx:   make(map[int]int, len(n.Inputs)),
+		limit:   opt.BacktrackLimit,
 	}
 	if e.limit <= 0 {
 		e.limit = DefaultBacktrackLimit
@@ -196,72 +198,17 @@ const (
 	stateUndetermined
 )
 
-// imply simulates both machines under the current PI assignment.
+// imply simulates both machines under the current PI assignment: one
+// compiled dual pass evaluating the good values into gv and the faulty
+// values (with the target fault applied) into fv.
 func (e *Engine) imply() {
 	for i, id := range e.n.Inputs {
 		e.gv[id] = e.piVal[i]
 		e.fv[id] = e.piVal[i]
 	}
 	f := e.target
-	// Input-site fault on a primary input.
-	getG := func(id int) logic.V { return e.gv[id] }
-	getF := func(id int) logic.V { return e.fv[id] }
-	for _, id := range e.order {
-		g := e.n.Gate(id)
-		if g.Type == netlist.Input {
-			if f.Pin < 0 && f.Gate == id {
-				e.fv[id] = f.Value
-			}
-			continue
-		}
-		e.gv[id] = sim.EvalGate(g, getG)
-		if f.Gate == id && f.Pin >= 0 {
-			e.fv[id] = evalWithPin(g, getF, f.Pin, f.Value)
-		} else {
-			e.fv[id] = sim.EvalGate(g, getF)
-		}
-		if f.Gate == id && f.Pin < 0 {
-			e.fv[id] = f.Value
-		}
-	}
-}
-
-// evalWithPin evaluates g in the faulty machine with pin forced to v.
-func evalWithPin(g *netlist.Gate, get func(int) logic.V, pin int, v logic.V) logic.V {
-	vals := make([]logic.V, len(g.Fanin))
-	for i, fi := range g.Fanin {
-		vals[i] = get(fi)
-	}
-	vals[pin] = v
-	return evalFromValues(g, vals)
-}
-
-// evalFromValues evaluates a gate given positional fanin values.
-func evalFromValues(g *netlist.Gate, vals []logic.V) logic.V {
-	switch g.Type {
-	case netlist.Buf:
-		return logic.Buf(vals[0])
-	case netlist.Not:
-		return logic.Not(vals[0])
-	case netlist.Mux:
-		return logic.Mux(vals[0], vals[1], vals[2])
-	}
-	acc := vals[0]
-	for _, v := range vals[1:] {
-		switch g.Type {
-		case netlist.And, netlist.Nand:
-			acc = logic.And(acc, v)
-		case netlist.Or, netlist.Nor:
-			acc = logic.Or(acc, v)
-		case netlist.Xor, netlist.Xnor:
-			acc = logic.Xor(acc, v)
-		}
-	}
-	switch g.Type {
-	case netlist.Nand, netlist.Nor, netlist.Xnor:
-		acc = logic.Not(acc)
-	}
-	return acc
+	e.c.RunDualWithFault(e.gv, e.fv, e.scratch,
+		sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value})
 }
 
 // faultSiteGood returns the good-machine value at the faulty line.

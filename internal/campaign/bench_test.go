@@ -36,8 +36,28 @@ func runBench(b *testing.B, parallelism int) {
 
 // BenchmarkCampaign compares the serial and parallel engine over the full
 // built-in circuit registry — the perf trajectory baseline for future
-// scaling PRs.
+// scaling PRs. The sharded variant splits large fault lists into
+// parallel shard jobs that all draw one circuit artifact (netlist,
+// compiled machine, collapsed fault list) from the per-circuit cache
+// instead of rebuilding it per job.
 func BenchmarkCampaign(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { runBench(b, 1) })
 	b.Run("parallel", func(b *testing.B) { runBench(b, runtime.NumCPU()) })
+	b.Run("parallel-sharded", func(b *testing.B) {
+		m := benchMatrix()
+		m.Shards = 4
+		b.ReportAllocs()
+		jobs := 0
+		for i := 0; i < b.N; i++ {
+			sum, err := Run(context.Background(), m, Config{Parallelism: runtime.NumCPU()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Failed != 0 {
+				b.Fatalf("campaign failures:\n%s", sum.Render())
+			}
+			jobs = sum.Jobs
+		}
+		b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	})
 }

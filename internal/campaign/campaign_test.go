@@ -12,6 +12,7 @@ import (
 
 	"rescue/internal/circuits"
 	"rescue/internal/fault"
+	"rescue/internal/sim"
 )
 
 // testMatrix is a ≥10-job matrix that exercises multiple circuits,
@@ -421,5 +422,37 @@ func TestCampaignMatchesRunFlow(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Errorf("campaign result differs from direct job run:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestCircuitArtifactSharedAcrossJobs checks the compiled-artifact
+// cache contract: every job of a circuit — shard jobs included — gets
+// the same netlist instance, the same compiled machine and the same
+// collapsed fault list, and the netlist's own artifact cache hands the
+// campaign's compiled machine to any session built over it.
+func TestCircuitArtifactSharedAcrossJobs(t *testing.T) {
+	a1 := circuitArtifactFor("mul8")
+	if a1.err != nil {
+		t.Fatal(a1.err)
+	}
+	a2 := circuitArtifactFor("mul8")
+	if a1 != a2 || a1.n != a2.n || a1.compiled != a2.compiled {
+		t.Fatal("circuit artifact must be shared across jobs of one circuit")
+	}
+	if len(a1.faults) == 0 {
+		t.Fatal("artifact must carry the collapsed fault list")
+	}
+	c, err := sim.Compile(a1.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a1.compiled {
+		t.Fatal("sessions over the shared netlist must reuse the campaign's compiled machine")
+	}
+	if other := circuitArtifactFor("alu8"); other.err == nil && other.n == a1.n {
+		t.Fatal("different circuits must not share an artifact")
+	}
+	if bad := circuitArtifactFor("no-such-circuit"); bad.err == nil {
+		t.Fatal("unknown circuit must yield an artifact error")
 	}
 }

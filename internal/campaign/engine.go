@@ -125,16 +125,19 @@ func safeRun(ctx context.Context, j Job, run func(context.Context, Job) Result) 
 	return run(ctx, j)
 }
 
-// RunJob executes one job: it rebuilds the circuit (scan-converting
-// sequential designs), takes the job's fault shard, and runs the
-// scenario's stages with the job's derived seed. Every input is recomputed
-// from the job coordinates, so the result is independent of which worker
-// runs it and of what ran before.
+// RunJob executes one job: it takes the circuit's shared per-campaign
+// artifact (flow netlist, compiled simulation machine, collapsed fault
+// list — built once, shared by every shard job and repeated scenario of
+// the circuit), slices the job's fault shard, and runs the scenario's
+// stages with the job's derived seed. Every input is recomputed from the
+// job coordinates, so the result is independent of which worker runs it
+// and of what ran before.
 func RunJob(ctx context.Context, j Job) Result {
-	n, err := flowNetlist(j.Circuit)
-	if err != nil {
-		return Result{Job: j, Err: err.Error()}
+	art := circuitArtifactFor(j.Circuit)
+	if art.err != nil {
+		return Result{Job: j, Err: art.err.Error()}
 	}
+	n := art.n
 	env, ok := Environments[j.Environment]
 	if !ok {
 		return Result{Job: j, Err: fmt.Sprintf("campaign: unknown environment %q", j.Environment)}
@@ -150,10 +153,7 @@ func RunJob(ctx context.Context, j Job) Result {
 	// The memoised canonical fault list is identical to what the flow
 	// would collapse itself (fault indices are instance-independent), so
 	// every job of a circuit shares one collapse.
-	all, cerr := collapsedFaults(j.Circuit, n)
-	if cerr != nil {
-		return Result{Job: j, Err: cerr.Error()}
-	}
+	all := art.faults
 	faults := all
 	var share float64
 	skipAging := false

@@ -21,6 +21,7 @@ import (
 	"rescue/internal/fault"
 	"rescue/internal/netlist"
 	"rescue/internal/seu"
+	"rescue/internal/sim"
 )
 
 // Scenario selects which Fig. 2 stages a job runs.
@@ -277,32 +278,70 @@ func flowNetlist(name string) (*netlist.Netlist, error) {
 	return n, nil
 }
 
-// collapsedCache memoises each circuit's canonical collapsed fault list
-// (over its flow netlist) so that shard-count decisions and k shard jobs
-// share one collapse instead of running k+1. Lists are never mutated —
-// shard jobs slice them read-only — and the constructors are
-// deterministic, so caching by name is safe across goroutines.
-var collapsedCache sync.Map // circuit name → fault.List
+// circuitArtifact is the shared per-circuit state every job of one
+// circuit reuses: the flow netlist itself (whose artifact and cone
+// caches all sessions over it share), its compiled simulation machine,
+// and the canonical collapsed fault list. Everything in it is immutable
+// once built — jobs slice the fault list read-only, the netlist is
+// levelized and compiled before publication and never mutated by a flow
+// stage (the netlist's own caches are internally synchronised) — so one
+// artifact serves every shard job and repeated scenario of a circuit
+// concurrently instead of each job re-building, re-collapsing and
+// re-compiling from scratch.
+type circuitArtifact struct {
+	n        *netlist.Netlist
+	compiled *sim.Compiled
+	faults   fault.List
+	err      error
+}
 
-// collapsedFaults returns the cached list; n, when non-nil, is the
-// circuit's already-built flow netlist, saving a rebuild on cache miss.
-func collapsedFaults(circuit string, n *netlist.Netlist) (fault.List, error) {
-	if v, ok := collapsedCache.Load(circuit); ok {
-		return v.(fault.List), nil
+// artifactCache memoises circuitArtifact per circuit name. The values
+// are sync.OnceValue thunks so concurrent jobs of one circuit share a
+// single build; constructors are deterministic, so caching by name is
+// safe across campaigns. Like the collapsed-fault-list cache it
+// replaces, entries live for the process lifetime — deliberately: the
+// registry's circuits are small, and a long-lived campaign service
+// re-running matrices is exactly the caller the warm netlist, compiled
+// machine and cone caches exist for.
+var artifactCache sync.Map // circuit name → func() *circuitArtifact
+
+func circuitArtifactFor(name string) *circuitArtifact {
+	f, ok := artifactCache.Load(name)
+	if !ok {
+		f, _ = artifactCache.LoadOrStore(name, sync.OnceValue(func() *circuitArtifact {
+			return buildCircuitArtifact(name)
+		}))
 	}
-	if n == nil {
-		var err error
-		if n, err = flowNetlist(circuit); err != nil {
-			return nil, err
-		}
+	return f.(func() *circuitArtifact)()
+}
+
+func buildCircuitArtifact(name string) *circuitArtifact {
+	n, err := flowNetlist(name)
+	if err != nil {
+		return &circuitArtifact{err: err}
 	}
-	list := fault.Collapse(n, fault.AllStuckAt(n))
-	v, _ := collapsedCache.LoadOrStore(circuit, list)
-	return v.(fault.List), nil
+	// Compile (and thereby levelize) before the netlist is shared: from
+	// here on every goroutine performs read-only structural queries and
+	// mutex-guarded cache hits only.
+	compiled, err := sim.Compile(n)
+	if err != nil {
+		return &circuitArtifact{err: fmt.Errorf("campaign: compiling %s: %v", name, err)}
+	}
+	return &circuitArtifact{
+		n:        n,
+		compiled: compiled,
+		faults:   fault.Collapse(n, fault.AllStuckAt(n)),
+	}
+}
+
+// collapsedFaults returns the circuit's cached canonical fault list.
+func collapsedFaults(circuit string) (fault.List, error) {
+	art := circuitArtifactFor(circuit)
+	return art.faults, art.err
 }
 
 func collapsedFaultCount(circuit string) int {
-	list, err := collapsedFaults(circuit, nil)
+	list, err := collapsedFaults(circuit)
 	if err != nil {
 		return 0
 	}

@@ -18,13 +18,18 @@ import (
 // compaction, incremental verification) never rebuild simulation state
 // and never re-simulate a detected fault.
 //
-// A Session is single-goroutine; the cone cache it shares through the
-// netlist is internally synchronised, but the packed machines are not.
-// Run is a thin wrapper over a fresh Session, and its results are
-// bit-identical to the pre-session engine (enforced by the differential
-// tests against RunFull).
+// A Session is single-goroutine; the compiled machine and cone cache it
+// shares through the netlist are internally synchronised, but the packed
+// machines are not. Run is a thin wrapper over a fresh Session, and its
+// results are bit-identical to the pre-session engine (enforced by the
+// differential tests against RunFull).
 type Session struct {
-	n          *netlist.Netlist
+	n *netlist.Netlist
+	// compiled is the netlist's shared SoA machine: both packed machines
+	// execute it, so constructing a session allocates only word state —
+	// the structure (fanin arena, schedule, cones) is compiled once per
+	// circuit and shared across sessions and campaign jobs.
+	compiled   *sim.Compiled
 	good, bad  *sim.Packed
 	faults     fault.List
 	cones      []*netlist.Cone
@@ -68,7 +73,7 @@ func NewSession(n *netlist.Netlist, faults fault.List) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		n: n, good: good, bad: bad,
+		n: n, compiled: good.Compiled(), good: good, bad: bad,
 		faults:     faults,
 		cones:      make([]*netlist.Cone, len(faults)),
 		st:         make([]fault.Status, len(faults)),
@@ -128,6 +133,10 @@ func (s *Session) Simulate(patterns []logic.Vector) (*SimResult, error) {
 			return nil, err
 		}
 		s.good.Run()
+		// Align the faulty machine to the fresh good pass once; every
+		// cone pass below then runs membership-test-free and restores
+		// the alignment itself (sim.RunConeAligned).
+		s.bad.AlignTo(s.good)
 		res.GateEvals += s.comb
 		blockMask := ^uint64(0)
 		if len(block) < 64 {
@@ -139,15 +148,9 @@ func (s *Session) Simulate(patterns []logic.Vector) (*SimResult, error) {
 				w &^= 1 << uint(bit)
 				fi := wi<<6 + bit
 				f := s.faults[fi]
-				cone := s.cones[fi]
-				evals := s.bad.RunConeWithFault(s.good, cone,
+				diff, evals := s.bad.RunConeAligned(s.good, s.cones[fi],
 					sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
 				res.GateEvals += int64(evals)
-				var diff uint64
-				for _, oi := range cone.Outputs {
-					oid := s.n.Outputs[oi]
-					diff |= logic.DiffW(s.good.Word(oid), s.bad.Word(oid))
-				}
 				diff &= blockMask
 				if diff != 0 {
 					s.st[fi] = fault.Detected

@@ -109,6 +109,9 @@ type Netlist struct {
 
 	coneMu    sync.Mutex
 	coneCache map[int]*Cone
+
+	artifactMu sync.Mutex
+	artifacts  map[string]any
 }
 
 // New returns an empty netlist with the given name.
@@ -190,13 +193,45 @@ func (n *Netlist) addGate(name string, t GateType, fanin []int) (int, error) {
 	return id, nil
 }
 
-// invalidateCones drops every cached fanout cone; called on any
-// structural mutation (new gates change reachability, new outputs change
-// the reachable-output lists).
+// invalidateCones drops every cached fanout cone and compiled artifact;
+// called on any structural mutation (new gates change reachability, new
+// outputs change the reachable-output lists, and both stale a compiled
+// evaluation schedule).
 func (n *Netlist) invalidateCones() {
 	n.coneMu.Lock()
 	n.coneCache = nil
 	n.coneMu.Unlock()
+	n.artifactMu.Lock()
+	n.artifacts = nil
+	n.artifactMu.Unlock()
+}
+
+// Artifact memoises an immutable derived structure on the netlist under
+// the given key, building it on first use. Like the cone cache, the
+// artifact cache is dropped on any structural mutation (AddGate,
+// AddInput, MarkOutput), so a cached artifact always describes the
+// current circuit. Higher layers use it to share expensive compilations
+// (e.g. the packed simulator's compiled machine) across every simulator,
+// session and campaign job over one netlist.
+//
+// The build function runs with the cache mutex held, so concurrent
+// callers of the same key share one build; it must not call Artifact
+// recursively. Build errors are not cached.
+func (n *Netlist) Artifact(key string, build func() (any, error)) (any, error) {
+	n.artifactMu.Lock()
+	defer n.artifactMu.Unlock()
+	if v, ok := n.artifacts[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if n.artifacts == nil {
+		n.artifacts = make(map[string]any)
+	}
+	n.artifacts[key] = v
+	return v, nil
 }
 
 // MarkOutput declares an existing gate as a primary output.

@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -324,5 +325,75 @@ func TestMarkOutputIdempotentAndBounds(t *testing.T) {
 	}
 	if err := n.MarkOutput(1000); err == nil {
 		t.Error("MarkOutput must reject unknown ids")
+	}
+}
+
+func TestArtifactMemoisationAndInvalidation(t *testing.T) {
+	n := buildC17(t)
+	builds := 0
+	build := func() (any, error) {
+		builds++
+		return builds, nil
+	}
+	v1, err := n.Artifact("test.counter", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := n.Artifact("test.counter", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.(int) != 1 || v2.(int) != 1 || builds != 1 {
+		t.Fatalf("artifact not memoised: v1=%v v2=%v builds=%d", v1, v2, builds)
+	}
+	// Independent keys build independently.
+	if _, err := n.Artifact("test.other", build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Fatalf("second key must build: builds=%d", builds)
+	}
+	// Every structural mutation drops the cache.
+	mutations := []struct {
+		name string
+		do   func() error
+	}{
+		{"AddInput", func() error { _, err := n.AddInput("art_in"); return err }},
+		{"AddGate", func() error {
+			_, err := n.AddGate("art_g", And, n.Inputs[0], n.Inputs[1])
+			return err
+		}},
+		{"MarkOutput", func() error { return n.MarkOutput(n.Inputs[0]) }},
+	}
+	for _, m := range mutations {
+		before := builds
+		if err := m.do(); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if _, err := n.Artifact("test.counter", build); err != nil {
+			t.Fatal(err)
+		}
+		if builds != before+1 {
+			t.Fatalf("%s must invalidate artifacts: builds=%d want %d", m.name, builds, before+1)
+		}
+	}
+}
+
+func TestArtifactErrorNotCached(t *testing.T) {
+	n := buildC17(t)
+	calls := 0
+	failing := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return "ok", nil
+	}
+	if _, err := n.Artifact("test.err", failing); err == nil {
+		t.Fatal("first build must fail")
+	}
+	v, err := n.Artifact("test.err", failing)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("error must not be cached: v=%v err=%v", v, err)
 	}
 }

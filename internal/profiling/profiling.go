@@ -1,0 +1,70 @@
+// Package profiling provides the shared -cpuprofile/-memprofile plumbing
+// of the RESCUE command-line tools, so throughput regressions in the
+// simulation and campaign hot paths can be diagnosed with pprof without
+// editing code.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	CPU *string
+	Mem *string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the given FlagSet
+// (use flag.CommandLine for a command's default set).
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested. It returns a stop function
+// that finishes the CPU profile and writes the heap profile (after a
+// final GC, so the snapshot reflects retained memory, not garbage).
+// Callers must invoke it before exiting; deferring it AND calling it
+// explicitly before an os.Exit path is safe — it runs once.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.CPU != "" {
+		cpuFile, err = os.Create(*f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %v", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *f.Mem != "" {
+			mf, err := os.Create(*f.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}, nil
+}

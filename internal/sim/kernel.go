@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+)
+
+// This file holds the single gate-evaluation kernel shared by the scalar
+// and packed interpreters. The four public/packed evaluation entry points
+// (EvalGate, EvalGateWithPin, evalGateW, evalGateWPin) used to carry four
+// hand-rolled copies of the same gate-type switch; they are now thin
+// adapters over evalKernel, so the engines cannot drift apart. The
+// compiled machine (compiled.go) keeps its own closure-free loops for
+// speed and is pinned to this kernel by the differential tests.
+
+// valueOps abstracts the logic algebra a simulator evaluates over: the
+// scalar four-valued V or the 64-pattern packed Word.
+type valueOps[T any] interface {
+	Buf(T) T
+	Not(T) T
+	And(T, T) T
+	Or(T, T) T
+	Xor(T, T) T
+	Mux(sel, d0, d1 T) T
+}
+
+// scalarOps is the four-valued scalar algebra.
+type scalarOps struct{}
+
+func (scalarOps) Buf(a logic.V) logic.V           { return logic.Buf(a) }
+func (scalarOps) Not(a logic.V) logic.V           { return logic.Not(a) }
+func (scalarOps) And(a, b logic.V) logic.V        { return logic.And(a, b) }
+func (scalarOps) Or(a, b logic.V) logic.V         { return logic.Or(a, b) }
+func (scalarOps) Xor(a, b logic.V) logic.V        { return logic.Xor(a, b) }
+func (scalarOps) Mux(sel, d0, d1 logic.V) logic.V { return logic.Mux(sel, d0, d1) }
+
+// wordOps is the 64-pattern packed algebra. A packed Buf is the identity:
+// the Word encoding has no Z plane to normalise.
+type wordOps struct{}
+
+func (wordOps) Buf(a logic.Word) logic.Word           { return a }
+func (wordOps) Not(a logic.Word) logic.Word           { return logic.NotW(a) }
+func (wordOps) And(a, b logic.Word) logic.Word        { return logic.AndW(a, b) }
+func (wordOps) Or(a, b logic.Word) logic.Word         { return logic.OrW(a, b) }
+func (wordOps) Xor(a, b logic.Word) logic.Word        { return logic.XorW(a, b) }
+func (wordOps) Mux(sel, d0, d1 logic.Word) logic.Word { return logic.MuxW(sel, d0, d1) }
+
+// evalKernel computes one combinational gate output. val(i) supplies the
+// value the gate observes on fanin pin i — the indirection through which
+// the adapters implement true-value reads, pin-fault overrides and
+// cone-restricted reads. Input and DFF are not combinational and panic:
+// their values are held, never recomputed.
+func evalKernel[T any, O valueOps[T]](ops O, t netlist.GateType, nfanin int, val func(int) T) T {
+	switch t {
+	case netlist.Buf:
+		return ops.Buf(val(0))
+	case netlist.Not:
+		return ops.Not(val(0))
+	case netlist.Mux:
+		return ops.Mux(val(0), val(1), val(2))
+	}
+	acc := val(0)
+	for i := 1; i < nfanin; i++ {
+		v := val(i)
+		switch t {
+		case netlist.And, netlist.Nand:
+			acc = ops.And(acc, v)
+		case netlist.Or, netlist.Nor:
+			acc = ops.Or(acc, v)
+		case netlist.Xor, netlist.Xnor:
+			acc = ops.Xor(acc, v)
+		}
+	}
+	switch t {
+	case netlist.Nand, netlist.Nor, netlist.Xnor:
+		acc = ops.Not(acc)
+	case netlist.And, netlist.Or, netlist.Xor:
+		// accumulated value is final
+	default:
+		panic(fmt.Sprintf("sim: unhandled gate type %v", t))
+	}
+	return acc
+}

@@ -10,20 +10,33 @@ import (
 // Packed is a 64-way parallel-pattern simulator: every gate holds a
 // logic.Word carrying 64 independent pattern slots. It is the workhorse
 // of the fault-simulation engine.
+//
+// A Packed is a thin view over the netlist's shared Compiled machine:
+// it owns only its word-state array (and a small fanin gather buffer),
+// while the structure — op array, fanin arena, evaluation schedule — is
+// compiled once per netlist and shared by every simulator over it. The
+// pre-compilation interpreted passes are kept as unexported
+// runInterpreted* oracles for the differential tests.
 type Packed struct {
-	N     *netlist.Netlist
-	order []int
-	words []logic.Word
+	N       *netlist.Netlist
+	c       *Compiled
+	words   []logic.Word
+	scratch []logic.Word
 }
 
-// NewPacked constructs a packed simulator. All slots start at X.
+// NewPacked constructs a packed simulator. All slots start at X. The
+// compiled machine is obtained from the netlist's artifact cache, so
+// repeated constructions over one netlist share a single compilation.
 func NewPacked(n *netlist.Netlist) (*Packed, error) {
-	order, err := n.TopoOrder()
+	c, err := Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	return &Packed{N: n, order: order, words: make([]logic.Word, n.NumGates())}, nil
+	return &Packed{N: n, c: c, words: c.newWords(), scratch: c.newScratch()}, nil
 }
+
+// Compiled returns the shared compiled machine this simulator executes.
+func (p *Packed) Compiled() *Compiled { return p.c }
 
 // SetInputWord assigns the idx-th primary input across all 64 slots.
 func (p *Packed) SetInputWord(idx int, w logic.Word) {
@@ -56,47 +69,42 @@ func (p *Packed) LoadPatterns(patterns []logic.Vector) error {
 // Word returns the packed value of a gate.
 func (p *Packed) Word(id int) logic.Word { return p.words[id] }
 
-// evalGateW computes the packed output of gate g via get.
+// evalGateW computes the packed output of gate g via get — the
+// interpreted (closure-per-fanin) evaluation, shared with the scalar
+// engine through evalKernel.
 func evalGateW(g *netlist.Gate, get func(int) logic.Word) logic.Word {
-	switch g.Type {
-	case netlist.Input, netlist.DFF:
+	if g.Type == netlist.Input || g.Type == netlist.DFF {
 		return get(g.ID)
-	case netlist.Buf:
-		w := get(g.Fanin[0])
-		return w
-	case netlist.Not:
-		return logic.NotW(get(g.Fanin[0]))
-	case netlist.Mux:
-		return logic.MuxW(get(g.Fanin[0]), get(g.Fanin[1]), get(g.Fanin[2]))
 	}
-	acc := get(g.Fanin[0])
-	for _, f := range g.Fanin[1:] {
-		w := get(f)
-		switch g.Type {
-		case netlist.And, netlist.Nand:
-			acc = logic.AndW(acc, w)
-		case netlist.Or, netlist.Nor:
-			acc = logic.OrW(acc, w)
-		case netlist.Xor, netlist.Xnor:
-			acc = logic.XorW(acc, w)
-		}
-	}
-	switch g.Type {
-	case netlist.Nand, netlist.Nor, netlist.Xnor:
-		acc = logic.NotW(acc)
-	}
-	return acc
+	return evalKernel(wordOps{}, g.Type, len(g.Fanin), func(i int) logic.Word {
+		return get(g.Fanin[i])
+	})
 }
 
-// Run performs one full combinational pass over all 64 slots.
-func (p *Packed) Run() {
-	get := func(id int) logic.Word { return p.words[id] }
-	for _, id := range p.order {
-		g := p.N.Gate(id)
-		if g.Type == netlist.Input || g.Type == netlist.DFF {
-			continue
+// evalGateWPin evaluates g where exactly the pin-th fanin sees pinVal and
+// all other fanins see their true values (even if driven by the same net).
+func evalGateWPin(g *netlist.Gate, getTrue func(int) logic.Word, pin int, pinVal logic.Word) logic.Word {
+	return evalKernel(wordOps{}, g.Type, len(g.Fanin), func(i int) logic.Word {
+		if i == pin {
+			return pinVal
 		}
-		p.words[id] = evalGateW(g, get)
+		return getTrue(g.Fanin[i])
+	})
+}
+
+// Run performs one full combinational pass over all 64 slots on the
+// compiled machine.
+func (p *Packed) Run() { p.c.Run(p.words) }
+
+// runInterpreted is the pre-compilation Run path: a pointer-chasing,
+// closure-per-fanin interpretation of the netlist. It is retained as the
+// differential-test oracle (and the baseline side of BenchmarkCompiled);
+// results are bit-identical to Run.
+func (p *Packed) runInterpreted() {
+	get := func(id int) logic.Word { return p.words[id] }
+	for _, sid := range p.c.schedule {
+		id := int(sid)
+		p.words[id] = evalGateW(p.N.Gate(id), get)
 	}
 }
 
@@ -114,16 +122,22 @@ type FaultSite struct {
 // that pin. The mask selects which pattern slots carry the fault (use
 // ^uint64(0) for all).
 func (p *Packed) RunWithFault(f FaultSite, mask uint64) {
+	p.c.RunWithFault(p.words, p.scratch, f, mask)
+}
+
+// runWithFaultInterpreted is the pre-compilation RunWithFault path, kept
+// as the differential-test oracle for the compiled faulty pass.
+func (p *Packed) runWithFaultInterpreted(f FaultSite, mask uint64) {
 	forced := logic.WordAll(f.SA)
 	get := func(id int) logic.Word { return p.words[id] }
-	for _, id := range p.order {
-		g := p.N.Gate(id)
-		if g.Type == netlist.Input || g.Type == netlist.DFF {
-			if id == f.Gate && f.Pin < 0 {
-				p.words[id] = mergeMask(p.words[id], forced, mask)
-			}
-			continue
+	if f.Pin < 0 {
+		if t := p.N.Gate(f.Gate).Type; t == netlist.Input || t == netlist.DFF {
+			p.words[f.Gate] = mergeMask(p.words[f.Gate], forced, mask)
 		}
+	}
+	for _, sid := range p.c.schedule {
+		id := int(sid)
+		g := p.N.Gate(id)
 		var w logic.Word
 		if id == f.Gate && f.Pin >= 0 {
 			// A pin fault must only affect this one pin even when the
@@ -150,6 +164,27 @@ func (p *Packed) RunWithFault(f FaultSite, mask uint64) {
 // bit-identical to a full RunWithFault pass. It returns the number of
 // gates actually evaluated — the exact cost of the pass.
 func (p *Packed) RunConeWithFault(good *Packed, cone *netlist.Cone, f FaultSite, mask uint64) int {
+	return p.c.RunCone(p.words, good.words, p.scratch, cone, f, mask)
+}
+
+// AlignTo copies the good machine's complete word state into p,
+// establishing the alignment invariant RunConeAligned relies on: p's
+// words equal good's everywhere outside a cone pass. One AlignTo per
+// completed good pass amortises over every fault simulated against it.
+func (p *Packed) AlignTo(good *Packed) { copy(p.words, good.words) }
+
+// RunConeAligned is the hot-path cone pass over an aligned machine (see
+// Compiled.RunConeAligned): it evaluates only the cone's gates with
+// plain indexed reads, returns the output difference mask and the exact
+// evaluation count, and restores the alignment invariant before
+// returning. p must have been aligned to good since good's last Run.
+func (p *Packed) RunConeAligned(good *Packed, cone *netlist.Cone, f FaultSite, mask uint64) (diff uint64, evals int) {
+	return p.c.RunConeAligned(p.words, good.words, p.scratch, cone, f, mask)
+}
+
+// runConeWithFaultInterpreted is the pre-compilation cone pass, kept as
+// the differential-test oracle for the fused compiled cone pass.
+func (p *Packed) runConeWithFaultInterpreted(good *Packed, cone *netlist.Cone, f FaultSite, mask uint64) int {
 	forced := logic.WordAll(f.SA)
 	get := func(id int) logic.Word {
 		if cone.Contains(id) {
@@ -184,42 +219,6 @@ func (p *Packed) RunConeWithFault(good *Packed, cone *netlist.Cone, f FaultSite,
 		evals++
 	}
 	return evals
-}
-
-// evalGateWPin evaluates g where exactly the pin-th fanin sees pinVal and
-// all other fanins see their true values (even if driven by the same net).
-func evalGateWPin(g *netlist.Gate, getTrue func(int) logic.Word, pin int, pinVal logic.Word) logic.Word {
-	val := func(i int) logic.Word {
-		if i == pin {
-			return pinVal
-		}
-		return getTrue(g.Fanin[i])
-	}
-	switch g.Type {
-	case netlist.Buf:
-		return val(0)
-	case netlist.Not:
-		return logic.NotW(val(0))
-	case netlist.Mux:
-		return logic.MuxW(val(0), val(1), val(2))
-	}
-	acc := val(0)
-	for i := 1; i < len(g.Fanin); i++ {
-		w := val(i)
-		switch g.Type {
-		case netlist.And, netlist.Nand:
-			acc = logic.AndW(acc, w)
-		case netlist.Or, netlist.Nor:
-			acc = logic.OrW(acc, w)
-		case netlist.Xor, netlist.Xnor:
-			acc = logic.XorW(acc, w)
-		}
-	}
-	switch g.Type {
-	case netlist.Nand, netlist.Nor, netlist.Xnor:
-		acc = logic.NotW(acc)
-	}
-	return acc
 }
 
 // mergeMask returns base with the masked slots replaced by repl.

@@ -6,22 +6,22 @@
 package sim
 
 import (
-	"fmt"
-
 	"rescue/internal/logic"
 	"rescue/internal/netlist"
 )
 
-// Evaluator is a scalar four-valued simulator.
+// Evaluator is a scalar four-valued simulator. Like Packed, it is a
+// thin view over the netlist's shared Compiled machine: it owns only
+// its value array.
 type Evaluator struct {
 	N      *netlist.Netlist
-	order  []int
+	c      *Compiled
 	values []logic.V
 }
 
 // New constructs an Evaluator. All values start at X.
 func New(n *netlist.Netlist) (*Evaluator, error) {
-	order, err := n.TopoOrder()
+	c, err := Compile(n)
 	if err != nil {
 		return nil, err
 	}
@@ -29,8 +29,11 @@ func New(n *netlist.Netlist) (*Evaluator, error) {
 	for i := range vals {
 		vals[i] = logic.X
 	}
-	return &Evaluator{N: n, order: order, values: vals}, nil
+	return &Evaluator{N: n, c: c, values: vals}, nil
 }
+
+// Compiled returns the shared compiled machine this evaluator executes.
+func (e *Evaluator) Compiled() *Compiled { return e.c }
 
 // Value returns the current value of the gate with the given ID.
 func (e *Evaluator) Value(id int) logic.V { return e.values[id] }
@@ -76,37 +79,12 @@ func (e *Evaluator) State() logic.Vector {
 // It is exported for reuse by ATPG and fault tools that evaluate gates
 // over hypothetical value assignments.
 func EvalGate(g *netlist.Gate, get func(int) logic.V) logic.V {
-	switch g.Type {
-	case netlist.Input, netlist.DFF:
+	if g.Type == netlist.Input || g.Type == netlist.DFF {
 		return get(g.ID) // held values; not recomputed combinationally
-	case netlist.Buf:
-		return logic.Buf(get(g.Fanin[0]))
-	case netlist.Not:
-		return logic.Not(get(g.Fanin[0]))
-	case netlist.Mux:
-		return logic.Mux(get(g.Fanin[0]), get(g.Fanin[1]), get(g.Fanin[2]))
 	}
-	acc := get(g.Fanin[0])
-	for _, f := range g.Fanin[1:] {
-		v := get(f)
-		switch g.Type {
-		case netlist.And, netlist.Nand:
-			acc = logic.And(acc, v)
-		case netlist.Or, netlist.Nor:
-			acc = logic.Or(acc, v)
-		case netlist.Xor, netlist.Xnor:
-			acc = logic.Xor(acc, v)
-		}
-	}
-	switch g.Type {
-	case netlist.Nand, netlist.Nor, netlist.Xnor:
-		acc = logic.Not(acc)
-	case netlist.And, netlist.Or, netlist.Xor:
-		// accumulated value is final
-	default:
-		panic(fmt.Sprintf("sim: unhandled gate type %v", g.Type))
-	}
-	return acc
+	return evalKernel(scalarOps{}, g.Type, len(g.Fanin), func(i int) logic.V {
+		return get(g.Fanin[i])
+	})
 }
 
 // EvalGateWithPin computes g's output where exactly the pin-th fanin sees
@@ -115,49 +93,26 @@ func EvalGate(g *netlist.Gate, get func(int) logic.V) logic.V {
 // sequential stuck-at injection. The distinction matters when one driver
 // feeds several pins of the same gate: only the faulted pin is overridden.
 func EvalGateWithPin(g *netlist.Gate, get func(int) logic.V, pin int, pinVal logic.V) logic.V {
-	val := func(i int) logic.V {
+	return evalKernel(scalarOps{}, g.Type, len(g.Fanin), func(i int) logic.V {
 		if i == pin {
 			return pinVal
 		}
 		return get(g.Fanin[i])
-	}
-	switch g.Type {
-	case netlist.Buf:
-		return logic.Buf(val(0))
-	case netlist.Not:
-		return logic.Not(val(0))
-	case netlist.Mux:
-		return logic.Mux(val(0), val(1), val(2))
-	}
-	acc := val(0)
-	for i := 1; i < len(g.Fanin); i++ {
-		v := val(i)
-		switch g.Type {
-		case netlist.And, netlist.Nand:
-			acc = logic.And(acc, v)
-		case netlist.Or, netlist.Nor:
-			acc = logic.Or(acc, v)
-		case netlist.Xor, netlist.Xnor:
-			acc = logic.Xor(acc, v)
-		}
-	}
-	switch g.Type {
-	case netlist.Nand, netlist.Nor, netlist.Xnor:
-		acc = logic.Not(acc)
-	}
-	return acc
+	})
 }
 
-// Run performs one full combinational pass in topological order. Inputs
-// and DFF states are consumed as-is; every other gate is recomputed.
-func (e *Evaluator) Run() {
+// Run performs one full combinational pass in topological order on the
+// compiled machine. Inputs and DFF states are consumed as-is; every
+// other gate is recomputed.
+func (e *Evaluator) Run() { e.c.RunV(e.values) }
+
+// runInterpreted is the pre-compilation Run path, retained as the
+// differential-test oracle; results are bit-identical to Run.
+func (e *Evaluator) runInterpreted() {
 	get := func(id int) logic.V { return e.values[id] }
-	for _, id := range e.order {
-		g := e.N.Gate(id)
-		if g.Type == netlist.Input || g.Type == netlist.DFF {
-			continue
-		}
-		e.values[id] = EvalGate(g, get)
+	for _, sid := range e.c.schedule {
+		id := int(sid)
+		e.values[id] = EvalGate(e.N.Gate(id), get)
 	}
 }
 
@@ -220,12 +175,11 @@ func (e *Evaluator) PropagateFrom(changed ...int) int {
 		}
 	}
 	events := 0
-	get := func(id int) logic.V { return e.values[id] }
 	for lvl := 0; lvl <= maxLvl; lvl++ {
 		for i := 0; i < len(buckets[lvl]); i++ {
 			id := buckets[lvl][i]
 			g := e.N.Gate(id)
-			nv := EvalGate(g, get)
+			nv := e.c.EvalGateV(id, e.values)
 			if nv == e.values[id] {
 				continue
 			}

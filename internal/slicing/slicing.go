@@ -80,7 +80,12 @@ func AcceleratedRun(n *netlist.Netlist, faults fault.List, patterns []logic.Vect
 	}
 	res.BaselineGateEvals = int64(len(faults)) * int64(len(patterns)) * int64(n.NumGates())
 
-	// Scratch state for the epoch-stamped faulty overlay.
+	// Scratch state for the epoch-stamped faulty overlay. Gate
+	// evaluation runs on the netlist's shared compiled machine: fanin
+	// values are gathered from the overlay into vbuf and evaluated by
+	// the compiled kernel, closure- and switch-duplication-free.
+	comp := eval.Compiled()
+	vbuf := comp.NewValueScratch()
 	nGates := n.NumGates()
 	fvals := make([]logic.V, nGates)
 	stamp := make([]int, nGates)
@@ -151,12 +156,12 @@ func AcceleratedRun(n *netlist.Netlist, faults fault.List, patterns []logic.Vect
 				// Pin fault: recompute only the faulted gate with the
 				// forced pin view, then propagate from it.
 				g := n.Gate(f.Gate)
-				vals := make([]logic.V, len(g.Fanin))
+				vals := vbuf[:len(g.Fanin)]
 				for pi, fin := range g.Fanin {
 					vals[pi] = get(fin)
 				}
 				vals[f.Pin] = f.Value
-				nv := evalFromValues(g, vals)
+				nv := comp.EvalGateVals(f.Gate, vals)
 				res.ActualGateEvals++
 				if nv == eval.Value(f.Gate) {
 					res.Status[fi] = statusKeep(res.Status[fi])
@@ -173,7 +178,11 @@ func AcceleratedRun(n *netlist.Netlist, faults fault.List, patterns []logic.Vect
 				for qi := 0; qi < len(buckets[l]); qi++ {
 					id := buckets[l][qi]
 					g := n.Gate(id)
-					nv := sim.EvalGate(g, get)
+					vals := vbuf[:len(g.Fanin)]
+					for pi, fin := range g.Fanin {
+						vals[pi] = get(fin)
+					}
+					nv := comp.EvalGateVals(id, vals)
 					res.ActualGateEvals++
 					if nv == get(id) {
 						continue
@@ -209,34 +218,6 @@ func statusKeep(s fault.Status) fault.Status {
 		return fault.Undetected
 	}
 	return s
-}
-
-// evalFromValues evaluates a gate from positional fanin values.
-func evalFromValues(g *netlist.Gate, vals []logic.V) logic.V {
-	switch g.Type {
-	case netlist.Buf:
-		return logic.Buf(vals[0])
-	case netlist.Not:
-		return logic.Not(vals[0])
-	case netlist.Mux:
-		return logic.Mux(vals[0], vals[1], vals[2])
-	}
-	acc := vals[0]
-	for _, v := range vals[1:] {
-		switch g.Type {
-		case netlist.And, netlist.Nand:
-			acc = logic.And(acc, v)
-		case netlist.Or, netlist.Nor:
-			acc = logic.Or(acc, v)
-		case netlist.Xor, netlist.Xnor:
-			acc = logic.Xor(acc, v)
-		}
-	}
-	switch g.Type {
-	case netlist.Nand, netlist.Nor, netlist.Xnor:
-		acc = logic.Not(acc)
-	}
-	return acc
 }
 
 // SliceStats summarises static slice sizes per output, used by reports.
