@@ -13,16 +13,26 @@
 // data, so re-running the same matrix at any parallelism level yields
 // byte-identical output; -timing captures the wall-clock side separately
 // as machine-readable benchmark JSON.
+//
+// -dir RUN_DIR makes the run durable: every completed job is fsync'd to
+// RUN_DIR/checkpoint.jsonl, and re-running the same command after an
+// interruption resumes exactly where the log left off — the final
+// RUN_DIR/campaign.json is byte-identical to an uninterrupted run.
+// -serve ADDR exposes the live campaign over HTTP (/status, /jobs,
+// /result) and keeps serving the finished result until interrupted.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -61,6 +71,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count")
 	jsonl := flag.String("jsonl", "-", `per-job JSONL stream path ("-" = stdout, "" = off)`)
 	out := flag.String("out", "", "campaign summary JSON path (default: render a text summary)")
+	dir := flag.String("dir", "", "run directory for the crash-safe checkpoint log (re-run to resume; writes campaign.json there on completion)")
+	serve := flag.String("serve", "", "serve the live campaign HTTP API (/status /jobs /result) on this address, e.g. :8080")
 	timing := flag.String("timing", "", "machine-readable wall-clock benchmark JSON path")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	prof := profiling.AddFlags(flag.CommandLine)
@@ -111,11 +123,42 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The checkpoint (and its exclusive flock) comes before any other
+	// file is touched: a concurrent invocation on the same run directory
+	// must fail here, not after truncating the winner's -jsonl stream.
+	resuming := false
+	var ck *campaign.Checkpoint
+	if *dir != "" {
+		_, statErr := os.Stat(filepath.Join(*dir, campaign.CheckpointFile))
+		resuming = statErr == nil
+		ck, err = campaign.OpenCheckpoint(*dir, m)
+		if err != nil {
+			fatal(err)
+		}
+		defer ck.Close()
+		if n := len(ck.Completed()); n > 0 && !*quiet {
+			log.Printf("resuming from %s: %d/%d jobs already completed", *dir, n, len(jobs))
+		}
+	}
+
 	var stream *json.Encoder
 	if *jsonl == "-" {
 		stream = json.NewEncoder(os.Stdout)
 	} else if *jsonl != "" {
-		f, err := os.Create(*jsonl)
+		// A resumed run appends: truncating would destroy the per-job
+		// records the interrupted run already streamed. Replayed jobs are
+		// not re-streamed, so across a crash the stream is at-most-once —
+		// a job whose crash fell between the checkpoint fsync and the
+		// stream write is missing here; checkpoint.jsonl and campaign.json
+		// are the canonical complete record.
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if resuming {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(*jsonl, mode, 0o644)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,9 +166,12 @@ func main() {
 		stream = json.NewEncoder(f)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	done := 0
+	replayed := 0
+	if ck != nil {
+		replayed = len(ck.Completed())
+		done = replayed
+	}
 	cfg := campaign.Config{
 		Parallelism: *parallel,
 		OnResult: func(r campaign.Result) {
@@ -148,24 +194,64 @@ func main() {
 		},
 	}
 	start := time.Now()
-	sum, err := campaign.Run(ctx, m, cfg)
-	wall := time.Since(start)
+	var sum *campaign.Summary
+	var wall time.Duration
+	switch {
+	case *serve != "":
+		svc, serr := campaign.NewService(m, cfg)
+		if serr != nil {
+			fatal(serr)
+		}
+		ln, lerr := net.Listen("tcp", *serve)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		log.Printf("serving campaign API on http://%s (/status /jobs /result)", ln.Addr())
+		serveCtx, stopServe := context.WithCancel(context.Background())
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- svc.Serve(serveCtx, ln) }()
+		sum, err = svc.Run(ctx, ck)
+		wall = time.Since(start)
+		if err == nil && ctx.Err() == nil {
+			log.Printf("campaign done; serving the result until interrupted (Ctrl-C)")
+			<-ctx.Done()
+		}
+		stopServe()
+		if serr := <-serveDone; serr != nil {
+			log.Printf("server: %v", serr)
+		}
+	case ck != nil:
+		sum, err = ck.Run(ctx, cfg)
+		wall = time.Since(start)
+	default:
+		sum, err = campaign.Run(ctx, m, cfg)
+		wall = time.Since(start)
+	}
 	if err != nil {
 		if sum != nil {
 			fmt.Fprintf(os.Stderr, "%s", sum.Render())
+		}
+		if *dir != "" && errors.Is(err, context.Canceled) {
+			log.Printf("interrupted; re-run with -dir %s to resume", *dir)
 		}
 		fatal(err)
 	}
 
 	if *timing != "" {
+		// Throughput counts only the jobs this process executed — the
+		// wall clock does not cover checkpoint-replayed jobs, so a
+		// resumed run must not claim their work as its own.
+		executed := sum.Jobs - replayed
 		payload, merr := json.MarshalIndent(map[string]any{
-			"jobs":         sum.Jobs,
-			"workers":      sum.Workers,
-			"wall_ms":      wall.Milliseconds(),
-			"jobs_per_sec": float64(sum.Jobs) / wall.Seconds(),
-			"goos":         runtime.GOOS,
-			"goarch":       runtime.GOARCH,
-			"num_cpu":      runtime.NumCPU(),
+			"jobs":          sum.Jobs,
+			"jobs_replayed": replayed,
+			"jobs_executed": executed,
+			"workers":       sum.Workers,
+			"wall_ms":       wall.Milliseconds(),
+			"jobs_per_sec":  float64(executed) / wall.Seconds(),
+			"goos":          runtime.GOOS,
+			"goarch":        runtime.GOARCH,
+			"num_cpu":       runtime.NumCPU(),
 		}, "", "  ")
 		if merr != nil {
 			fatal(merr)

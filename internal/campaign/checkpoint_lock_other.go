@@ -1,0 +1,9 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package campaign
+
+import "os"
+
+// lockCheckpoint is a no-op where flock is unavailable; keeping one
+// writer per run directory is then the operator's responsibility.
+func lockCheckpoint(*os.File) error { return nil }

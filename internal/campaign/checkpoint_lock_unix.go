@@ -1,0 +1,28 @@
+// Constrained to the platforms whose syscall package actually has
+// Flock — the broader "unix" tag includes solaris/aix, which do not.
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockCheckpoint takes an exclusive non-blocking flock on the open log
+// file, making each run directory single-writer: a second process
+// resuming (or re-creating) the same checkpoint fails loudly instead of
+// interleaving appends and corrupting the log. The kernel releases the
+// lock when the last handle closes — including on kill -9 — so a crash
+// never leaves a stale lock behind.
+func lockCheckpoint(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			return fmt.Errorf("checkpoint log is locked by another process")
+		}
+		return fmt.Errorf("locking checkpoint log: %v", err)
+	}
+	return nil
+}

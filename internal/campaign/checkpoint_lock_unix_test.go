@@ -1,0 +1,33 @@
+// Same constraint as checkpoint_lock_unix.go: this test pins real flock
+// behavior, which the no-op fallback platforms deliberately lack.
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckpointSingleWriter pins the flock guard: while one process
+// (here: one handle) owns a run directory, a concurrent Resume or
+// re-create must fail loudly instead of interleaving appends.
+func TestCheckpointSingleWriter(t *testing.T) {
+	m := testMatrix()
+	dir := t.TempDir()
+	ck, err := NewCheckpoint(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, m); err == nil || !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("concurrent resume: err = %v, want a lock error", err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := Resume(dir, m)
+	if err != nil {
+		t.Fatalf("resume after the owner closed: %v", err)
+	}
+	ck2.Close()
+}

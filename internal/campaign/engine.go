@@ -19,8 +19,17 @@ type Config struct {
 	// OnResult, when set, streams each job result as it completes. It is
 	// called from a single collector goroutine (never concurrently), in
 	// completion order — which is nondeterministic under parallelism; the
-	// final Summary is always sorted and deterministic.
+	// final Summary is always sorted and deterministic. Replayed results
+	// (see Completed) are not streamed — they were streamed by the run
+	// that produced them.
 	OnResult func(Result)
+
+	// Completed holds results replayed from a checkpoint log: their jobs
+	// are skipped instead of re-run and the results merge into the
+	// Summary as-is, so a resumed campaign aggregates to the same bytes
+	// as an uninterrupted one. Every entry must match a distinct job of
+	// the expanded matrix exactly.
+	Completed []Result
 
 	// runJob overrides the job runner in tests (panic injection etc.).
 	runJob func(context.Context, Job) Result
@@ -50,12 +59,30 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Replayed results take their jobs off the schedule; each must match
+	// its matrix cell exactly, or the checkpoint belongs to a different
+	// campaign and resuming would silently mix runs.
+	replayed := make(map[int]bool, len(cfg.Completed))
+	for _, r := range cfg.Completed {
+		if err := validateReplayed(r, jobs, replayed); err != nil {
+			return nil, fmt.Errorf("campaign: completed result: %v", err)
+		}
+	}
+	pending := jobs
+	if len(replayed) > 0 {
+		pending = make([]Job, 0, len(jobs)-len(replayed))
+		for _, j := range jobs {
+			if !replayed[j.ID] {
+				pending = append(pending, j)
+			}
+		}
+	}
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	run := cfg.runJob
 	if run == nil {
@@ -76,7 +103,7 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	}
 	go func() {
 		defer close(jobCh)
-		for _, j := range jobs {
+		for _, j := range pending {
 			// Checked non-blockingly first: when a worker is ready AND the
 			// context is done, the two-case select below would pick at
 			// random and could keep dispatching after cancellation.
@@ -96,6 +123,7 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	}()
 
 	results := make([]Result, 0, len(jobs))
+	results = append(results, cfg.Completed...)
 	for r := range resCh {
 		if cfg.OnResult != nil {
 			cfg.OnResult(r)

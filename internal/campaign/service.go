@@ -1,0 +1,370 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Service exposes a running campaign over HTTP: /status answers with the
+// per-aspect rollup-so-far, /jobs pages through per-job states, and
+// /result serves the canonical campaign.json once the run is done. The
+// handlers are safe against the in-flight worker pool, so a long
+// campaign can be observed live; Serve drains in-flight requests on
+// shutdown.
+type Service struct {
+	matrix  Matrix
+	cfg     Config
+	jobs    []Job
+	workers int
+
+	mu      sync.Mutex
+	results map[int]Result
+	sum     *Summary
+	runErr  error
+	done    chan struct{}
+}
+
+// drainTimeout bounds the graceful-shutdown drain of in-flight requests.
+const drainTimeout = 5 * time.Second
+
+// NewService validates the matrix and prepares a service around it. Run
+// starts the campaign; Handler (or Serve) answers concurrently from the
+// first request on.
+func NewService(m Matrix, cfg Config) (*Service, error) {
+	jobs, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Service{
+		matrix:  m,
+		cfg:     cfg,
+		jobs:    jobs,
+		workers: workers,
+		results: make(map[int]Result, len(jobs)),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Run executes the campaign, recording every result for the HTTP API; a
+// non-nil checkpoint makes the run durable (replayed jobs appear as
+// already completed, new results hit the log before the API sees them).
+// It blocks until the campaign finishes and must be called exactly once.
+func (s *Service) Run(ctx context.Context, ck *Checkpoint) (*Summary, error) {
+	cfg := s.cfg
+	user := cfg.OnResult
+	cfg.OnResult = func(r Result) {
+		s.record(r)
+		if user != nil {
+			user(r)
+		}
+	}
+	var sum *Summary
+	var err error
+	if ck != nil {
+		err = s.bind(ck)
+		if err == nil {
+			sum, err = ck.Run(ctx, cfg)
+		}
+	} else {
+		sum, err = Run(ctx, s.matrix, cfg)
+	}
+	s.mu.Lock()
+	s.sum, s.runErr = sum, err
+	s.mu.Unlock()
+	close(s.done)
+	return sum, err
+}
+
+// bind verifies the checkpoint belongs to this service's matrix and
+// surfaces its replayed results through the API.
+func (s *Service) bind(ck *Checkpoint) error {
+	a, err := matrixIdentity(s.matrix)
+	if err != nil {
+		return err
+	}
+	b, err := matrixIdentity(ck.matrix)
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("campaign: service and checkpoint matrices differ")
+	}
+	for _, r := range ck.Completed() {
+		s.record(r)
+	}
+	return nil
+}
+
+func (s *Service) record(r Result) {
+	s.mu.Lock()
+	s.results[r.Job.ID] = r
+	s.mu.Unlock()
+}
+
+// ServiceStatus is the /status payload: campaign progress plus the
+// per-aspect rollups aggregated over the results so far.
+type ServiceStatus struct {
+	// State is "running", "done", "canceled" or "failed" ("failed"
+	// meaning the campaign itself errored, not that individual jobs
+	// failed — those count in Failed).
+	State     string `json:"state"`
+	Jobs      int    `json:"jobs"`
+	Pending   int    `json:"pending"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled,omitempty"`
+	Workers   int    `json:"workers"`
+	Error     string `json:"error,omitempty"`
+
+	Quality     *QualityRollup     `json:"quality,omitempty"`
+	Reliability *ReliabilityRollup `json:"reliability,omitempty"`
+	Safety      *SafetyRollup      `json:"safety,omitempty"`
+	Security    *SecurityRollup    `json:"security,omitempty"`
+}
+
+// Status aggregates the rollup-so-far. It is what /status serves.
+func (s *Service) Status() ServiceStatus {
+	results, sumErr, finished := s.snapshot()
+	agg := Aggregate(len(s.jobs), s.workers, results)
+	st := ServiceStatus{
+		State:       "running",
+		Jobs:        agg.Jobs,
+		Pending:     agg.Jobs - len(results),
+		Completed:   agg.Completed,
+		Failed:      agg.Failed,
+		Canceled:    agg.Canceled,
+		Workers:     s.workers,
+		Quality:     agg.Quality,
+		Reliability: agg.Reliability,
+		Safety:      agg.Safety,
+		Security:    agg.Security,
+	}
+	if finished {
+		switch {
+		case sumErr == nil:
+			st.State = "done"
+		case errors.Is(sumErr, context.Canceled) || errors.Is(sumErr, context.DeadlineExceeded):
+			st.State = "canceled"
+			st.Error = sumErr.Error()
+		default:
+			st.State = "failed"
+			st.Error = sumErr.Error()
+		}
+	}
+	return st
+}
+
+// snapshot copies the current results sorted by job ID.
+func (s *Service) snapshot() (results []Result, runErr error, finished bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	results = make([]Result, 0, len(s.results))
+	for _, r := range s.results {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Job.ID < results[j].Job.ID })
+	select {
+	case <-s.done:
+		finished = true
+	default:
+	}
+	return results, s.runErr, finished
+}
+
+// JobStatus is one entry of the /jobs page.
+type JobStatus struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Status string `json:"status"` // "pending", "ok", "failed" or "canceled"
+	Error  string `json:"error,omitempty"`
+}
+
+// JobsPage is the /jobs payload: one contiguous job-ID window over the
+// expanded matrix.
+type JobsPage struct {
+	Total  int         `json:"total"`
+	Offset int         `json:"offset"`
+	Count  int         `json:"count"`
+	Jobs   []JobStatus `json:"jobs"`
+}
+
+// Jobs returns the [offset, offset+limit) window of per-job states in
+// job-ID order. It is what /jobs serves.
+func (s *Service) Jobs(offset, limit int) JobsPage {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(s.jobs) {
+		offset = len(s.jobs)
+	}
+	end := offset + limit
+	// end < offset catches integer overflow of a huge limit.
+	if limit <= 0 || end > len(s.jobs) || end < offset {
+		end = len(s.jobs)
+	}
+	page := JobsPage{Total: len(s.jobs), Offset: offset, Jobs: make([]JobStatus, 0, end-offset)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs[offset:end] {
+		js := JobStatus{ID: j.ID, Name: j.Name(), Status: "pending"}
+		if r, ok := s.results[j.ID]; ok {
+			switch {
+			case r.Canceled:
+				js.Status = "canceled"
+				js.Error = r.Err
+			case r.Err != "":
+				js.Status = "failed"
+				js.Error = r.Err
+			default:
+				js.Status = "ok"
+			}
+		}
+		page.Jobs = append(page.Jobs, js)
+	}
+	page.Count = len(page.Jobs)
+	return page
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET /status  — ServiceStatus JSON (rollup-so-far)
+//	GET /jobs    — JobsPage JSON; query params offset, limit (default 100)
+//	GET /result  — the canonical campaign.json once done (409 while running)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		offset, err := intParam(r, "offset", 0)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		limit, err := intParam(r, "limit", 100)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		// An explicit limit=0 means the default page, not Jobs' "to the
+		// end" — the whole expanded matrix must never ship in one
+		// response (nor be assembled under the store mutex).
+		if limit == 0 {
+			limit = 100
+		} else if limit > 1000 {
+			limit = 1000
+		}
+		writeJSON(w, http.StatusOK, s.Jobs(offset, limit))
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		// Order matters: confirm completion before reading sum/runErr.
+		// Run stores both under the mutex before closing done, so once
+		// done is closed the values read here are final — the reverse
+		// order could serve a nil summary to a request racing the
+		// campaign's last job.
+		select {
+		case <-s.done:
+		default:
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "campaign still running"})
+			return
+		}
+		s.mu.Lock()
+		sum, runErr := s.sum, s.runErr
+		s.mu.Unlock()
+		if runErr != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": runErr.Error()})
+			return
+		}
+		js, err := sum.JSON()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(js, '\n'))
+	})
+	return mux
+}
+
+func allowGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s parameter %q", name, raw)
+	}
+	return v, nil
+}
+
+// Serve answers API requests on the listener until ctx is cancelled,
+// then shuts down gracefully: new connections stop, in-flight requests
+// drain (bounded by drainTimeout) before Serve returns. The campaign
+// itself is driven by Run, typically in another goroutine.
+func (s *Service) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(shctx)
+		<-errCh // Serve has returned http.ErrServerClosed
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,54 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench throws arbitrary .bench text at the parser. Anything it
+// accepts must satisfy the serialisation round-trip property: WriteBench
+// succeeds (a validated netlist is always serialisable) and ParseBench
+// reads the output back as a circuit of the same shape.
+func FuzzParseBench(f *testing.F) {
+	for _, seed := range []string{
+		// c17-style combinational core.
+		"INPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G5)\nG4 = NAND(G1, G2)\nG5 = NAND(G4, G3)\n",
+		// Sequential with a DFF forward reference and comments.
+		"# s-series style\nINPUT(CK)\nOUTPUT(Q)\nQ = DFF(D)\nD = NOT(Q)\n",
+		// Aliases, mixed case keywords, multi-fanin, whitespace.
+		"input(a)\ninput(b)\noutput(y)\nn1 = INV(a)\nn2 = BUFF(b)\ny = AND(n1, n2, a)\n",
+		"INPUT(x)\nOUTPUT(x)\n",
+		"INPUT(a)\nOUTPUT(z)\nz = XOR(a, a)\n",
+		// Malformed shapes the parser must reject cleanly.
+		"G1 = NAND(G2\n",
+		"OUTPUT(nowhere)\n",
+		"INPUT()\n",
+		"a = AND(b, c)\n",
+		"INPUT(a)\nOUTPUT(b)\nb = WIBBLE(a)\n",
+		"INPUT(a)\nINPUT(a)\n",
+		"INPUT(a)\nOUTPUT(c)\nc = AND(a, c)\n", // combinational cycle
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, n); err != nil {
+			t.Fatalf("WriteBench failed on a parsed netlist: %v\ninput:\n%s", err, src)
+		}
+		n2, err := ParseBench("fuzz-roundtrip", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nserialised:\n%s\ninput:\n%s", err, buf.Bytes(), src)
+		}
+		if len(n2.Gates) != len(n.Gates) || len(n2.Inputs) != len(n.Inputs) ||
+			len(n2.Outputs) != len(n.Outputs) || len(n2.DFFs) != len(n.DFFs) {
+			t.Fatalf("round trip changed shape: %d/%d/%d/%d gates/inputs/outputs/DFFs, want %d/%d/%d/%d\ninput:\n%s",
+				len(n2.Gates), len(n2.Inputs), len(n2.Outputs), len(n2.DFFs),
+				len(n.Gates), len(n.Inputs), len(n.Outputs), len(n.DFFs), src)
+		}
+	})
+}

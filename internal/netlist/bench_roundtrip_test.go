@@ -1,0 +1,104 @@
+// The round-trip property test lives in an external test package so it
+// can pull the benchmark registry in without an import cycle
+// (circuits imports netlist).
+package netlist_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/netlist"
+)
+
+// TestBenchRoundTripRegistry checks ParseBench(WriteBench(n)) reproduces
+// every registry circuit: same gates by name (type and fanin sequence
+// included), same input order, and the same output and DFF sets.
+// WriteBench canonicalises output order (sorted by gate ID), so outputs
+// and DFFs are compared as name sets rather than sequences.
+func TestBenchRoundTripRegistry(t *testing.T) {
+	for _, name := range circuits.Names() {
+		n := circuits.Registry[name]()
+		var buf bytes.Buffer
+		if err := netlist.WriteBench(&buf, n); err != nil {
+			t.Fatalf("%s: WriteBench: %v", name, err)
+		}
+		n2, err := netlist.ParseBench(name, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ParseBench: %v", name, err)
+		}
+		if len(n2.Gates) != len(n.Gates) {
+			t.Fatalf("%s: round trip has %d gates, want %d", name, len(n2.Gates), len(n.Gates))
+		}
+		for _, g := range n.Gates {
+			g2, ok := n2.Lookup(g.Name)
+			if !ok {
+				t.Fatalf("%s: gate %q lost in round trip", name, g.Name)
+			}
+			if g2.Type != g.Type {
+				t.Fatalf("%s: gate %q type %v, want %v", name, g.Name, g2.Type, g.Type)
+			}
+			if len(g2.Fanin) != len(g.Fanin) {
+				t.Fatalf("%s: gate %q has %d fanin, want %d", name, g.Name, len(g2.Fanin), len(g.Fanin))
+			}
+			for i := range g.Fanin {
+				want := n.Gates[g.Fanin[i]].Name
+				if got := n2.Gates[g2.Fanin[i]].Name; got != want {
+					t.Fatalf("%s: gate %q fanin %d is %q, want %q", name, g.Name, i, got, want)
+				}
+			}
+		}
+		if got, want := nameSeq(n2, n2.Inputs), nameSeq(n, n.Inputs); !equalSeq(got, want) {
+			t.Fatalf("%s: input order changed: %v, want %v", name, got, want)
+		}
+		if got, want := nameSet(n2, n2.Outputs), nameSet(n, n.Outputs); !equalSet(got, want) {
+			t.Fatalf("%s: output set changed: %v, want %v", name, got, want)
+		}
+		if got, want := nameSet(n2, n2.DFFs), nameSet(n, n.DFFs); !equalSet(got, want) {
+			t.Fatalf("%s: DFF set changed: %v, want %v", name, got, want)
+		}
+		if err := n2.Validate(); err != nil {
+			t.Fatalf("%s: reparsed netlist invalid: %v", name, err)
+		}
+	}
+}
+
+func nameSeq(n *netlist.Netlist, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = n.Gates[id].Name
+	}
+	return out
+}
+
+func nameSet(n *netlist.Netlist, ids []int) map[string]bool {
+	out := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		out[n.Gates[id].Name] = true
+	}
+	return out
+}
+
+func equalSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -73,6 +73,15 @@ type (
 	CampaignSummary = campaign.Summary
 	// CampaignScenario selects the stages a job runs.
 	CampaignScenario = campaign.Scenario
+	// CampaignCheckpoint is an open crash-safe checkpoint log bound to
+	// one campaign matrix (see internal/campaign's durability layer).
+	CampaignCheckpoint = campaign.Checkpoint
+	// CampaignService exposes a running campaign over HTTP
+	// (/status, /jobs, /result) with graceful-drain shutdown.
+	CampaignService = campaign.Service
+	// CampaignServiceStatus is the /status payload: progress counters
+	// plus the per-aspect rollups over the results so far.
+	CampaignServiceStatus = campaign.ServiceStatus
 )
 
 // Circuit returns a named benchmark circuit from the built-in registry
@@ -160,6 +169,28 @@ func FlowStages() []FlowStage { return core.AllStages() }
 // semantics, and cmd/rescue-campaign for the CLI.
 func RunCampaign(ctx context.Context, m CampaignMatrix, cfg CampaignConfig) (*CampaignSummary, error) {
 	return campaign.Run(ctx, m, cfg)
+}
+
+// RunCampaignCheckpointed is RunCampaign with a crash-safe checkpoint
+// log in dir: every completed job is fsync'd to dir/checkpoint.jsonl,
+// an interrupted run resumes from the log on the next call, and the
+// final dir/campaign.json is byte-identical to an uninterrupted run at
+// any parallelism level.
+func RunCampaignCheckpointed(ctx context.Context, dir string, m CampaignMatrix, cfg CampaignConfig) (*CampaignSummary, error) {
+	return campaign.RunCheckpointed(ctx, dir, m, cfg)
+}
+
+// ResumeCampaign opens dir's checkpoint log, verifies it against the
+// matrix, and replays the durable results (tolerating a torn final
+// record). Run the returned checkpoint to finish the remaining jobs.
+func ResumeCampaign(dir string, m CampaignMatrix) (*CampaignCheckpoint, error) {
+	return campaign.Resume(dir, m)
+}
+
+// NewCampaignService wraps a campaign in the live HTTP API; see
+// CampaignService and cmd/rescue-campaign's -serve flag.
+func NewCampaignService(m CampaignMatrix, cfg CampaignConfig) (*CampaignService, error) {
+	return campaign.NewService(m, cfg)
 }
 
 // Fig1Distribution regenerates the paper's Fig. 1 research-results

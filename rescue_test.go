@@ -124,3 +124,49 @@ func TestFacadeCampaign(t *testing.T) {
 		t.Error("security rollup must cover the holistic jobs only")
 	}
 }
+
+func TestFacadeCheckpointedCampaignAndService(t *testing.T) {
+	m := rescue.CampaignMatrix{
+		Circuits:  []string{"c17"},
+		Scenarios: []rescue.CampaignScenario{"quality"},
+		Patterns:  16,
+		Seed:      11,
+	}
+	dir := t.TempDir()
+	sum, err := rescue.RunCampaignCheckpointed(context.Background(), dir, m, rescue.CampaignConfig{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 1 {
+		t.Fatalf("completed=%d:\n%s", sum.Completed, sum.Render())
+	}
+	// The finished log resumes to zero remaining jobs and the same bytes.
+	ck, err := rescue.ResumeCampaign(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if got := len(ck.Completed()); got != 1 {
+		t.Fatalf("replayed %d results, want 1", got)
+	}
+	again, err := ck.Run(context.Background(), rescue.CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sum.JSON()
+	b, _ := again.JSON()
+	if string(a) != string(b) {
+		t.Fatal("resumed summary differs from the original run")
+	}
+
+	svc, err := rescue.NewCampaignService(m, rescue.CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Status(); st.State != "done" || st.Completed != 1 {
+		t.Fatalf("service status = %+v", st)
+	}
+}
