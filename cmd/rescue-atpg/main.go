@@ -14,17 +14,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
 	"rescue"
 	"rescue/internal/atpg"
 	"rescue/internal/fault"
+	"rescue/internal/obs/bench"
 	"rescue/internal/profiling"
 )
 
@@ -95,29 +94,26 @@ func main() {
 		res.Coverage.Untestable, res.Coverage.Aborted)
 
 	if *timing != "" {
-		payload, merr := json.MarshalIndent(map[string]any{
-			"circuit":            *circuit,
-			"faults":             len(faults),
-			"random_patterns":    *random,
-			"random_detected":    res.RandomDetected,
-			"drop_detected":      res.DropDetected,
-			"discarded_tests":    res.DiscardedTests,
-			"podem_calls":        res.PODEMCalls,
-			"backtracks":         res.Backtracks,
-			"sim_gate_evals":     res.SimGateEvals,
-			"tests":              len(res.Tests),
-			"coverage_effective": res.Coverage.Effective(),
-			"no_drop":            *noDrop,
-			"parallel":           *parallel,
-			"wall_ms":            wall.Milliseconds(),
-			"goos":               runtime.GOOS,
-			"goarch":             runtime.GOARCH,
-			"num_cpu":            runtime.NumCPU(),
-		}, "", "  ")
-		if merr != nil {
-			fatal(merr)
+		// Bench-schema Result with the pre-schema flat field names
+		// aliased at the top level, so existing parsers keep working.
+		tr := bench.New("atpg", 1)
+		tr.Params = map[string]any{
+			"circuit": *circuit,
+			"no_drop": *noDrop,
 		}
-		if werr := os.WriteFile(*timing, append(payload, '\n'), 0o644); werr != nil {
+		tr.Metrics["faults"] = float64(len(faults))
+		tr.Metrics["random_patterns"] = float64(*random)
+		tr.Metrics["random_detected"] = float64(res.RandomDetected)
+		tr.Metrics["drop_detected"] = float64(res.DropDetected)
+		tr.Metrics["discarded_tests"] = float64(res.DiscardedTests)
+		tr.Metrics["podem_calls"] = float64(res.PODEMCalls)
+		tr.Metrics["backtracks"] = float64(res.Backtracks)
+		tr.Metrics["sim_gate_evals"] = float64(res.SimGateEvals)
+		tr.Metrics["tests"] = float64(len(res.Tests))
+		tr.Metrics["coverage_effective"] = res.Coverage.Effective()
+		tr.Metrics["parallel"] = float64(*parallel)
+		tr.Metrics["wall_ms"] = float64(wall.Milliseconds())
+		if werr := bench.WriteLegacy(*timing, tr); werr != nil {
 			fatal(werr)
 		}
 	}

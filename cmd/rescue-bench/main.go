@@ -1,0 +1,293 @@
+// Command rescue-bench measures the perf trajectory points the CI
+// regression gate enforces, and runs the gate itself.
+//
+// Measurement modes emit bench-schema JSON (rescue-bench/v1) with full
+// provenance — git commit, host, Go version, iteration count — and
+// exact work counters sampled from the obs registry:
+//
+//	rescue-bench -bench kernel -o BENCH_kernel.json
+//	    fixed-work mul8 compiled cone sweep; reports ns_per_gate_eval
+//	    (best of -iterations samples — the simulation-kernel trajectory)
+//	rescue-bench -bench campaign -o BENCH_campaign.json
+//	    full-registry holistic campaign; reports jobs_per_sec (best of
+//	    -iterations runs — the end-to-end engine trajectory)
+//
+// -append grows the trajectory file instead of replacing it, which is
+// how committed BENCH_*.json files accumulate one point per PR.
+//
+// Gate mode compares a fresh measurement against the newest committed
+// trajectory point and reports regressions beyond the noise tolerance:
+//
+//	rescue-bench -gate -baseline BENCH_campaign.json -current new.json
+//
+// By default the gate only warns (soft-fail, for noisy shared runners);
+// -hard makes violations exit non-zero once the committed trajectory is
+// trusted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"rescue/internal/campaign"
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+	"rescue/internal/logic"
+	"rescue/internal/netlist"
+	"rescue/internal/obs"
+	"rescue/internal/obs/bench"
+	"rescue/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rescue-bench: ")
+	which := flag.String("bench", "", `benchmark to run: "kernel" or "campaign"`)
+	out := flag.String("o", "", "output JSON path (default: stdout)")
+	appendTraj := flag.Bool("append", false, "append to the trajectory at -o instead of replacing it")
+	iterations := flag.Int("iterations", 3, "measurement repetitions (best sample is reported)")
+	patterns := flag.Int("patterns", 32, "campaign: fault-injection patterns per job")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign: worker count")
+	gate := flag.Bool("gate", false, "compare -current against the newest point of -baseline")
+	baseline := flag.String("baseline", "", "gate: committed trajectory file")
+	current := flag.String("current", "", "gate: freshly measured trajectory file")
+	specs := flag.String("specs", "jobs_per_sec:higher,ns_per_gate_eval:lower",
+		"gate: comma-separated metric:direction[:tolerance] specs")
+	tolerance := flag.Float64("tolerance", 0.25, "gate: default relative tolerance for specs without one")
+	hard := flag.Bool("hard", false, "gate: exit non-zero on violations (default: warn only)")
+	flag.Parse()
+
+	switch {
+	case *gate:
+		if err := runGate(*baseline, *current, *specs, *tolerance, *hard); err != nil {
+			log.Fatal(err)
+		}
+	case *which != "":
+		res, err := measure(*which, *iterations, *patterns, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := emit(res, *out, *appendTraj); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal(`nothing to do: pass -bench kernel|campaign or -gate (see -h)`)
+	}
+}
+
+func measure(which string, iterations, patterns, parallel int) (*bench.Result, error) {
+	switch which {
+	case "kernel":
+		return benchKernel(iterations)
+	case "campaign":
+		return benchCampaign(iterations, patterns, parallel)
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (want kernel or campaign)", which)
+}
+
+func emit(res *bench.Result, out string, appendTraj bool) error {
+	if out == "" {
+		raw, err := bench.MarshalLegacy(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", raw)
+		return nil
+	}
+	if appendTraj {
+		return bench.AppendTrajectory(out, res)
+	}
+	return bench.WriteTrajectory(out, []bench.Result{*res})
+}
+
+// benchKernel is the fixed-work simulation-kernel measurement: the mul8
+// all-sites compiled cone sweep (the fault-simulation hot loop), several
+// sweeps per timed sample so each window is well above a scheduler
+// quantum, best-of-iterations to damp noisy-neighbour preemption.
+func benchKernel(iterations int) (*bench.Result, error) {
+	n := circuits.ArrayMultiplier(8)
+	pats := make([]logic.Vector, 64)
+	state := uint64(12345)
+	for k := range pats {
+		vec := make(logic.Vector, len(n.Inputs))
+		for i := range vec {
+			state = state*2862933555777941757 + 3037000493
+			vec[i] = logic.FromBool(state&(1<<32) != 0)
+		}
+		pats[k] = vec
+	}
+	good, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := good.LoadPatterns(pats); err != nil {
+		return nil, err
+	}
+	good.Run()
+	bad, err := sim.NewPacked(n)
+	if err != nil {
+		return nil, err
+	}
+	var sites []sim.FaultSite
+	var cones []*netlist.Cone
+	sweepEvals := 0
+	for _, f := range fault.Collapse(n, fault.AllStuckAt(n)) {
+		cone, err := n.FanoutConeOrdered(f.Gate)
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value})
+		cones = append(cones, cone)
+		sweepEvals += cone.Evals
+	}
+	bad.AlignTo(good)
+	sweep := func() {
+		for i, site := range sites {
+			bad.RunConeAligned(good, cones[i], site, ^uint64(0))
+		}
+	}
+	// Calibrate sweeps-per-sample to ~50ms windows.
+	t0 := time.Now()
+	sweep()
+	one := time.Since(t0)
+	sweeps := int(50*time.Millisecond/one) + 1
+
+	best := time.Duration(1<<62 - 1)
+	if iterations < 1 {
+		iterations = 1
+	}
+	for it := 0; it < iterations; it++ {
+		t := time.Now()
+		for s := 0; s < sweeps; s++ {
+			sweep()
+		}
+		if d := time.Since(t); d < best {
+			best = d
+		}
+	}
+	res := bench.New("kernel", iterations)
+	res.Params = map[string]any{"circuit": "mul8", "workload": "compiled-cone-sweep"}
+	res.Metrics["ns_per_gate_eval"] = float64(best.Nanoseconds()) / float64(sweeps) / float64(sweepEvals)
+	res.Metrics["gate_evals_per_sweep"] = float64(sweepEvals)
+	res.Metrics["sweeps_per_sample"] = float64(sweeps)
+	res.Metrics["faults"] = float64(len(sites))
+	return res, nil
+}
+
+// benchCampaign is the end-to-end engine measurement: the full built-in
+// registry under the holistic scenario (BenchmarkCampaign's matrix),
+// best-of-iterations jobs/s, with the exact work counters for the run
+// sampled from the obs registry.
+func benchCampaign(iterations, patterns, parallel int) (*bench.Result, error) {
+	m := campaign.Matrix{
+		Circuits:  circuits.Names(),
+		Scenarios: []campaign.Scenario{campaign.ScenarioHolistic},
+		Patterns:  patterns,
+		Years:     5,
+		Seed:      1,
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	bestJPS := 0.0
+	var bestWall time.Duration
+	jobs := 0
+	before := obs.Default.Snapshot()
+	for it := 0; it < iterations; it++ {
+		t := time.Now()
+		sum, err := campaign.Run(context.Background(), m, campaign.Config{Parallelism: parallel})
+		wall := time.Since(t)
+		if err != nil {
+			return nil, err
+		}
+		if sum.Failed != 0 {
+			return nil, fmt.Errorf("campaign failures:\n%s", sum.Render())
+		}
+		jobs = sum.Jobs
+		if jps := float64(sum.Jobs) / wall.Seconds(); jps > bestJPS {
+			bestJPS, bestWall = jps, wall
+		}
+	}
+	after := obs.Default.Snapshot()
+	res := bench.New("campaign", iterations)
+	res.Params = map[string]any{"scenario": "holistic", "circuits": "all"}
+	res.Metrics["jobs"] = float64(jobs)
+	res.Metrics["jobs_per_sec"] = bestJPS
+	res.Metrics["wall_ms"] = float64(bestWall.Milliseconds())
+	res.Metrics["workers"] = float64(parallel)
+	res.Metrics["patterns"] = float64(patterns)
+	// Exact work counts across all iterations, from the obs registry.
+	for _, k := range []string{
+		"sim_gate_evals_total", "sim_cone_evals_total",
+		"atpg_podem_calls_total", "artifact_cache_hits_total",
+		"artifact_cache_misses_total",
+	} {
+		res.Metrics[strings.TrimSuffix(k, "_total")] = after[k] - before[k]
+	}
+	return res, nil
+}
+
+func runGate(baselinePath, currentPath, specsCSV string, tolerance float64, hard bool) error {
+	if baselinePath == "" || currentPath == "" {
+		return fmt.Errorf("-gate needs -baseline and -current")
+	}
+	basePts, err := bench.ReadTrajectory(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %v", err)
+	}
+	curPts, err := bench.ReadTrajectory(currentPath)
+	if err != nil {
+		return fmt.Errorf("current: %v", err)
+	}
+	if len(basePts) == 0 || len(curPts) == 0 {
+		return fmt.Errorf("empty trajectory (baseline %d points, current %d)", len(basePts), len(curPts))
+	}
+	base, cur := &basePts[len(basePts)-1], &curPts[len(curPts)-1]
+	var specs []bench.GateSpec
+	for _, s := range strings.Split(specsCSV, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		if !strings.Contains(s[strings.Index(s, ":")+1:], ":") {
+			s += fmt.Sprintf(":%g", tolerance)
+		}
+		g, err := bench.ParseGateSpec(s)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, g)
+	}
+	violations, skipped := bench.Compare(base, cur, specs)
+	fmt.Printf("gate: %s (%s @ %.8s) vs %s (%s @ %.8s)\n",
+		currentPath, cur.Name, cur.Provenance.GitCommit,
+		baselinePath, base.Name, base.Provenance.GitCommit)
+	for _, g := range specs {
+		b, okB := base.Metrics[g.Metric]
+		c, okC := cur.Metrics[g.Metric]
+		if okB && okC {
+			fmt.Printf("  %-20s baseline %-12g current %-12g (tolerance %.0f%%)\n",
+				g.Metric, b, c, g.Tolerance*100)
+		}
+	}
+	for _, m := range skipped {
+		fmt.Printf("  %-20s skipped (absent from baseline or current)\n", m)
+	}
+	if len(violations) == 0 {
+		fmt.Println("gate: PASS")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Printf("gate: REGRESSION: %s\n", v)
+	}
+	if hard {
+		os.Exit(1)
+	}
+	fmt.Println("gate: soft-fail mode — warning only (pass -hard to enforce)")
+	return nil
+}

@@ -35,10 +35,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"rescue/internal/campaign"
 	"rescue/internal/circuits"
+	"rescue/internal/obs/bench"
 	"rescue/internal/profiling"
 )
 
@@ -123,7 +125,10 @@ func main() {
 		fatal(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (docker stop, systemd) drains as gracefully as Ctrl-C; the
+	// profiling package additionally flushes any active profiles on
+	// either signal before this handler proceeds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// The checkpoint (and its exclusive flock) comes before any other
@@ -240,23 +245,18 @@ func main() {
 	if *timing != "" {
 		// Throughput counts only the jobs this process executed — the
 		// wall clock does not cover checkpoint-replayed jobs, so a
-		// resumed run must not claim their work as its own.
+		// resumed run must not claim their work as its own. The file is
+		// a bench-schema Result with the pre-schema flat field names
+		// (jobs, wall_ms, jobs_per_sec, ...) aliased at the top level.
 		executed := sum.Jobs - replayed
-		payload, merr := json.MarshalIndent(map[string]any{
-			"jobs":          sum.Jobs,
-			"jobs_replayed": replayed,
-			"jobs_executed": executed,
-			"workers":       sum.Workers,
-			"wall_ms":       wall.Milliseconds(),
-			"jobs_per_sec":  float64(executed) / wall.Seconds(),
-			"goos":          runtime.GOOS,
-			"goarch":        runtime.GOARCH,
-			"num_cpu":       runtime.NumCPU(),
-		}, "", "  ")
-		if merr != nil {
-			fatal(merr)
-		}
-		if werr := os.WriteFile(*timing, append(payload, '\n'), 0o644); werr != nil {
+		res := bench.New("campaign", 1)
+		res.Metrics["jobs"] = float64(sum.Jobs)
+		res.Metrics["jobs_replayed"] = float64(replayed)
+		res.Metrics["jobs_executed"] = float64(executed)
+		res.Metrics["workers"] = float64(sum.Workers)
+		res.Metrics["wall_ms"] = float64(wall.Milliseconds())
+		res.Metrics["jobs_per_sec"] = float64(executed) / wall.Seconds()
+		if werr := bench.WriteLegacy(*timing, res); werr != nil {
 			fatal(werr)
 		}
 	}

@@ -8,6 +8,17 @@ import (
 	"rescue/internal/faultsim"
 	"rescue/internal/logic"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
+)
+
+// ATPG instrumentation. PODEM call/backtrack counters are flushed once
+// per round (or per classification pass), and every deterministic round
+// — generation plus the sequential drop pass — records its wall-clock
+// into the round-latency histogram.
+var (
+	obsPODEMCalls   = obs.NewCounter("atpg_podem_calls_total", "Deterministic PODEM searches performed.")
+	obsBacktracks   = obs.NewCounter("atpg_backtracks_total", "PODEM backtracks across all searches.")
+	obsRoundSeconds = obs.NewHistogram("atpg_round_seconds", "Wall-clock of one deterministic test-and-drop round (generation + drop).", obs.DurationBuckets)
 )
 
 // ScanView converts a sequential circuit into its full-scan combinational
@@ -271,6 +282,10 @@ func generateDeterministic(n *netlist.Netlist, faults fault.List, opt FlowOption
 		if err != nil {
 			return err
 		}
+		defer func() {
+			obsPODEMCalls.Add(int64(res.PODEMCalls))
+			obsBacktracks.Add(int64(res.Backtracks))
+		}()
 		for _, fi := range pending {
 			g, err := safeGenerate(eng, faults[fi])
 			if err != nil {
@@ -315,6 +330,8 @@ func generateDeterministic(n *netlist.Netlist, faults fault.List, opt FlowOption
 	gens := make([]podemResult, roundSize)
 	queue := pending
 	for len(queue) > 0 {
+		span := obs.StartSpan(obsRoundSeconds)
+		callsBefore, backtracksBefore := res.PODEMCalls, res.Backtracks
 		round = round[:0]
 		for len(queue) > 0 && len(round) < roundSize {
 			fi := queue[0]
@@ -366,6 +383,9 @@ func generateDeterministic(n *netlist.Netlist, faults fault.List, opt FlowOption
 				sess.Exclude(fi)
 			}
 		}
+		obsPODEMCalls.Add(int64(res.PODEMCalls - callsBefore))
+		obsBacktracks.Add(int64(res.Backtracks - backtracksBefore))
+		span.End()
 	}
 	return nil
 }
@@ -525,6 +545,8 @@ func ClassifyFaults(n *netlist.Netlist, faults fault.List, opt Options) (*Classi
 		c.Calls++
 		c.Backtracks += eng.Backtracks()
 	}
+	obsPODEMCalls.Add(int64(c.Calls))
+	obsBacktracks.Add(int64(c.Backtracks))
 	return c, nil
 }
 

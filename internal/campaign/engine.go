@@ -10,6 +10,22 @@ import (
 	"time"
 
 	"rescue/internal/core"
+	"rescue/internal/obs"
+)
+
+// Campaign engine instrumentation. The queue-depth gauge tracks jobs
+// expanded but not yet dispatched, summed across concurrent runs (each
+// run adds its pending count and decrements per dispatch, returning its
+// remainder on exit); the job histogram records per-job wall-clock.
+var (
+	obsRuns          = obs.NewCounter("campaign_runs_total", "Campaign runs started.")
+	obsJobsStarted   = obs.NewCounter("campaign_jobs_started_total", "Jobs dispatched to campaign workers.")
+	obsJobsCompleted = obs.NewCounter("campaign_jobs_completed_total", "Jobs finished by campaign workers (any outcome).")
+	obsJobsFailed    = obs.NewCounter("campaign_jobs_failed_total", "Jobs finished with an error (cancellations excluded).")
+	obsJobsCanceled  = obs.NewCounter("campaign_jobs_canceled_total", "Jobs interrupted by campaign cancellation.")
+	obsJobsReplayed  = obs.NewCounter("campaign_jobs_replayed_total", "Jobs skipped because a checkpoint log already held their result.")
+	obsQueueDepth    = obs.NewGauge("campaign_queue_depth", "Jobs expanded but not yet dispatched, across all in-process runs.")
+	obsJobSeconds    = obs.NewHistogram("campaign_job_seconds", "Wall-clock of one campaign job.", obs.DurationBuckets)
 )
 
 // Config tunes one campaign run.
@@ -88,6 +104,9 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	if run == nil {
 		run = RunJob
 	}
+	obsRuns.Inc()
+	obsJobsReplayed.Add(int64(len(replayed)))
+	obsQueueDepth.Add(int64(len(pending)))
 
 	jobCh := make(chan Job)
 	resCh := make(chan Result)
@@ -97,12 +116,17 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
+				obsJobsStarted.Inc()
 				resCh <- safeRun(ctx, j, run)
 			}
 		}()
 	}
 	go func() {
 		defer close(jobCh)
+		dispatched := 0
+		// Whatever was never dispatched (cancellation) leaves the queue
+		// when the run does.
+		defer func() { obsQueueDepth.Add(int64(dispatched - len(pending))) }()
 		for _, j := range pending {
 			// Checked non-blockingly first: when a worker is ready AND the
 			// context is done, the two-case select below would pick at
@@ -112,6 +136,8 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 			}
 			select {
 			case jobCh <- j:
+				dispatched++
+				obsQueueDepth.Add(-1)
 			case <-ctx.Done():
 				return
 			}
@@ -125,6 +151,14 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	results := make([]Result, 0, len(jobs))
 	results = append(results, cfg.Completed...)
 	for r := range resCh {
+		obsJobsCompleted.Inc()
+		obsJobSeconds.Observe(r.Elapsed.Seconds())
+		switch {
+		case r.Canceled:
+			obsJobsCanceled.Inc()
+		case r.Err != "":
+			obsJobsFailed.Inc()
+		}
 		if cfg.OnResult != nil {
 			cfg.OnResult(r)
 		}

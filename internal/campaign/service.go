@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"rescue/internal/obs"
 )
 
 // Service exposes a running campaign over HTTP: /status answers with the
@@ -26,11 +28,14 @@ type Service struct {
 	jobs    []Job
 	workers int
 
-	mu      sync.Mutex
-	results map[int]Result
-	sum     *Summary
-	runErr  error
-	done    chan struct{}
+	mu       sync.Mutex
+	results  map[int]Result
+	sum      *Summary
+	runErr   error
+	started  time.Time // zero until Run is called
+	finished time.Time // zero until the campaign ends
+	replayed int       // checkpoint-replayed results (not executed here)
+	done     chan struct{}
 }
 
 // drainTimeout bounds the graceful-shutdown drain of in-flight requests.
@@ -71,6 +76,9 @@ func (s *Service) Run(ctx context.Context, ck *Checkpoint) (*Summary, error) {
 			user(r)
 		}
 	}
+	s.mu.Lock()
+	s.started = time.Now()
+	s.mu.Unlock()
 	var sum *Summary
 	var err error
 	if ck != nil {
@@ -83,6 +91,7 @@ func (s *Service) Run(ctx context.Context, ck *Checkpoint) (*Summary, error) {
 	}
 	s.mu.Lock()
 	s.sum, s.runErr = sum, err
+	s.finished = time.Now()
 	s.mu.Unlock()
 	close(s.done)
 	return sum, err
@@ -105,6 +114,9 @@ func (s *Service) bind(ck *Checkpoint) error {
 	for _, r := range ck.Completed() {
 		s.record(r)
 	}
+	s.mu.Lock()
+	s.replayed = len(ck.Completed())
+	s.mu.Unlock()
 	return nil
 }
 
@@ -127,7 +139,15 @@ type ServiceStatus struct {
 	Failed    int    `json:"failed"`
 	Canceled  int    `json:"canceled,omitempty"`
 	Workers   int    `json:"workers"`
-	Error     string `json:"error,omitempty"`
+	// Replayed counts checkpoint-replayed results included in Completed;
+	// throughput is computed over the executed remainder only.
+	Replayed int `json:"replayed,omitempty"`
+	// ElapsedSec is wall-clock since Run started (frozen at completion);
+	// JobsPerSec is executed-jobs-so-far over that window — the
+	// throughput-so-far of the live campaign.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Error      string  `json:"error,omitempty"`
 
 	Quality     *QualityRollup     `json:"quality,omitempty"`
 	Reliability *ReliabilityRollup `json:"reliability,omitempty"`
@@ -151,6 +171,19 @@ func (s *Service) Status() ServiceStatus {
 		Reliability: agg.Reliability,
 		Safety:      agg.Safety,
 		Security:    agg.Security,
+	}
+	s.mu.Lock()
+	started, ended, replayed := s.started, s.finished, s.replayed
+	s.mu.Unlock()
+	st.Replayed = replayed
+	if !started.IsZero() {
+		if ended.IsZero() {
+			ended = time.Now()
+		}
+		st.ElapsedSec = ended.Sub(started).Seconds()
+		if executed := len(results) - replayed; executed > 0 && st.ElapsedSec > 0 {
+			st.JobsPerSec = float64(executed) / st.ElapsedSec
+		}
 	}
 	if finished {
 		switch {
@@ -240,11 +273,13 @@ func (s *Service) Jobs(offset, limit int) JobsPage {
 
 // Handler returns the service's HTTP API:
 //
-//	GET /status  — ServiceStatus JSON (rollup-so-far)
+//	GET /status  — ServiceStatus JSON (rollup-so-far + throughput-so-far)
 //	GET /jobs    — JobsPage JSON; query params offset, limit (default 100)
 //	GET /result  — the canonical campaign.json once done (409 while running)
+//	GET /metrics — the process-wide obs registry in Prometheus text format
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
 			return

@@ -109,6 +109,55 @@ func TestServiceLifecycle(t *testing.T) {
 
 func second(_ int, b []byte) []byte { return b }
 
+// TestServiceMetricsEndpoint scrapes /metrics after a completed run and
+// requires the Prometheus exposition to carry the cross-layer series —
+// campaign engine, simulation kernel, and artifact cache — plus the
+// throughput fields on /status. This is the end-to-end proof that the
+// obs wiring reaches every layer under a real campaign.
+func TestServiceMetricsEndpoint(t *testing.T) {
+	svc, err := NewService(testMatrix(), Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	if _, err := svc.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body := rec.Body.String()
+	for _, series := range []string{
+		"campaign_jobs_completed_total",
+		"campaign_queue_depth",
+		"sim_gate_evals_total",
+		"artifact_cache_hits_total",
+		"atpg_podem_calls_total",
+		"flow_stage_seconds_bucket",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics output lacks %s", series)
+		}
+	}
+	// The run just finished, so the completed counter must be non-zero
+	// and the queue drained back to its pre-run depth.
+	if strings.Contains(body, "campaign_jobs_completed_total 0\n") {
+		t.Error("campaign_jobs_completed_total still zero after a completed run")
+	}
+
+	st := decode[ServiceStatus](t, second(get(t, h, "/status")))
+	if st.ElapsedSec <= 0 || st.JobsPerSec <= 0 {
+		t.Fatalf("status throughput = elapsed %v jobs/s %v, want both > 0",
+			st.ElapsedSec, st.JobsPerSec)
+	}
+}
+
 // TestServiceConcurrentQueries hammers /status and /jobs from several
 // goroutines while the campaign is in flight — the race-detector
 // coverage for the live API against the worker pool.

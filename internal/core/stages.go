@@ -11,10 +11,24 @@ import (
 	"rescue/internal/fusa"
 	"rescue/internal/logic"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
 	"rescue/internal/sca"
 	"rescue/internal/seu"
 	"rescue/internal/slicing"
 )
+
+// stageSeconds holds one wall-clock histogram per Fig. 2 stage, as
+// flow_stage_seconds{stage="..."} series: the per-stage latency
+// trajectory every campaign job reports into.
+var stageSeconds = func() map[StageID]*obs.Histogram {
+	m := make(map[StageID]*obs.Histogram, int(numStages))
+	for s := StageQuality; s < numStages; s++ {
+		m[s] = obs.NewLabeledHistogram("flow_stage_seconds",
+			"Wall-clock of one flow stage execution.",
+			obs.DurationBuckets, `stage="`+s.String()+`"`)
+	}
+	return m
+}()
 
 // StageID identifies one independently-runnable stage of the Fig. 2 flow.
 // Stages share the same deterministic inputs (collapsed fault list,
@@ -251,9 +265,11 @@ func RunStages(ctx context.Context, cfg FlowConfig, stages ...StageID) (*Report,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		span := obs.StartSpan(stageSeconds[id])
 		if err := st.run(id, rep); err != nil {
 			return nil, err
 		}
+		span.End()
 		rep.Stages = append(rep.Stages, id.String())
 	}
 	return rep, nil

@@ -1,0 +1,92 @@
+package faultsim
+
+import (
+	"testing"
+	"time"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+	"rescue/internal/obs"
+)
+
+// flushCost replicates the exact obs operations Simulate performs once
+// per call — the entire instrumentation footprint of a session pass.
+func flushCost() {
+	obsGateEvals.Add(147268)
+	obsConeEvals.Add(140000)
+	obsDropped.Add(311)
+	obsSimPattrns.Add(64)
+}
+
+// TestObsOverheadBudget enforces the instrumentation discipline: the
+// registry is touched once per Simulate call, never per gate eval, so
+// the flush must cost well under the 3% overhead budget of the work it
+// accounts for. Measured as a ratio, so machine speed cancels out.
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	n := circuits.ArrayMultiplier(8)
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	pats := RandomPatterns(n, 64, 3)
+
+	const rounds = 20
+	simStart := time.Now()
+	for i := 0; i < rounds; i++ {
+		s, err := NewSession(n, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Simulate(pats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	simWall := time.Since(simStart)
+
+	flushStart := time.Now()
+	for i := 0; i < rounds*100; i++ { // ×100: resolve the tiny flush wall
+		flushCost()
+	}
+	flushWall := time.Since(flushStart) / 100
+
+	ratio := float64(flushWall) / float64(simWall)
+	t.Logf("simulate %v/round, obs flush %v/round, overhead %.5f%%",
+		simWall/rounds, flushWall/rounds, ratio*100)
+	if ratio > 0.03 {
+		t.Errorf("obs flush overhead %.3f%% exceeds the 3%% budget", ratio*100)
+	}
+}
+
+// BenchmarkObsOverhead reports the two sides of the budget next to each
+// other in benchstat output: one full Simulate pass vs the per-call
+// instrumentation flush.
+func BenchmarkObsOverhead(b *testing.B) {
+	n := circuits.ArrayMultiplier(8)
+	faults := fault.Collapse(n, fault.AllStuckAt(n))
+	pats := RandomPatterns(n, 64, 3)
+	b.Run("simulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := NewSession(n, faults)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Simulate(pats); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flush", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flushCost()
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		// A private registry: b.Run re-invokes this body at growing b.N,
+		// and re-registering the same name on obs.Default would panic.
+		h := obs.NewRegistry().Histogram("bench_obs_span_seconds", "span cost probe", obs.DurationBuckets)
+		for i := 0; i < b.N; i++ {
+			sp := obs.StartSpan(h)
+			sp.End()
+		}
+	})
+}

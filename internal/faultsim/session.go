@@ -7,7 +7,20 @@ import (
 	"rescue/internal/fault"
 	"rescue/internal/logic"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
 	"rescue/internal/sim"
+)
+
+// Session-level instrumentation. Counters are flushed once per Simulate
+// call from the exact aggregates the session already maintains — never
+// inside the per-cone loop — so the cost is a constant few atomic adds
+// per call regardless of fault count (asserted by BenchmarkObsOverhead).
+var (
+	obsSessions   = obs.NewCounter("faultsim_sessions_total", "Fault-simulation sessions constructed.")
+	obsGateEvals  = obs.NewCounter("sim_gate_evals_total", "Gate evaluations performed by the packed fault-simulation kernels (good passes + cone passes).")
+	obsConeEvals  = obs.NewCounter("sim_cone_evals_total", "Gate evaluations spent in cone-restricted faulty passes (subset of sim_gate_evals_total).")
+	obsDropped    = obs.NewCounter("faultsim_faults_dropped_total", "Faults dropped on first detection by fault-dropping sessions.")
+	obsSimPattrns = obs.NewCounter("faultsim_patterns_total", "Patterns simulated by fault-dropping sessions.")
 )
 
 // Session is a persistent fault-dropping simulation kernel. It keeps the
@@ -93,6 +106,7 @@ func NewSession(n *netlist.Netlist, faults fault.List) (*Session, error) {
 		}
 	}
 	s.Reset()
+	obsSessions.Inc()
 	return s, nil
 }
 
@@ -166,6 +180,14 @@ func (s *Session) Simulate(patterns []logic.Vector) (*SimResult, error) {
 	}
 	s.patterns += len(patterns)
 	s.gateEvals += res.GateEvals
+	// Flush the call's aggregates to the process-wide registry: total
+	// evals, the cone-restricted share (total minus one good pass per
+	// block), drops and patterns — four atomic adds per Simulate call.
+	goodEvals := int64((len(patterns)+63)/64) * s.comb
+	obsGateEvals.Add(res.GateEvals)
+	obsConeEvals.Add(res.GateEvals - goodEvals)
+	obsDropped.Add(int64(len(res.Detected)))
+	obsSimPattrns.Add(int64(len(patterns)))
 	return res, nil
 }
 

@@ -61,8 +61,10 @@ func (n *Netlist) FanoutConeOrdered(root int) (*Cone, error) {
 		return nil, err
 	}
 	if c, ok := n.coneCache[root]; ok {
+		obsConeHits.Inc()
 		return c, nil
 	}
+	obsConeMisses.Inc()
 	c := n.buildCone(root)
 	if n.coneCache == nil {
 		n.coneCache = make(map[int]*Cone)

@@ -8,6 +8,19 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"rescue/internal/obs"
+)
+
+// Cache effectiveness counters: the artifact cache backs the shared
+// compiled simulation machines, the cone cache the per-fault fanout
+// cones. Both are updated under their cache mutex, so the atomic add is
+// never the contention point.
+var (
+	obsArtifactHits   = obs.NewCounter("artifact_cache_hits_total", "Netlist artifact cache hits (shared compiled machines, collapsed fault lists).")
+	obsArtifactMisses = obs.NewCounter("artifact_cache_misses_total", "Netlist artifact cache misses (artifact built).")
+	obsConeHits       = obs.NewCounter("cone_cache_hits_total", "Fanout-cone cache hits.")
+	obsConeMisses     = obs.NewCounter("cone_cache_misses_total", "Fanout-cone cache misses (cone built).")
 )
 
 // GateType enumerates the supported cell types.
@@ -221,8 +234,10 @@ func (n *Netlist) Artifact(key string, build func() (any, error)) (any, error) {
 	n.artifactMu.Lock()
 	defer n.artifactMu.Unlock()
 	if v, ok := n.artifacts[key]; ok {
+		obsArtifactHits.Inc()
 		return v, nil
 	}
+	obsArtifactMisses.Inc()
 	v, err := build()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,289 @@
+// Package bench defines the machine-readable benchmark schema every
+// RESCUE wall-clock measurement reports in: one Result per measured run,
+// carrying named numeric metrics plus full provenance (git commit, host,
+// Go version, iteration count), serialised as BENCH_*.json trajectory
+// files that the CI regression gate compares against.
+//
+// A trajectory file is a JSON array of Results, oldest first; the gate
+// compares a freshly measured Result against the newest committed point.
+// The -timing outputs of rescue-campaign and rescue-atpg emit a single
+// Result object with the legacy flat field names aliased at the top
+// level (WriteLegacy), so pre-schema consumers keep parsing.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema identifies the current result shape.
+const Schema = "rescue-bench/v1"
+
+// Provenance records where and when a measurement ran — the facts needed
+// to judge whether two trajectory points are comparable.
+type Provenance struct {
+	GitCommit string `json:"git_commit"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	Host      string `json:"host"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	Timestamp string `json:"timestamp,omitempty"` // RFC3339, UTC
+}
+
+// Result is one benchmark measurement: a named set of numeric metrics
+// plus the provenance of the run that produced them. Params carries
+// non-numeric run configuration (circuit name, flags).
+type Result struct {
+	Schema     string             `json:"schema"`
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations,omitempty"`
+	Params     map[string]any     `json:"params,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Provenance Provenance         `json:"provenance"`
+}
+
+// CollectProvenance gathers the running process's provenance. The git
+// commit comes from `git rev-parse HEAD` in dir ("" = cwd) and degrades
+// to "unknown" outside a work tree — a measurement is still usable
+// without it, just not gateable against a committed trajectory.
+func CollectProvenance(dir string) Provenance {
+	p := Provenance{
+		GitCommit: "unknown",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Host = host
+	}
+	if out, err := gitOutput(dir, "rev-parse", "HEAD"); err == nil {
+		p.GitCommit = out
+	}
+	if out, err := gitOutput(dir, "status", "--porcelain"); err == nil {
+		p.GitDirty = out != ""
+	}
+	return p
+}
+
+func gitOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// New returns a Result shell with schema, name and provenance filled in.
+func New(name string, iterations int) *Result {
+	return &Result{
+		Schema:     Schema,
+		Name:       name,
+		Iterations: iterations,
+		Metrics:    make(map[string]float64),
+		Provenance: CollectProvenance(""),
+	}
+}
+
+// ReadTrajectory parses a trajectory file: either a JSON array of
+// Results (the committed BENCH_*.json shape) or a single Result object
+// (a -timing output). It returns the points oldest-first.
+func ReadTrajectory(path string) ([]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTrajectory(raw)
+}
+
+// ParseTrajectory decodes trajectory bytes (array or single object).
+func ParseTrajectory(raw []byte) ([]Result, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "[") {
+		var pts []Result
+		if err := json.Unmarshal(raw, &pts); err != nil {
+			return nil, fmt.Errorf("bench: parsing trajectory: %v", err)
+		}
+		return pts, nil
+	}
+	var pt Result
+	if err := json.Unmarshal(raw, &pt); err != nil {
+		return nil, fmt.Errorf("bench: parsing result: %v", err)
+	}
+	return []Result{pt}, nil
+}
+
+// WriteTrajectory writes points as an indented JSON array.
+func WriteTrajectory(path string, pts []Result) error {
+	raw, err := json.MarshalIndent(pts, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// AppendTrajectory appends pt to the trajectory at path, creating the
+// file when missing.
+func AppendTrajectory(path string, pt *Result) error {
+	pts, err := ReadTrajectory(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		pts = nil
+	}
+	return WriteTrajectory(path, append(pts, *pt))
+}
+
+// MarshalLegacy serialises a Result with its metrics and params aliased
+// as flat top-level fields next to the schema fields — the
+// compatibility shape -timing writes so existing consumers reading
+// e.g. .jobs_per_sec or .wall_ms keep working for one release.
+func MarshalLegacy(r *Result) ([]byte, error) {
+	flat := make(map[string]any, len(r.Metrics)+len(r.Params)+8)
+	for k, v := range r.Metrics {
+		flat[k] = legacyNumber(v)
+	}
+	for k, v := range r.Params {
+		flat[k] = v
+	}
+	flat["goos"] = r.Provenance.GOOS
+	flat["goarch"] = r.Provenance.GOARCH
+	flat["num_cpu"] = r.Provenance.NumCPU
+	flat["schema"] = r.Schema
+	flat["name"] = r.Name
+	if r.Iterations > 0 {
+		flat["iterations"] = r.Iterations
+	}
+	flat["metrics"] = r.Metrics
+	if len(r.Params) > 0 {
+		flat["params"] = r.Params
+	}
+	flat["provenance"] = r.Provenance
+	return json.MarshalIndent(flat, "", "  ")
+}
+
+// legacyNumber keeps integral metrics rendering as integers in the
+// legacy flat fields, matching the pre-schema -timing output.
+func legacyNumber(v float64) any {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return int64(v)
+	}
+	return v
+}
+
+// WriteLegacy writes MarshalLegacy output to path.
+func WriteLegacy(path string, r *Result) error {
+	raw, err := MarshalLegacy(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Direction states which way a metric is allowed to move.
+type Direction int
+
+const (
+	// HigherIsBetter gates a throughput-style metric (jobs_per_sec).
+	HigherIsBetter Direction = iota
+	// LowerIsBetter gates a cost-style metric (ns_per_gate_eval).
+	LowerIsBetter
+)
+
+// GateSpec selects one metric for regression gating.
+type GateSpec struct {
+	Metric    string
+	Direction Direction
+	// Tolerance is the allowed relative regression (0.25 = 25% worse
+	// than baseline before the gate trips) — the noise threshold for
+	// shared CI runners.
+	Tolerance float64
+}
+
+// ParseGateSpec parses "metric:higher:0.25" / "metric:lower:0.25"
+// (tolerance optional, default 0.25).
+func ParseGateSpec(s string) (GateSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+		return GateSpec{}, fmt.Errorf("bench: bad gate spec %q (want metric:higher|lower[:tolerance])", s)
+	}
+	g := GateSpec{Metric: parts[0], Tolerance: 0.25}
+	switch parts[1] {
+	case "higher":
+		g.Direction = HigherIsBetter
+	case "lower":
+		g.Direction = LowerIsBetter
+	default:
+		return GateSpec{}, fmt.Errorf("bench: bad gate direction %q in %q", parts[1], s)
+	}
+	if len(parts) == 3 {
+		var tol float64
+		if _, err := fmt.Sscanf(parts[2], "%g", &tol); err != nil || tol < 0 {
+			return GateSpec{}, fmt.Errorf("bench: bad gate tolerance %q in %q", parts[2], s)
+		}
+		g.Tolerance = tol
+	}
+	return g, nil
+}
+
+// Violation reports one gated metric that regressed beyond tolerance.
+type Violation struct {
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Regression is the relative change in the bad direction (0.3 =
+	// 30% worse than baseline).
+	Regression float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s regressed %.1f%%: baseline %g, current %g",
+		v.Metric, v.Regression*100, v.Baseline, v.Current)
+}
+
+// Compare gates current against baseline. Specs naming a metric absent
+// from either result are skipped (reported in the skipped list) — a new
+// metric cannot fail a gate before its first trajectory point is
+// committed.
+func Compare(baseline, current *Result, specs []GateSpec) (violations []Violation, skipped []string) {
+	for _, g := range specs {
+		base, okB := baseline.Metrics[g.Metric]
+		cur, okC := current.Metrics[g.Metric]
+		if !okB || !okC {
+			skipped = append(skipped, g.Metric)
+			continue
+		}
+		if base == 0 {
+			skipped = append(skipped, g.Metric)
+			continue
+		}
+		var reg float64
+		switch g.Direction {
+		case HigherIsBetter:
+			reg = (base - cur) / base
+		case LowerIsBetter:
+			reg = (cur - base) / base
+		}
+		if reg > g.Tolerance {
+			violations = append(violations, Violation{
+				Metric: g.Metric, Baseline: base, Current: cur, Regression: reg,
+			})
+		}
+	}
+	sort.Slice(violations, func(i, j int) bool { return violations[i].Metric < violations[j].Metric })
+	sort.Strings(skipped)
+	return violations, skipped
+}

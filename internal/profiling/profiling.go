@@ -8,8 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 )
 
 // Flags holds the profile destinations registered by AddFlags.
@@ -31,7 +34,16 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 // that finishes the CPU profile and writes the heap profile (after a
 // final GC, so the snapshot reflects retained memory, not garbage).
 // Callers must invoke it before exiting; deferring it AND calling it
-// explicitly before an os.Exit path is safe — it runs once.
+// explicitly before an os.Exit path is safe — it runs once (and is safe
+// to call from multiple goroutines).
+//
+// While a profile is active, Start also watches SIGINT and SIGTERM: on
+// either, the profiles are flushed and the signal is re-raised with the
+// watcher unregistered, so its normal disposition is preserved — a main
+// that handles the signal itself (rescue-campaign's graceful
+// cancellation) proceeds as before with the profile already safe on
+// disk, and a main that doesn't dies with the correct signal status
+// instead of leaving a truncated, unparsable profile.
 func (f *Flags) Start() (stop func(), err error) {
 	var cpuFile *os.File
 	if *f.CPU != "" {
@@ -44,27 +56,46 @@ func (f *Flags) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("profiling: %v", err)
 		}
 	}
-	stopped := false
-	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if *f.Mem != "" {
-			mf, err := os.Create(*f.Mem)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
-				return
+	var once sync.Once
+	done := make(chan struct{})
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
 			}
-			defer mf.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			if *f.Mem != "" {
+				mf, err := os.Create(*f.Mem)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+					return
+				}
+				defer mf.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(mf); err != nil {
+					fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				}
 			}
-		}
-	}, nil
+		})
+	}
+	if *f.CPU != "" || *f.Mem != "" {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			select {
+			case sig := <-ch:
+				stop()
+				// Hand the signal back to its normal disposition: other
+				// registered handlers (a graceful main) still receive the
+				// re-raise; with none, the process terminates with the
+				// correct signal status.
+				signal.Stop(ch)
+				raise(sig)
+			case <-done:
+				signal.Stop(ch)
+			}
+		}()
+	}
+	return stop, nil
 }

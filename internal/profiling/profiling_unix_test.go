@@ -1,0 +1,100 @@
+//go:build unix
+
+package profiling
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain diverts the re-exec'd child before the test runner: the
+// child starts a CPU profile, burns cycles, SIGTERMs itself and then
+// waits — only the flush watcher can terminate it.
+func TestMain(m *testing.M) {
+	if os.Getenv("PROFILING_TEST_CHILD") == "1" {
+		childMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func childMain() {
+	fs := flag.NewFlagSet("child", flag.ExitOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{
+		"-cpuprofile", os.Getenv("PROFILING_TEST_CPU"),
+		"-memprofile", os.Getenv("PROFILING_TEST_MEM"),
+	}); err != nil {
+		os.Exit(3)
+	}
+	if _, err := f.Start(); err != nil {
+		os.Exit(3)
+	}
+	// Burn enough CPU for the profiler to take samples.
+	deadline := time.Now().Add(250 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		x += len(os.Args)
+	}
+	_ = x
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		os.Exit(3)
+	}
+	// The watcher must flush and re-raise; if we are still alive after
+	// 5s the SIGTERM path is broken.
+	time.Sleep(5 * time.Second)
+	os.Exit(3)
+}
+
+// TestSignalFlushesProfiles kills a profiled child with SIGTERM (which
+// nothing else handles) and requires both that the process died of the
+// signal and that the flushed profiles on disk are valid gzip streams —
+// the -serve-under--cpuprofile interruption scenario.
+func TestSignalFlushesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"PROFILING_TEST_CHILD=1",
+		"PROFILING_TEST_CPU="+cpu,
+		"PROFILING_TEST_MEM="+mem,
+	)
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child did not die of a signal: err=%v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGTERM {
+		t.Fatalf("child exit state = %v, want death by SIGTERM", ee)
+	}
+	for _, path := range []string{cpu, mem} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+			t.Errorf("%s is not a gzip-framed profile (%d bytes)", path, len(raw))
+		}
+	}
+}
+
+func TestStopIdempotentWithoutProfiles(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ExitOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // second call must be a no-op, from any path
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package profiling
+
+import "os"
+
+// raise approximates signal re-delivery on platforms without
+// syscall.Kill: exit with the conventional fatal-signal status.
+func raise(sig os.Signal) {
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package profiling
+
+import (
+	"os"
+	"syscall"
+)
+
+// raise re-delivers sig to the current process after the flush watcher
+// has unregistered, restoring the signal's normal disposition.
+func raise(sig os.Signal) {
+	s, ok := sig.(syscall.Signal)
+	if !ok {
+		os.Exit(1)
+	}
+	_ = syscall.Kill(syscall.Getpid(), s)
+}

@@ -5,7 +5,15 @@ import (
 
 	"rescue/internal/logic"
 	"rescue/internal/netlist"
+	"rescue/internal/obs"
 )
+
+// obsCompiles counts actual netlist-to-SoA compilations (artifact-cache
+// misses of the compiled machine). The hot kernels below are
+// deliberately uninstrumented: gate-eval totals are flushed as
+// aggregates by the layers that already count them exactly
+// (faultsim.Session), never per gate — the obs overhead budget.
+var obsCompiles = obs.NewCounter("sim_compiles_total", "Netlist-to-SoA machine compilations performed.")
 
 // Compiled is a netlist compiled to a flat structure-of-arrays machine:
 // the representation every packed simulation pass executes. Instead of
@@ -134,6 +142,7 @@ func Compile(n *netlist.Netlist) (*Compiled, error) {
 
 // compile performs the actual netlist-to-SoA translation.
 func compile(n *netlist.Netlist) (*Compiled, error) {
+	obsCompiles.Inc()
 	order, err := n.TopoOrder()
 	if err != nil {
 		return nil, err
