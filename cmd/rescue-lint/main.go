@@ -1,0 +1,69 @@
+// Command rescue-lint runs the repo's invariant analyzers (see
+// internal/analysis) over the module and fails on any finding:
+//
+//	rescue-lint ./...
+//
+// Each finding reports file:line:col, the analyzer (invariant) name, a
+// one-line message, and the "why" citing the design invariant it
+// protects. Intentional violations are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or directly above) the offending line; an allow directive that
+// suppresses nothing is itself a finding. CI runs this as the `lint`
+// job; it must exit 0 on every commit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rescue/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rescue-lint: ")
+	quiet := flag.Bool("q", false, "suppress the per-finding why lines")
+	list := flag.Bool("analyzers", false, "list the analyzer suite and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wd, _ := os.Getwd()
+	findings := 0
+	for _, p := range pkgs {
+		for _, f := range analysis.Analyze(p, analyzers) {
+			findings++
+			pos := f.Pos
+			if rel, err := filepath.Rel(wd, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: %s: %s\n", pos, f.Analyzer, f.Message)
+			if !*quiet && f.Why != "" {
+				fmt.Printf("\twhy: %s\n", f.Why)
+			}
+		}
+	}
+	if findings > 0 {
+		log.Fatalf("%d finding(s) across %d package(s)", findings, len(pkgs))
+	}
+	fmt.Printf("rescue-lint: ok — %d packages clean under %d analyzers\n", len(pkgs), len(analyzers))
+}

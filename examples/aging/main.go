@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"sort"
 
 	"rescue/internal/aging"
 	"rescue/internal/circuits"
@@ -68,8 +69,15 @@ func main() {
 		}
 	}
 	fmt.Println("\n== IEEE 1687 network aging (10 years) ==")
+	rsnDuty := net.UsageDuty()
+	names := make([]string, 0, len(rsnDuty))
+	for name := range rsnDuty {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	worstName, worstF := "", 1.0
-	for name, d := range net.UsageDuty() {
+	for _, name := range names {
+		d := rsnDuty[name]
 		dv := math.Max(p.DeltaVth(d, 10), p.DeltaVth(1-d, 10))
 		f := p.DelayFactor(dv)
 		fmt.Printf("  %-10s open-duty %.2f -> delay factor %.4fx\n", name, d, f)

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Allow directives: //lint:allow <analyzer> <reason>
+//
+// A directive suppresses findings of the named analyzer on its own line
+// (trailing comment) or on the line directly below it (comment line).
+// The reason is mandatory — it is the audit trail the suppression is
+// traded for. A directive that suppresses nothing, or names an unknown
+// analyzer, is itself reported, so annotations cannot outlive the code
+// they excuse.
+
+const allowPrefix = "lint:allow"
+
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+	bad      string // non-empty: malformed, this is the finding message
+}
+
+type allowSet struct {
+	// byLine indexes directives by file and the line(s) they cover.
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+// collectAllows parses every //lint:allow directive in the package.
+func collectAllows(p *Package, analyzers []*Analyzer) *allowSet {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	s := &allowSet{byLine: make(map[string]map[int][]*allowDirective)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				d := &allowDirective{pos: p.position(c.Pos())}
+				name, reason, _ := strings.Cut(rest, " ")
+				switch {
+				case name == "":
+					d.bad = "allow directive is missing an analyzer name"
+				case !known[name]:
+					d.bad = "allow directive names unknown analyzer " + strconv.Quote(name)
+				case strings.TrimSpace(reason) == "":
+					d.bad = "allow directive for " + name + " is missing the mandatory reason"
+				default:
+					d.analyzer = name
+				}
+				s.all = append(s.all, d)
+				lines := s.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowDirective)
+					s.byLine[d.pos.Filename] = lines
+				}
+				// A trailing directive covers its own line; a directive on
+				// a line of its own covers the next. Registering both is
+				// harmless: a finding can only be on one of them.
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+				lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+			}
+		}
+	}
+	return s
+}
+
+// filter drops findings covered by a matching directive, marking the
+// directive used.
+func (s *allowSet) filter(fs []Finding) []Finding {
+	kept := fs[:0]
+	for _, f := range fs {
+		if d := s.match(f); d != nil {
+			d.used = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+func (s *allowSet) match(f Finding) *allowDirective {
+	for _, d := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if d.bad == "" && d.analyzer == f.Analyzer {
+			return d
+		}
+	}
+	return nil
+}
+
+// unused reports malformed directives and directives that suppressed
+// nothing as findings of the pseudo-analyzer "allow".
+func (s *allowSet) unused() []Finding {
+	var fs []Finding
+	for _, d := range s.all {
+		switch {
+		case d.bad != "":
+			fs = append(fs, Finding{Pos: d.pos, Analyzer: "allow", Message: d.bad,
+				Why: "the directive syntax is //lint:allow <analyzer> <reason>; the reason is the audit trail"})
+		case !d.used:
+			fs = append(fs, Finding{Pos: d.pos, Analyzer: "allow",
+				Message: "unused //lint:allow " + d.analyzer + " directive (nothing suppressed on this or the next line)",
+				Why:     "stale suppressions hide future violations; delete the directive with the code it excused"})
+		}
+	}
+	return fs
+}

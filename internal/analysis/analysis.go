@@ -1,0 +1,203 @@
+// Package analysis is the repo's static-analysis layer: a small driver
+// and four analyzers that mechanically enforce the invariants the rest
+// of the codebase states in prose — deterministic campaign aggregation,
+// zero-overhead simulation hot loops, fsync-before-observe durability,
+// and library hygiene. It is built purely on the standard library
+// (go/parser, go/ast, go/types, plus `go list` for package discovery),
+// keeping the module dependency-free.
+//
+// cmd/rescue-lint is the CLI front-end; CI runs it over the whole
+// module and fails on any finding. Intentional violations are
+// annotated in place with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line. The reason is
+// mandatory — the directive doubles as the audit trail — and a
+// directive that stops suppressing anything becomes a finding itself,
+// so stale annotations cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one invariant violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Why is the one-line rationale citing the design invariant. Left
+	// empty by analyzers, it defaults to the analyzer's Why.
+	Why string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in findings and allow directives.
+	Name string
+	// Doc is the one-line description shown by rescue-lint.
+	Doc string
+	// Why cites the design invariant findings default to.
+	Why string
+	// Run reports the analyzer's findings for one package.
+	Run func(p *Package) []Finding
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// All returns the analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, HotPath, Durability, Hygiene}
+}
+
+// EffectivePath is the package's import path with any fixture prefix
+// stripped: a test corpus package under .../testdata/src/rescue/... is
+// analyzed exactly as if it lived at rescue/... — which is how the
+// fixture packages impersonate the real sim, campaign and obs packages.
+func (p *Package) EffectivePath() string { return effPath(p.PkgPath) }
+
+func effPath(path string) string {
+	if i := strings.Index(path, "/testdata/src/"); i >= 0 {
+		return path[i+len("/testdata/src/"):]
+	}
+	return path
+}
+
+// Analyze runs the analyzers over one package, applies the package's
+// //lint:allow directives, and appends a finding for every directive
+// that suppressed nothing. Findings come back in file/position order.
+func Analyze(p *Package, analyzers []*Analyzer) []Finding {
+	var fs []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(p) {
+			if f.Why == "" {
+				f.Why = a.Why
+			}
+			fs = append(fs, f)
+		}
+	}
+	allows := collectAllows(p, analyzers)
+	fs = allows.filter(fs)
+	fs = append(fs, allows.unused()...)
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return fs
+}
+
+// position is a shorthand for the fset lookup every analyzer needs.
+func (p *Package) position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// importedPkg resolves an identifier to the import path of the package
+// it names, or "" if it is not a package name. The returned path is
+// fixture-normalized (EffectivePath semantics).
+func (p *Package) importedPkg(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return effPath(pn.Imported().Path())
+	}
+	return ""
+}
+
+// pkgCall reports whether call is pkg.Fn(...) for an imported package,
+// returning the normalized package path and function name.
+func (p *Package) pkgCall(call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	path := p.importedPkg(id)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// calleePkg returns the normalized package path the called function or
+// method is declared in, resolving both pkg.Fn(...) and value.Method(...)
+// forms; "" when unresolvable (builtins, func-typed values).
+func (p *Package) calleePkg(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if path := p.importedPkg(identOf(sel.X)); path != "" {
+		return path
+	}
+	if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+		return effPath(obj.Pkg().Path())
+	}
+	return ""
+}
+
+// identOf unwraps an expression to its leftmost identifier (x, x.y,
+// (*x).y, x[i].y all yield x); nil if none.
+func identOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isTypeParam reports whether t is a generic type parameter (method
+// calls through constraints are dispatched on concrete instantiations,
+// not interface values).
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture corpus under testdata/src/rescue/... is analyzed with the
+// full suite. Every expected finding is declared in place with a
+//
+//	// want "regex" ["regex" ...]
+//
+// comment on the finding's line; want+N anchors the expectation N lines
+// below the comment (needed for expectations about full-line directive
+// comments, which have no room for a trailing comment of their own).
+// Each regex is matched against the finding's "analyzer: message". The
+// test fails on any unmatched finding and any unsatisfied expectation,
+// so each analyzer's positive and negative cases live side by side in
+// compilable fixture packages that impersonate the real sim, campaign
+// and obs packages.
+
+var (
+	wantRe    = regexp.MustCompile(`want(\+\d+)?((?:\s+"[^"]*")+)`)
+	wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+func TestFixtures(t *testing.T) {
+	dirs := fixtureDirs(t)
+	pkgs, err := Load(".", dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loaded %d packages for %d fixture dirs", len(pkgs), len(dirs))
+	}
+	for _, p := range pkgs {
+		p := p
+		t.Run(p.EffectivePath(), func(t *testing.T) { checkFixture(t, p) })
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func checkFixture(t *testing.T, p *Package) {
+	t.Helper()
+	findings := Analyze(p, All())
+	wants := collectWants(p)
+
+	used := make([]bool, len(findings))
+	keys := make([]lineKey, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if !claim(findings, used, k, re) {
+				t.Errorf("%s:%d: no finding matching %q", filepath.Base(k.file), k.line, re)
+			}
+		}
+	}
+	for i, f := range findings {
+		if !used[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// claim marks the first unclaimed finding on k's line that re matches.
+func claim(findings []Finding, used []bool, k lineKey, re *regexp.Regexp) bool {
+	for i, f := range findings {
+		if used[i] || f.Pos.Filename != k.file || f.Pos.Line != k.line {
+			continue
+		}
+		if re.MatchString(f.Analyzer + ": " + f.Message) {
+			used[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the fixture package's want comments.
+func collectWants(p *Package) map[lineKey][]*regexp.Regexp {
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, _ := strconv.Atoi(m[1])
+					line += off
+				}
+				k := lineKey{file: pos.Filename, line: line}
+				for _, am := range wantArgRe.FindAllStringSubmatch(m[2], -1) {
+					wants[k] = append(wants[k], regexp.MustCompile(am[1]))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureDirs enumerates the fixture package directories as explicit
+// `go list` patterns — testdata is invisible to ./... wildcards, so the
+// corpus never leaks into regular builds, but explicit paths load fine.
+func fixtureDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	root := filepath.Join("testdata", "src")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := "./" + filepath.ToSlash(filepath.Dir(path))
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("fixture corpus incomplete: found %d package dirs under %s", len(dirs), root)
+	}
+	return dirs
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The determinism analyzer enforces the repo's central guarantee:
+// campaign aggregation is byte-identical at any parallelism level and
+// across resume (PR 1/3/5). Three defect classes break it silently:
+//
+//  1. Draws from math/rand's process-global source — shared, unseeded
+//     state; every stream must come from rand.New(rand.NewSource(seed))
+//     with a seed derived from job coordinates.
+//  2. Wall-clock reads (time.Now/Since/Until) in library packages —
+//     wall-clock belongs to the observability layer (internal/obs,
+//     internal/obs/bench, internal/profiling) and to main packages;
+//     anywhere else it leaks nondeterminism toward serialized output.
+//  3. Iterating a map while appending to an outer slice, sending on a
+//     channel, or writing output — Go randomizes map order, so the
+//     result depends on the run unless the collected slice is sorted
+//     afterwards (the analyzer recognizes that repair and stays quiet).
+
+// wallClockAllowed lists the packages that own wall-clock reads.
+var wallClockAllowed = map[string]bool{
+	"rescue/internal/obs":       true,
+	"rescue/internal/obs/bench": true,
+	"rescue/internal/profiling": true,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Determinism flags unseeded randomness, stray wall-clock reads and
+// order-dependent map iteration.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "campaign outputs must be byte-identical at any parallelism and across resume",
+	Why:  "byte-identical aggregation (DESIGN.md: determinism) breaks on any run-to-run varying input",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Package) []Finding {
+	var fs []Finding
+	clockFree := !wallClockAllowed[p.EffectivePath()] && p.Name != "main"
+	for _, file := range p.Files {
+		bodies := functionBodies(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				pkg, fn, ok := p.pkgCall(x)
+				if !ok {
+					return true
+				}
+				if pkg == "math/rand" && globalRandFuncs[fn] {
+					fs = append(fs, Finding{
+						Pos:      p.position(x.Pos()),
+						Analyzer: "determinism",
+						Message:  "rand." + fn + " draws from the process-global source",
+						Why:      "derive a stream with rand.New(rand.NewSource(seed)) from job coordinates so results are seed-reproducible",
+					})
+				}
+				if clockFree && pkg == "time" && wallClockFuncs[fn] {
+					fs = append(fs, Finding{
+						Pos:      p.position(x.Pos()),
+						Analyzer: "determinism",
+						Message:  "wall-clock read (time." + fn + ") in a library package",
+						Why:      "wall-clock belongs to internal/obs spans, internal/profiling or main packages; library results must not vary run to run",
+					})
+				}
+			case *ast.RangeStmt:
+				if isMap(p.Info.TypeOf(x.X)) {
+					fs = append(fs, p.checkMapRange(x, enclosingBody(bodies, x))...)
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// checkMapRange flags order-dependent effects in the body of a range
+// over a map: appends that grow a slice declared outside the loop
+// (unless that slice is sorted later in the same function), channel
+// sends, and writes to an outer writer or to standard output.
+func (p *Package) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) []Finding {
+	var fs []Finding
+	report := func(pos token.Pos, msg, why string) {
+		fs = append(fs, Finding{Pos: p.position(pos), Analyzer: "determinism", Message: msg, Why: why})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			report(x.Pos(), "channel send inside map iteration",
+				"map order is randomized; the receiver observes a different order every run")
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !p.isBuiltinAppend(call) || i >= len(x.Lhs) {
+					continue
+				}
+				obj := p.objectOf(x.Lhs[i])
+				if obj == nil || declaredWithin(obj, rs) {
+					continue
+				}
+				if fnBody != nil && p.sortedAfter(fnBody, rs, obj) {
+					continue
+				}
+				report(x.Pos(), "append to "+obj.Name()+" inside map iteration without a later sort",
+					"map order is randomized; collect then sort (cf. obs.WritePrometheus), or range over sorted keys")
+			}
+		case *ast.CallExpr:
+			fs = append(fs, p.checkMapRangeWrite(x, rs)...)
+		}
+		return true
+	})
+	return fs
+}
+
+// checkMapRangeWrite flags output produced while iterating a map:
+// fmt.Print* (stdout), and fmt.Fprint*/Write-family calls whose
+// destination outlives the loop.
+func (p *Package) checkMapRangeWrite(call *ast.CallExpr, rs *ast.RangeStmt) []Finding {
+	why := "map order is randomized; emit from sorted keys instead"
+	if pkg, fn, ok := p.pkgCall(call); ok && pkg == "fmt" {
+		if strings.HasPrefix(fn, "Print") {
+			return []Finding{{Pos: p.position(call.Pos()), Analyzer: "determinism",
+				Message: "fmt." + fn + " inside map iteration writes output in random order", Why: why}}
+		}
+		if strings.HasPrefix(fn, "Fprint") && len(call.Args) > 0 {
+			if obj := p.objectOf(call.Args[0]); obj != nil && !declaredWithin(obj, rs) {
+				return []Finding{{Pos: p.position(call.Pos()), Analyzer: "determinism",
+					Message: "fmt." + fn + " to " + obj.Name() + " inside map iteration writes output in random order", Why: why}}
+			}
+		}
+		return nil
+	}
+	// Write-family methods on the standard writers (strings.Builder,
+	// bytes.Buffer, bufio.Writer, io.Writer, *os.File).
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeMethods[sel.Sel.Name] {
+		return nil
+	}
+	if !stdWriterPkgs[p.calleePkg(call)] {
+		return nil
+	}
+	if obj := p.objectOf(sel.X); obj != nil && !declaredWithin(obj, rs) {
+		return []Finding{{Pos: p.position(call.Pos()), Analyzer: "determinism",
+			Message: sel.Sel.Name + " on " + obj.Name() + " inside map iteration writes output in random order", Why: why}}
+	}
+	return nil
+}
+
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+var stdWriterPkgs = map[string]bool{
+	"strings": true, "bytes": true, "bufio": true, "io": true, "os": true,
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func (p *Package) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := p.Info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// objectOf resolves an expression to the object of its leftmost
+// identifier.
+func (p *Package) objectOf(e ast.Expr) types.Object {
+	id := identOf(e)
+	if id == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// declaredWithin reports whether obj is declared inside node's span —
+// an object scoped to the loop body cannot leak iteration order out.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedAfter reports whether, later in the enclosing function body,
+// obj is passed to a sort.* or slices.Sort* call — the canonical
+// collect-then-sort repair for map iteration.
+func (p *Package) sortedAfter(body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || found {
+			return !found
+		}
+		pkg, fn, ok := p.pkgCall(call)
+		if !ok {
+			return true
+		}
+		isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(fn, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			argObj := p.objectOf(arg)
+			if argObj == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// functionBodies collects every function body in the file (declarations
+// and literals) for enclosing-scope lookups.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				bodies = append(bodies, x.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, x.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// enclosingBody returns the smallest function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || b.Pos() > best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}

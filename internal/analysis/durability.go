@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// The durability analyzer protects PR 5's crash-safety contract: every
+// record of a campaign run directory — the checkpoint log and
+// campaign.json — is fsync'd (or atomically renamed into place) before
+// any observer sees the result it carries. That contract lives entirely
+// in internal/campaign/checkpoint.go (Checkpoint.append, and
+// writeFileAtomic). Direct file writes anywhere else in the package
+// would bypass it, so they are flagged wholesale: reads are free,
+// writes go through the blessed helpers.
+
+// durabilityPkg is the package under contract; blessedFiles hold the
+// fsync/atomic-write helpers and the lock plumbing that operates on the
+// log's file descriptor.
+const durabilityPkg = "rescue/internal/campaign"
+
+func blessedDurabilityFile(name string) bool {
+	return name == "checkpoint.go" || strings.HasPrefix(name, "checkpoint_lock_")
+}
+
+// osWriteFuncs are the os package entry points that create or mutate
+// files.
+var osWriteFuncs = map[string]bool{
+	"Create": true, "CreateTemp": true, "OpenFile": true, "WriteFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Truncate": true,
+}
+
+// fileWriteMethods are the *os.File methods that mutate the file.
+var fileWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "Truncate": true,
+}
+
+// Durability flags direct file mutation in internal/campaign outside
+// the checkpoint helpers.
+var Durability = &Analyzer{
+	Name: "durability",
+	Doc:  "campaign run-directory writes go through the fsync'd checkpoint helpers",
+	Why:  "a result must be durable before any observer sees it (PR 5); only checkpoint.go's append/writeFileAtomic guarantee that",
+	Run:  runDurability,
+}
+
+func runDurability(p *Package) []Finding {
+	if p.EffectivePath() != durabilityPkg {
+		return nil
+	}
+	var fs []Finding
+	for _, file := range p.Files {
+		name := filepath.Base(p.position(file.Pos()).Filename)
+		if blessedDurabilityFile(name) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, fn, ok := p.pkgCall(call); ok && pkg == "os" && osWriteFuncs[fn] {
+				fs = append(fs, Finding{Pos: p.position(call.Pos()), Analyzer: "durability",
+					Message: "direct os." + fn + " outside the checkpoint helpers"})
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !fileWriteMethods[sel.Sel.Name] {
+				return true
+			}
+			if recv := p.Info.TypeOf(sel.X); recv != nil && isOSFile(recv.String()) {
+				fs = append(fs, Finding{Pos: p.position(call.Pos()), Analyzer: "durability",
+					Message: "direct (*os.File)." + sel.Sel.Name + " outside the checkpoint helpers"})
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+func isOSFile(typeName string) bool {
+	return typeName == "*os.File" || typeName == "os.File"
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The hygiene analyzer keeps the library layers clean:
+//
+//  1. obs metric registration happens at package level (var initializer
+//     or init) — the obs registry panics on conflicting re-registration,
+//     so a registration reached per-call is a latent crash and a metric
+//     whose lifetime no scrape can rely on.
+//  2. internal/ library packages never print to standard output —
+//     results are return values; rendering belongs to cmd/ front-ends.
+//     (The campaign service writes HTTP responses; that is not stdout.)
+
+// registrationFuncs are the obs entry points that register a series.
+var registrationFuncs = map[string]bool{
+	"NewCounter": true, "NewGauge": true, "NewHistogram": true,
+	"NewLabeledHistogram": true, "Counter": true, "Gauge": true,
+	"Histogram": true, "LabeledCounter": true, "LabeledHistogram": true,
+}
+
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// Hygiene flags runtime metric registration and stdout writes in
+// library packages.
+var Hygiene = &Analyzer{
+	Name: "hygiene",
+	Doc:  "metric registration is init-time; internal packages never print to stdout",
+	Why:  "per-call registration panics the obs registry on reuse; stdout from a library corrupts front-end output",
+	Run:  runHygiene,
+}
+
+func runHygiene(p *Package) []Finding {
+	eff := p.EffectivePath()
+	if !strings.HasPrefix(eff, "rescue/internal/") {
+		return nil
+	}
+	// The obs package itself hosts the registration helpers.
+	checkRegistration := eff != "rescue/internal/obs"
+	var fs []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isInit := fd.Name.Name == "init" && fd.Recv == nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fs = append(fs, p.checkPrint(call)...)
+				if checkRegistration && !isInit {
+					fs = append(fs, p.checkRegistration(call, fd.Name.Name)...)
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+func (p *Package) checkPrint(call *ast.CallExpr) []Finding {
+	if pkg, fn, ok := p.pkgCall(call); ok && pkg == "fmt" && printFuncs[fn] {
+		return []Finding{{Pos: p.position(call.Pos()), Analyzer: "hygiene",
+			Message: "fmt." + fn + " writes to stdout from a library package",
+			Why:     "return values (or render into a caller-supplied writer); stdout belongs to cmd/ front-ends"}}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "println" || id.Name == "print") {
+		if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+			return []Finding{{Pos: p.position(call.Pos()), Analyzer: "hygiene",
+				Message: "builtin " + id.Name + " in a library package",
+				Why:     "builtin print goes to stderr unbuffered and survives into release builds; use returned values or obs"}}
+		}
+	}
+	return nil
+}
+
+func (p *Package) checkRegistration(call *ast.CallExpr, inFunc string) []Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registrationFuncs[sel.Sel.Name] {
+		return nil
+	}
+	if p.calleePkg(call) != "rescue/internal/obs" {
+		return nil
+	}
+	return []Finding{{Pos: p.position(call.Pos()), Analyzer: "hygiene",
+		Message: "obs metric registration inside function " + inFunc,
+		Why:     "register in a package-level var or init: the registry panics on conflicting re-registration, and scrapes need the series to exist from startup"}}
+}

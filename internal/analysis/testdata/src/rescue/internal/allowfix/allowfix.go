@@ -1,0 +1,33 @@
+// Package allowfix exercises the //lint:allow directive machinery:
+// suppression on the directive's own line and the line below it, the
+// mandatory reason, unknown analyzer names and stale directives.
+package allowfix
+
+import "time"
+
+// Deadline is excused by a directive on the preceding line.
+func Deadline() time.Time {
+	//lint:allow determinism fixture: exercising an allow on the preceding line
+	return time.Now()
+}
+
+// Stamp is excused by a trailing directive.
+func Stamp() time.Time {
+	return time.Now() //lint:allow determinism fixture: exercising a trailing allow
+}
+
+// Mismatch names the wrong analyzer: the finding survives and the
+// directive goes stale.
+func Mismatch() time.Time {
+	//lint:allow hygiene fixture: wrong analyzer, suppresses nothing // want "allow: unused //lint:allow hygiene directive"
+	return time.Now() // want "determinism: wall-clock read"
+}
+
+// want+1 "allow: allow directive is missing an analyzer name"
+//lint:allow
+
+// want+1 "allow: allow directive names unknown analyzer"
+//lint:allow nosuch fixture: unknown analyzer name
+
+// want+1 "allow: allow directive for determinism is missing the mandatory reason"
+//lint:allow determinism

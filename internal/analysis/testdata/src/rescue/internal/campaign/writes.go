@@ -1,0 +1,30 @@
+// Package campaign is the durability fixture: direct file mutation is
+// flagged everywhere in the package except the blessed checkpoint.go
+// helpers (see checkpoint.go alongside this file).
+package campaign
+
+import "os"
+
+// SaveSummary writes campaign output directly, bypassing the fsync'd
+// helpers.
+func SaveSummary(dir string, data []byte) error {
+	f, err := os.Create(dir + "/campaign.json") // want "durability: direct os.Create outside the checkpoint helpers"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil { // want "durability: direct \(\*os.File\).Write outside the checkpoint helpers"
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DropLog removes the checkpoint log in place.
+func DropLog(path string) error {
+	return os.Remove(path) // want "durability: direct os.Remove outside the checkpoint helpers"
+}
+
+// LoadSummary only reads; reads are free.
+func LoadSummary(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,75 @@
+// Package detfix exercises the determinism analyzer: unseeded global
+// randomness, wall-clock reads and order-dependent map iteration, each
+// next to its corrected form.
+package detfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(6) // want "determinism: rand.Intn draws from the process-global source"
+}
+
+// SeededRand derives its stream from an explicit seed: the required form.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// WallClock reads the clock from a library package.
+func WallClock() time.Time {
+	return time.Now() // want "determinism: wall-clock read \(time.Now\) in a library package"
+}
+
+// Keys collects map keys without sorting them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "determinism: append to out inside map iteration without a later sort"
+	}
+	return out
+}
+
+// SortedKeys collects then sorts — the recognized repair.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Send forwards map entries on a channel in iteration order.
+func Send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "determinism: channel send inside map iteration"
+	}
+}
+
+// Render writes entries to an outer builder while iterating.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want "determinism: fmt.Fprintf to b inside map iteration writes output in random order"
+		b.WriteString(";")               // want "determinism: WriteString on b inside map iteration writes output in random order"
+	}
+	return b.String()
+}
+
+// LocalAppend grows a slice scoped to the loop body: order cannot leak.
+func LocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+// Package hygfix exercises the hygiene analyzer: init-time metric
+// registration and library stdout discipline.
+package hygfix
+
+import (
+	"fmt"
+	"io"
+
+	"rescue/internal/analysis/testdata/src/rescue/internal/obs"
+)
+
+// Registered in a package-level var: the blessed form.
+var hits = obs.NewCounter("fixture_hits_total", "Fixture hits.")
+
+var lazy *obs.Counter
+
+// Registration in init is equally fine.
+func init() {
+	lazy = obs.NewCounter("fixture_lazy_total", "Registered in init.")
+}
+
+// Touch registers a metric per call — a latent registry panic.
+func Touch(name string) *obs.Counter {
+	return obs.NewCounter(name, "per-call registration") // want "hygiene: obs metric registration inside function Touch"
+}
+
+// Report prints from a library package.
+func Report(n int) {
+	hits.Inc()
+	fmt.Println("jobs:", n) // want "hygiene: fmt.Println writes to stdout from a library package"
+	println("debug", n)     // want "hygiene: builtin println in a library package"
+}
+
+// Render writes into a caller-supplied writer: rendering stays with the
+// caller, so this passes.
+func Render(w io.Writer, n int) {
+	fmt.Fprintln(w, "jobs:", n)
+}

@@ -1,0 +1,22 @@
+// Package obs is a minimal stand-in for the real observability layer:
+// just enough surface (a registration constructor and a counter) for
+// the fixture packages to exercise the hotpath and hygiene analyzers.
+// Its import path normalizes to rescue/internal/obs under
+// EffectivePath, so callees resolve exactly as in the real tree.
+package obs
+
+// Counter is a monotonically increasing series.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// NewCounter registers a counter.
+func NewCounter(name, help string) *Counter {
+	_ = name
+	_ = help
+	return &Counter{}
+}

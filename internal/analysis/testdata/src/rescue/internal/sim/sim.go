@@ -1,0 +1,62 @@
+// Package sim is the hotpath fixture: its import path normalizes to
+// rescue/internal/sim, so the declared kernel names (Run, RunV, the
+// EvalGate prefix, ...) are checked while every other function is not.
+package sim
+
+import (
+	"fmt"
+
+	"rescue/internal/analysis/testdata/src/rescue/internal/obs"
+)
+
+var obsEvals = obs.NewCounter("fixture_evals_total", "Gate evaluations.")
+
+// Run is a declared kernel function; each construct below is a
+// violation of the zero-overhead discipline.
+func Run(values []int, widths map[int]int, s fmt.Stringer) {
+	get := func(i int) int { return values[i] } // want "hotpath: closure allocation in kernel function Run"
+	_ = get
+	_ = widths[0]                      // want "hotpath: map access in kernel function Run"
+	_ = fmt.Sprintf("%d", len(values)) // want "hotpath: fmt use in kernel function Run"
+	for i := range values {
+		values[i]++
+		obsEvals.Inc() // want "hotpath: obs call inside a per-gate loop in kernel function Run"
+	}
+	_ = s.String() // want "hotpath: interface-dispatched call String in kernel function Run"
+}
+
+// RunV flushes its aggregate once after the loop — the blessed pattern.
+func RunV(values []int) {
+	n := 0
+	for i := range values {
+		values[i]++
+		n++
+	}
+	obsEvals.Add(int64(n))
+}
+
+// EvalGateScratch exercises the map-operation checks through the
+// EvalGate hot-name prefix.
+func EvalGateScratch(ids []int) int {
+	seen := make(map[int]bool, len(ids)) // want "hotpath: map allocation in kernel function EvalGateScratch"
+	for _, id := range ids {
+		seen[id] = true // want "hotpath: map access in kernel function EvalGateScratch"
+	}
+	delete(seen, 0) // want "hotpath: map delete in kernel function EvalGateScratch"
+	n := 0
+	for range seen { // want "hotpath: map iteration in kernel function EvalGateScratch"
+		n++
+	}
+	return n
+}
+
+// helper is not a declared kernel function: the same constructs pass.
+func helper(widths map[int]int) []int {
+	var out []int
+	f := func(i int) int { return i * i }
+	for i := 0; i < 4; i++ {
+		out = append(out, f(i))
+	}
+	_ = fmt.Sprintf("%d", widths[0])
+	return out
+}

@@ -152,7 +152,6 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	results = append(results, cfg.Completed...)
 	for r := range resCh {
 		obsJobsCompleted.Inc()
-		obsJobSeconds.Observe(r.Elapsed.Seconds())
 		switch {
 		case r.Canceled:
 			obsJobsCanceled.Inc()
@@ -175,14 +174,18 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 }
 
 // safeRun shields the worker pool from a panicking job: the panic becomes
-// that job's error result and the remaining jobs keep running.
+// that job's error result and the remaining jobs keep running. The job's
+// wall-clock is measured by an obs span — ending it both records the
+// campaign_job_seconds histogram and yields the Elapsed the result
+// carries — so the engine itself never reads the clock (rescue-lint's
+// determinism pass keeps it that way).
 func safeRun(ctx context.Context, j Job, run func(context.Context, Job) Result) (res Result) {
-	start := time.Now()
+	sp := obs.StartSpan(obsJobSeconds)
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Job: j, Err: fmt.Sprintf("panic: %v", r)}
 		}
-		res.Elapsed = time.Since(start)
+		res.Elapsed = sp.End()
 	}()
 	return run(ctx, j)
 }

@@ -77,6 +77,7 @@ func (s *Service) Run(ctx context.Context, ck *Checkpoint) (*Summary, error) {
 		}
 	}
 	s.mu.Lock()
+	//lint:allow determinism live /status throughput display only; never serialized into campaign.json
 	s.started = time.Now()
 	s.mu.Unlock()
 	var sum *Summary
@@ -91,6 +92,7 @@ func (s *Service) Run(ctx context.Context, ck *Checkpoint) (*Summary, error) {
 	}
 	s.mu.Lock()
 	s.sum, s.runErr = sum, err
+	//lint:allow determinism live /status throughput display only; never serialized into campaign.json
 	s.finished = time.Now()
 	s.mu.Unlock()
 	close(s.done)
@@ -178,6 +180,7 @@ func (s *Service) Status() ServiceStatus {
 	st.Replayed = replayed
 	if !started.IsZero() {
 		if ended.IsZero() {
+			//lint:allow determinism live /status throughput display only; never serialized into campaign.json
 			ended = time.Now()
 		}
 		st.ElapsedSec = ended.Sub(started).Seconds()

@@ -7,6 +7,7 @@ package circuits
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"rescue/internal/netlist"
@@ -427,11 +428,6 @@ func Names() []string {
 	for k := range Registry {
 		out = append(out, k)
 	}
-	// insertion sort keeps this dependency-free and the list is tiny
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }

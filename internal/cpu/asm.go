@@ -3,6 +3,7 @@ package cpu
 import (
 	"bufio"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -245,6 +246,9 @@ func Disassemble(p *Program) string {
 	labelAt := make(map[int][]string)
 	for name, idx := range p.Labels {
 		labelAt[idx] = append(labelAt[idx], name)
+	}
+	for i := range labelAt {
+		sort.Strings(labelAt[i])
 	}
 	for i, inst := range p.Insts {
 		for _, l := range labelAt[i] {

@@ -11,6 +11,7 @@ package rsn
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 )
 
@@ -143,18 +144,13 @@ func (n *Network) Node(name string) (*Node, bool) {
 	return node, ok
 }
 
-// Names returns all node names (sorted deterministically by insertion of
-// a simple insertion sort to stay dependency-free).
+// Names returns all node names, sorted.
 func (n *Network) Names() []string {
 	out := make([]string, 0, len(n.nodes))
 	for k := range n.nodes {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

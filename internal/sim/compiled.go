@@ -213,6 +213,13 @@ func (c *Compiled) newWords() []logic.Word { return make([]logic.Word, len(c.cod
 // so concurrent machines sharing one Compiled never contend.
 func (c *Compiled) newScratch() []logic.Word { return make([]logic.Word, c.maxFanin) }
 
+// unhandledOpcode builds the panic message for a corrupt opcode out of
+// line, keeping the kernel functions themselves fmt-free (enforced by
+// rescue-lint's hotpath pass).
+func unhandledOpcode(op opcode) string {
+	return fmt.Sprintf("sim: unhandled opcode %d", op)
+}
+
 // evalOpW evaluates one gate whose fanin values are read from words by
 // index — the closure-free hot kernel of every full pass. The two-input
 // opcodes (the bulk of any mapped netlist) dispatch straight to two
@@ -265,7 +272,7 @@ func evalOpW(op opcode, fan []int32, words []logic.Word) logic.Word {
 		}
 		return acc
 	}
-	panic(fmt.Sprintf("sim: unhandled opcode %d", op))
+	panic(unhandledOpcode(op))
 }
 
 // evalOpVals evaluates one gate from already-gathered fanin values — the
@@ -329,7 +336,7 @@ func evalOpV(op opcode, fan []int32, vals []logic.V) logic.V {
 		}
 		return acc
 	}
-	panic(fmt.Sprintf("sim: unhandled opcode %d", op))
+	panic(unhandledOpcode(op))
 }
 
 // evalOpValsV is the scalar mirror of evalOpVals: one gate evaluated

@@ -79,7 +79,14 @@ func evalKernel[T any, O valueOps[T]](ops O, t netlist.GateType, nfanin int, val
 	case netlist.And, netlist.Or, netlist.Xor:
 		// accumulated value is final
 	default:
-		panic(fmt.Sprintf("sim: unhandled gate type %v", t))
+		panic(unhandledGateType(t))
 	}
 	return acc
+}
+
+// unhandledGateType builds the panic message for a non-combinational or
+// unknown gate type out of line, keeping evalKernel fmt-free (enforced
+// by rescue-lint's hotpath pass).
+func unhandledGateType(t netlist.GateType) string {
+	return fmt.Sprintf("sim: unhandled gate type %v", t)
 }

@@ -76,6 +76,7 @@ func evalGateW(g *netlist.Gate, get func(int) logic.Word) logic.Word {
 	if g.Type == netlist.Input || g.Type == netlist.DFF {
 		return get(g.ID)
 	}
+	//lint:allow hotpath interpreted-oracle adapter: the closure feeds the shared evalKernel; the compiled machine (compiled.go) is the measured hot path
 	return evalKernel(wordOps{}, g.Type, len(g.Fanin), func(i int) logic.Word {
 		return get(g.Fanin[i])
 	})
@@ -84,6 +85,7 @@ func evalGateW(g *netlist.Gate, get func(int) logic.Word) logic.Word {
 // evalGateWPin evaluates g where exactly the pin-th fanin sees pinVal and
 // all other fanins see their true values (even if driven by the same net).
 func evalGateWPin(g *netlist.Gate, getTrue func(int) logic.Word, pin int, pinVal logic.Word) logic.Word {
+	//lint:allow hotpath interpreted-oracle adapter: the closure feeds the shared evalKernel; the compiled machine (compiled.go) is the measured hot path
 	return evalKernel(wordOps{}, g.Type, len(g.Fanin), func(i int) logic.Word {
 		if i == pin {
 			return pinVal

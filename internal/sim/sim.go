@@ -82,6 +82,7 @@ func EvalGate(g *netlist.Gate, get func(int) logic.V) logic.V {
 	if g.Type == netlist.Input || g.Type == netlist.DFF {
 		return get(g.ID) // held values; not recomputed combinationally
 	}
+	//lint:allow hotpath interpreted-oracle adapter: the closure feeds the shared evalKernel; the compiled machine (compiled.go) is the measured hot path
 	return evalKernel(scalarOps{}, g.Type, len(g.Fanin), func(i int) logic.V {
 		return get(g.Fanin[i])
 	})
@@ -93,6 +94,7 @@ func EvalGate(g *netlist.Gate, get func(int) logic.V) logic.V {
 // sequential stuck-at injection. The distinction matters when one driver
 // feeds several pins of the same gate: only the faulted pin is overridden.
 func EvalGateWithPin(g *netlist.Gate, get func(int) logic.V, pin int, pinVal logic.V) logic.V {
+	//lint:allow hotpath interpreted-oracle adapter: the closure feeds the shared evalKernel; the compiled machine (compiled.go) is the measured hot path
 	return evalKernel(scalarOps{}, g.Type, len(g.Fanin), func(i int) logic.V {
 		if i == pin {
 			return pinVal
