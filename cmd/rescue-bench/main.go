@@ -6,7 +6,9 @@
 // exact work counters sampled from the obs registry:
 //
 //	rescue-bench -bench kernel -o BENCH_kernel.json
-//	    fixed-work mul8 compiled cone sweep; reports ns_per_gate_eval
+//	    fixed-work mul8 wide-block cone sweep (256 patterns per pass);
+//	    reports ns_per_gate_eval in gate-word units — one gate over one
+//	    64-pattern word — so points are comparable across kernel widths
 //	    (best of -iterations samples — the simulation-kernel trajectory)
 //	rescue-bench -bench campaign -o BENCH_campaign.json
 //	    full-registry holistic campaign; reports jobs_per_sec (best of
@@ -15,8 +17,9 @@
 // -append grows the trajectory file instead of replacing it, which is
 // how committed BENCH_*.json files accumulate one point per PR.
 //
-// Gate mode compares a fresh measurement against the newest committed
-// trajectory point and reports regressions beyond the noise tolerance:
+// Gate mode compares a fresh measurement against the per-metric median
+// of the committed trajectory (robust to one anomalously fast or slow
+// committed point) and reports regressions beyond the noise tolerance:
 //
 //	rescue-bench -gate -baseline BENCH_campaign.json -current new.json
 //
@@ -107,12 +110,18 @@ func emit(res *bench.Result, out string, appendTraj bool) error {
 }
 
 // benchKernel is the fixed-work simulation-kernel measurement: the mul8
-// all-sites compiled cone sweep (the fault-simulation hot loop), several
-// sweeps per timed sample so each window is well above a scheduler
-// quantum, best-of-iterations to damp noisy-neighbour preemption.
+// all-sites wide-block cone sweep (the fault-simulation hot loop at its
+// production width — 256 patterns per pass), several sweeps per timed
+// sample so each window is well above a scheduler quantum,
+// best-of-iterations to damp noisy-neighbour preemption.
+// ns_per_gate_eval stays in gate-word units (one gate over one
+// 64-pattern word): each wide cone pass does cone.Evals gates times
+// logic.BlockWords words, so the metric is directly comparable with the
+// 64-bit sweeps of earlier trajectory points — the wide kernel's
+// per-gate amortisation shows up as a lower number, not a unit change.
 func benchKernel(iterations int) (*bench.Result, error) {
 	n := circuits.ArrayMultiplier(8)
-	pats := make([]logic.Vector, 64)
+	pats := make([]logic.Vector, sim.BlockPatterns)
 	state := uint64(12345)
 	for k := range pats {
 		vec := make(logic.Vector, len(n.Inputs))
@@ -122,7 +131,7 @@ func benchKernel(iterations int) (*bench.Result, error) {
 		}
 		pats[k] = vec
 	}
-	good, err := sim.NewPacked(n)
+	good, err := sim.NewPackedBlock(n)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +139,7 @@ func benchKernel(iterations int) (*bench.Result, error) {
 		return nil, err
 	}
 	good.Run()
-	bad, err := sim.NewPacked(n)
-	if err != nil {
-		return nil, err
-	}
+	bad := good.Compiled().NewPackedBlock()
 	var sites []sim.FaultSite
 	var cones []*netlist.Cone
 	sweepEvals := 0
@@ -144,12 +150,13 @@ func benchKernel(iterations int) (*bench.Result, error) {
 		}
 		sites = append(sites, sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value})
 		cones = append(cones, cone)
-		sweepEvals += cone.Evals
+		sweepEvals += cone.Evals * logic.BlockWords
 	}
 	bad.AlignTo(good)
+	mask := logic.BlockMaskAll()
 	sweep := func() {
 		for i, site := range sites {
-			bad.RunConeAligned(good, cones[i], site, ^uint64(0))
+			bad.RunConeAligned(good, cones[i], site, &mask)
 		}
 	}
 	// Calibrate sweeps-per-sample to ~50ms windows.
@@ -172,7 +179,8 @@ func benchKernel(iterations int) (*bench.Result, error) {
 		}
 	}
 	res := bench.New("kernel", iterations)
-	res.Params = map[string]any{"circuit": "mul8", "workload": "compiled-cone-sweep"}
+	res.Params = map[string]any{"circuit": "mul8", "workload": "wide-block-cone-sweep",
+		"block_patterns": sim.BlockPatterns}
 	res.Metrics["ns_per_gate_eval"] = float64(best.Nanoseconds()) / float64(sweeps) / float64(sweepEvals)
 	res.Metrics["gate_evals_per_sweep"] = float64(sweepEvals)
 	res.Metrics["sweeps_per_sample"] = float64(sweeps)
@@ -248,7 +256,10 @@ func runGate(baselinePath, currentPath, specsCSV string, tolerance float64, hard
 	if len(basePts) == 0 || len(curPts) == 0 {
 		return fmt.Errorf("empty trajectory (baseline %d points, current %d)", len(basePts), len(curPts))
 	}
-	base, cur := &basePts[len(basePts)-1], &curPts[len(curPts)-1]
+	// The baseline is the per-metric median of the whole committed
+	// trajectory, not its newest point: one anomalously quiet (or
+	// noisy) historical run can no longer anchor the gate.
+	base, cur := bench.Median(basePts), &curPts[len(curPts)-1]
 	var specs []bench.GateSpec
 	for _, s := range strings.Split(specsCSV, ",") {
 		if s = strings.TrimSpace(s); s == "" {
@@ -264,9 +275,9 @@ func runGate(baselinePath, currentPath, specsCSV string, tolerance float64, hard
 		specs = append(specs, g)
 	}
 	violations, skipped := bench.Compare(base, cur, specs)
-	fmt.Printf("gate: %s (%s @ %.8s) vs %s (%s @ %.8s)\n",
+	fmt.Printf("gate: %s (%s @ %.8s) vs %s (%s, median of %d points, newest @ %.8s)\n",
 		currentPath, cur.Name, cur.Provenance.GitCommit,
-		baselinePath, base.Name, base.Provenance.GitCommit)
+		baselinePath, base.Name, len(basePts), base.Provenance.GitCommit)
 	for _, g := range specs {
 		b, okB := base.Metrics[g.Metric]
 		c, okC := cur.Metrics[g.Metric]

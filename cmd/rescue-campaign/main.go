@@ -71,6 +71,7 @@ func main() {
 	shards := flag.Int("shards", 1, "fault-list shards for large circuits")
 	shardThreshold := flag.Int("shard-threshold", campaign.DefaultShardThreshold, "fault count above which sharding applies")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count")
+	sessionParallel := flag.Int("session-parallel", 1, "per-job fault-simulation workers (results identical at any level; use when jobs are fewer than cores)")
 	jsonl := flag.String("jsonl", "-", `per-job JSONL stream path ("-" = stdout, "" = off)`)
 	out := flag.String("out", "", "campaign summary JSON path (default: render a text summary)")
 	dir := flag.String("dir", "", "run directory for the crash-safe checkpoint log (re-run to resume; writes campaign.json there on completion)")
@@ -178,7 +179,8 @@ func main() {
 		done = replayed
 	}
 	cfg := campaign.Config{
-		Parallelism: *parallel,
+		Parallelism:        *parallel,
+		SessionParallelism: *sessionParallel,
 		OnResult: func(r campaign.Result) {
 			if stream != nil {
 				if err := stream.Encode(r); err != nil {

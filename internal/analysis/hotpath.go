@@ -30,12 +30,21 @@ var hotFuncs = map[string]hotSpec{
 	"rescue/internal/sim": {
 		exact: map[string]bool{
 			"Run": true, "RunV": true, "RunWithFault": true,
-			"RunDualWithFault": true, "evalKernel": true, "runConeEval": true,
+			"RunDualWithFault": true, "evalKernel": true, "RunBlock": true,
 		},
-		prefix: []string{"RunCone", "EvalGate", "evalGate", "evalOp"},
+		// runConeEval covers both the word and wide cone loops
+		// (runConeEval, runConeEvalBlock); evalOp covers the scalar,
+		// word and block evaluators (evalOpV/W/B and the *Vals forms).
+		prefix: []string{"RunCone", "EvalGate", "evalGate", "evalOp", "runConeEval", "mergeMask"},
 	},
 	"rescue/internal/faultsim": {
-		exact:  map[string]bool{"Simulate": true},
+		// The session's per-chunk stages are kernels end to end: the
+		// word-block loop, the wide snapshot/compute/merge stages and
+		// the detection recorder all run once per pattern chunk.
+		exact: map[string]bool{
+			"Simulate": true, "simulateWordBlock": true, "simulateWideChunk": true,
+			"coneRange": true, "snapshotUndetected": true, "recordDetection": true,
+		},
 		prefix: []string{"RunCone"},
 	},
 }
@@ -129,7 +138,9 @@ func (p *Package) checkHotCall(call *ast.CallExpr, name string, inLoop func(toke
 		fs = append(fs, Finding{Pos: p.position(call.Pos()), Analyzer: "hotpath",
 			Message: msg + " in kernel function " + name, Why: why})
 	}
-	// make(map[...]...) and delete(...) are map operations too.
+	// make(map[...]...) and delete(...) are map operations too; any
+	// other make, and append through session/result state, are heap
+	// traffic the zero-alloc Simulate contract forbids.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
 			switch {
@@ -137,6 +148,12 @@ func (p *Package) checkHotCall(call *ast.CallExpr, name string, inLoop func(toke
 				report("map delete", "")
 			case id.Name == "make" && len(call.Args) > 0 && isMap(p.Info.TypeOf(call.Args[0])):
 				report("map allocation", "")
+			case id.Name == "make":
+				report("slice/channel allocation",
+					"kernels reuse arenas sized at construction (NewSession, ensureWide); a make here allocates per call")
+			case id.Name == "append" && len(call.Args) > 0 && isEscapingAppendTarget(call.Args[0]):
+				report("append to escaping state",
+					"appending through a field or result grows the backing array on the hot path; store by index into a pre-sized arena (cf. Session.recordDetection)")
 			}
 		}
 		return fs
@@ -156,6 +173,26 @@ func (p *Package) checkHotCall(call *ast.CallExpr, name string, inLoop func(toke
 		}
 	}
 	return fs
+}
+
+// isEscapingAppendTarget reports whether an append's first argument
+// reaches state that outlives the call: a selector (struct field,
+// including pointer-receiver session state and result-struct fields) or
+// an index into one. Appends to plain locals stay allowed — they don't
+// grow caller-visible backing.
+func isEscapingAppendTarget(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return true
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
 }
 
 // loopSpans returns the [pos, end) span of every for/range body in the

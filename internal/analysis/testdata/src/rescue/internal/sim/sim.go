@@ -50,6 +50,38 @@ func EvalGateScratch(ids []int) int {
 	return n
 }
 
+// result stands in for a per-call result struct whose slice fields the
+// kernel checks guard against growing.
+type result struct {
+	Detected []int
+	buckets  [][]int
+}
+
+// RunBlock is a declared kernel (the wide-block pass): per-call slice
+// allocation and appends through escaping state are the regressions the
+// zero-alloc contract exists to catch.
+func RunBlock(values []int, res *result) {
+	tmp := make([]int, len(values)) // want "hotpath: slice/channel allocation in kernel function RunBlock"
+	for i, v := range values {
+		tmp[i] = v * v
+		res.Detected = append(res.Detected, i) // want "hotpath: append to escaping state in kernel function RunBlock"
+	}
+	res.buckets[0] = append(res.buckets[0], tmp[0]) // want "hotpath: append to escaping state in kernel function RunBlock"
+}
+
+// runConeEvalBlock is matched through the runConeEval prefix; appends to
+// plain locals and indexed stores into caller-provided arenas pass.
+func runConeEvalBlock(values, arena []int) int {
+	n := 0
+	var order []int
+	for i, v := range values {
+		order = append(order, i)
+		arena[i] = v
+		n++
+	}
+	return n + len(order)
+}
+
 // helper is not a declared kernel function: the same constructs pass.
 func helper(widths map[int]int) []int {
 	var out []int
@@ -58,5 +90,6 @@ func helper(widths map[int]int) []int {
 		out = append(out, f(i))
 	}
 	_ = fmt.Sprintf("%d", widths[0])
-	return out
+	tmp := make([]int, 4)
+	return append(out, tmp...)
 }

@@ -32,6 +32,14 @@ var (
 type Config struct {
 	// Parallelism is the worker count; <= 0 selects runtime.NumCPU().
 	Parallelism int
+	// SessionParallelism is the intra-job fault-simulation worker count
+	// handed to each job's quality stage (<=1 serial). It never changes
+	// results — the session merges detections deterministically — so a
+	// checkpointed campaign resumes identically at any setting; it is a
+	// runtime knob, not a job coordinate, and is not persisted. Useful
+	// when the matrix is narrower than the machine: few big jobs, spare
+	// cores.
+	SessionParallelism int
 	// OnResult, when set, streams each job result as it completes. It is
 	// called from a single collector goroutine (never concurrently), in
 	// completion order — which is nondeterministic under parallelism; the
@@ -102,7 +110,8 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	}
 	run := cfg.runJob
 	if run == nil {
-		run = RunJob
+		sp := cfg.SessionParallelism
+		run = func(ctx context.Context, j Job) Result { return runJobWith(ctx, j, sp) }
 	}
 	obsRuns.Inc()
 	obsJobsReplayed.Add(int64(len(replayed)))
@@ -198,6 +207,14 @@ func safeRun(ctx context.Context, j Job, run func(context.Context, Job) Result) 
 // job coordinates, so the result is independent of which worker runs it
 // and of what ran before.
 func RunJob(ctx context.Context, j Job) Result {
+	return runJobWith(ctx, j, 0)
+}
+
+// runJobWith is RunJob with the campaign-level session-parallelism
+// knob applied. It is deliberately not a Job coordinate: results are
+// identical at any setting, so checkpoints and job identity stay
+// untouched by it.
+func runJobWith(ctx context.Context, j Job, sessionParallelism int) Result {
 	art := circuitArtifactFor(j.Circuit)
 	if art.err != nil {
 		return Result{Job: j, Err: art.err.Error()}
@@ -242,15 +259,16 @@ func RunJob(ctx context.Context, j Job) Result {
 		}
 	}
 	rep, err := core.RunStages(ctx, core.FlowConfig{
-		Netlist:     n,
-		Faults:      faults,
-		FaultShare:  share,
-		SkipAging:   skipAging,
-		Environment: env,
-		Technology:  tech,
-		Years:       j.Years,
-		Patterns:    j.Patterns,
-		Seed:        j.Seed,
+		Netlist:            n,
+		Faults:             faults,
+		FaultShare:         share,
+		SkipAging:          skipAging,
+		Environment:        env,
+		Technology:         tech,
+		Years:              j.Years,
+		Patterns:           j.Patterns,
+		Seed:               j.Seed,
+		SessionParallelism: sessionParallelism,
 	}, stages...)
 	if err != nil {
 		return Result{Job: j, Err: err.Error(), Canceled: ctx.Err() != nil && errors.Is(err, ctx.Err())}

@@ -36,6 +36,11 @@ type FlowConfig struct {
 	Years        float64 // aging horizon
 	Patterns     int
 	Seed         int64
+	// SessionParallelism is the quality stage's intra-session
+	// fault-simulation worker count (<=1 serial). Results are identical
+	// at any level; it trades cores for wall-clock inside one flow run,
+	// useful when the campaign itself runs few jobs at a time.
+	SessionParallelism int
 	// Secret drives the security stage's timing-leak check.
 	Secret []byte
 }

@@ -120,6 +120,7 @@ func (st *flowState) runQuality(rep *Report) error {
 	// parallelism level anyway.
 	res, err := atpg.GenerateTests(st.n, faults, atpg.FlowOptions{
 		RandomPatterns: 64, Seed: st.cfg.Seed, Compact: true,
+		SessionParallelism: st.cfg.SessionParallelism,
 	})
 	if err != nil {
 		return fmt.Errorf("core: quality stage: %v", err)

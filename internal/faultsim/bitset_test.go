@@ -1,0 +1,84 @@
+package faultsim
+
+import (
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+)
+
+func TestUndetWordsAndBitIndex(t *testing.T) {
+	for _, tc := range []struct{ n, words int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {127, 2}, {128, 2}, {129, 3},
+	} {
+		if got := undetWords(tc.n); got != tc.words {
+			t.Errorf("undetWords(%d) = %d, want %d", tc.n, got, tc.words)
+		}
+	}
+	// bitIndex must invert the fi>>6 / fi&63 addressing exactly.
+	for _, fi := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		if got := bitIndex(fi>>6, fi&63); got != fi {
+			t.Errorf("bitIndex(%d, %d) = %d, want %d", fi>>6, fi&63, got, fi)
+		}
+	}
+}
+
+// TestSessionBitsetBoundaryFaultCounts drives full sessions at fault
+// counts straddling the 64-bit bitset word boundaries. Remaining,
+// RemainingCount, Exclude and simulation must all agree — in particular
+// the last partial bitset word must neither lose its top faults nor
+// invent phantom ones.
+func TestSessionBitsetBoundaryFaultCounts(t *testing.T) {
+	n := circuits.ArrayMultiplier(8)
+	all := fault.AllStuckAt(n)
+	pats := RandomPatterns(n, 32, 13)
+	for _, count := range []int{1, 63, 64, 65, 127, 128, 129} {
+		if count > len(all) {
+			t.Fatalf("mul8 has only %d faults, need %d", len(all), count)
+		}
+		faults := all[:count]
+		s, err := NewSession(n, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s.Remaining()); got != count || s.RemainingCount() != count {
+			t.Fatalf("count %d: fresh Remaining %d/%d", count, got, s.RemainingCount())
+		}
+		// The boundary fault must be present, excludable and restorable.
+		last := count - 1
+		s.Exclude(last)
+		rem := s.Remaining()
+		if len(rem) != count-1 || s.RemainingCount() != count-1 {
+			t.Fatalf("count %d: after Exclude(%d) Remaining %d/%d", count, last, len(rem), s.RemainingCount())
+		}
+		for _, fi := range rem {
+			if fi == last {
+				t.Fatalf("count %d: excluded fault %d still in Remaining", count, last)
+			}
+			if fi < 0 || fi >= count {
+				t.Fatalf("count %d: Remaining holds out-of-range index %d", count, fi)
+			}
+		}
+		s.Reset()
+		sr, err := s.Simulate(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Detected)+s.RemainingCount() != count {
+			t.Errorf("count %d: detected %d + remaining %d != %d",
+				count, len(sr.Detected), s.RemainingCount(), count)
+		}
+		// The truncated-list session must agree with the full-list run on
+		// the shared prefix: fault indices are positional.
+		full, err := Run(n, all, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := 0; fi < count; fi++ {
+			if s.StatusOf(fi) != full.Status[fi] || s.DetectedBy(fi) != full.DetectedBy[fi] {
+				t.Errorf("count %d: fault %d: %v/%d != full-list %v/%d", count, fi,
+					s.StatusOf(fi), s.DetectedBy(fi), full.Status[fi], full.DetectedBy[fi])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package faultsim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"rescue/internal/fault"
 	"rescue/internal/logic"
@@ -17,11 +18,20 @@ import (
 // per call regardless of fault count (asserted by BenchmarkObsOverhead).
 var (
 	obsSessions   = obs.NewCounter("faultsim_sessions_total", "Fault-simulation sessions constructed.")
-	obsGateEvals  = obs.NewCounter("sim_gate_evals_total", "Gate evaluations performed by the packed fault-simulation kernels (good passes + cone passes).")
+	obsGateEvals  = obs.NewCounter("sim_gate_evals_total", "Gate evaluations performed by the packed fault-simulation kernels (good passes + cone passes), in gate-word units.")
 	obsConeEvals  = obs.NewCounter("sim_cone_evals_total", "Gate evaluations spent in cone-restricted faulty passes (subset of sim_gate_evals_total).")
 	obsDropped    = obs.NewCounter("faultsim_faults_dropped_total", "Faults dropped on first detection by fault-dropping sessions.")
 	obsSimPattrns = obs.NewCounter("faultsim_patterns_total", "Patterns simulated by fault-dropping sessions.")
 )
+
+// undetWords returns the bitset word count needed to track n faults —
+// the single sizing rule for the session's undetected set.
+func undetWords(n int) int { return (n + 63) / 64 }
+
+// bitIndex reconstructs the fault index of bit `bit` inside bitset word
+// wi — the inverse of the fi>>6 / fi&63 addressing used to set and
+// clear bits.
+func bitIndex(wi, bit int) int { return wi<<6 + bit }
 
 // Session is a persistent fault-dropping simulation kernel. It keeps the
 // packed good- and faulty-machine simulators and the per-fault fanout
@@ -31,28 +41,61 @@ var (
 // compaction, incremental verification) never rebuild simulation state
 // and never re-simulate a detected fault.
 //
-// A Session is single-goroutine; the compiled machine and cone cache it
-// shares through the netlist are internally synchronised, but the packed
-// machines are not. Run is a thin wrapper over a fresh Session, and its
-// results are bit-identical to the pre-session engine (enforced by the
-// differential tests against RunFull).
+// Simulate consumes patterns in the widest chunks available: every full
+// block of sim.BlockPatterns patterns runs on the 256-slot wide kernels
+// (one wide good pass, one wide cone pass per undetected fault), and
+// only the remainder falls back to 64-pattern word blocks. All
+// per-chunk scratch is arena-reused across calls, so a warm session's
+// Simulate performs zero heap allocations (asserted by
+// TestSessionSimulateZeroAlloc).
+//
+// SetParallelism distributes the wide cone passes of each chunk over a
+// bounded worker pool. Results are byte-identical at every parallelism
+// level: the undetected set is snapshotted per chunk, workers fill
+// disjoint slots of the per-fault diff arena, and detections are merged
+// serially in ascending fault-index order — the same merge the serial
+// path runs.
+//
+// A Session is single-goroutine from the caller's perspective; the
+// compiled machine and cone cache it shares through the netlist are
+// internally synchronised, but the packed machines are not. Run is a
+// thin wrapper over a fresh Session, and its results are bit-identical
+// to the pre-session engine (enforced by the differential tests against
+// RunFull).
 type Session struct {
 	n *netlist.Netlist
-	// compiled is the netlist's shared SoA machine: both packed machines
+	// compiled is the netlist's shared SoA machine: all packed machines
 	// execute it, so constructing a session allocates only word state —
 	// the structure (fanin arena, schedule, cones) is compiled once per
 	// circuit and shared across sessions and campaign jobs.
-	compiled   *sim.Compiled
-	good, bad  *sim.Packed
-	faults     fault.List
-	cones      []*netlist.Cone
-	st         []fault.Status
-	detectedBy []int
-	undet      []uint64 // bitset over fault indices: undetected stuck-at faults
-	remaining  int
-	patterns   int   // total patterns simulated since the last Reset
-	gateEvals  int64 // cumulative over the session lifetime (survives Reset)
-	comb       int64
+	compiled  *sim.Compiled
+	good, bad *sim.Packed
+	// Wide machines and their arenas are built lazily by ensureWide on
+	// the first full-block chunk: sessions fed only short pattern runs
+	// (ATPG single-vector drops) never pay for them. wbad holds one
+	// faulty machine per worker; wbad[0] doubles as the serial machine.
+	wgood       *sim.PackedBlock
+	wbad        []*sim.PackedBlock
+	parallelism int
+	faults      fault.List
+	cones       []*netlist.Cone
+	st          []fault.Status
+	detectedBy  []int
+	undet       []uint64 // bitset over fault indices: undetected stuck-at faults
+	remaining   int
+	patterns    int   // total patterns simulated since the last Reset
+	gateEvals   int64 // cumulative over the session lifetime (survives Reset)
+	comb        int64
+	// Per-Simulate arenas. snapBuf/diffs/coneEvals implement the wide
+	// path's snapshot-compute-merge structure (allocated by ensureWide);
+	// detBuf backs SimResult.Detected for both paths, filled by indexed
+	// store so the hot loops never append.
+	snapBuf   []int
+	diffs     []logic.BlockMask
+	coneEvals []int32
+	detBuf    []int
+	detN      int
+	wg        sync.WaitGroup
 }
 
 // SimResult reports one Simulate call: which faults it newly detected
@@ -61,10 +104,14 @@ type SimResult struct {
 	// Patterns is the number of patterns this call simulated.
 	Patterns int
 	// Detected lists the fault indices newly detected by this call, in
-	// detection order: block-major, ascending fault index within a block.
+	// detection order: chunk-major, ascending fault index within a
+	// chunk. The slice aliases a session arena — it is valid until the
+	// next Simulate call; copy it to retain it longer.
 	Detected []int
-	// GateEvals is the exact evaluation cost of this call: one good pass
-	// per 64-pattern block plus every faulty-machine cone evaluation.
+	// GateEvals is the exact evaluation cost of this call in gate-word
+	// units (one gate evaluated over one 64-pattern word): each good
+	// pass charges the combinational gate count per word it carries,
+	// and each cone pass its evaluated gate count times its word width.
 	GateEvals int64
 }
 
@@ -81,18 +128,16 @@ func NewSession(n *netlist.Netlist, faults fault.List) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	bad, err := sim.NewPacked(n)
-	if err != nil {
-		return nil, err
-	}
 	s := &Session{
-		n: n, compiled: good.Compiled(), good: good, bad: bad,
-		faults:     faults,
-		cones:      make([]*netlist.Cone, len(faults)),
-		st:         make([]fault.Status, len(faults)),
-		detectedBy: make([]int, len(faults)),
-		undet:      make([]uint64, (len(faults)+63)/64),
-		comb:       int64(combGateCount(n)),
+		n: n, compiled: good.Compiled(), good: good, bad: good.Compiled().NewPacked(),
+		parallelism: 1,
+		faults:      faults,
+		cones:       make([]*netlist.Cone, len(faults)),
+		st:          make([]fault.Status, len(faults)),
+		detectedBy:  make([]int, len(faults)),
+		undet:       make([]uint64, undetWords(len(faults))),
+		detBuf:      make([]int, len(faults)),
+		comb:        int64(combGateCount(n)),
 	}
 	for fi, f := range faults {
 		if f.Kind != fault.StuckAt {
@@ -110,6 +155,20 @@ func NewSession(n *netlist.Netlist, faults fault.List) (*Session, error) {
 	return s, nil
 }
 
+// SetParallelism sets the worker count for the wide cone passes (values
+// below 1 select 1). Parallelism never changes any result: Status,
+// DetectedBy, SimResult and GateEvals are byte-identical at every level,
+// because detections are merged serially in fault-index order from
+// per-fault diffs computed independently. Only full 256-pattern chunks
+// fan out; word-path tails always run serially. Must not be called
+// concurrently with Simulate.
+func (s *Session) SetParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	s.parallelism = p
+}
+
 // Reset clears the detection state — statuses, first-detecting-pattern
 // indices, the pattern counter and the undetected set — while keeping
 // the packed machines and cone caches warm. The cumulative GateEvals
@@ -117,6 +176,7 @@ func NewSession(n *netlist.Netlist, faults fault.List) (*Session, error) {
 func (s *Session) Reset() {
 	s.patterns = 0
 	s.remaining = 0
+	s.detN = 0
 	for i := range s.undet {
 		s.undet[i] = 0
 	}
@@ -130,65 +190,207 @@ func (s *Session) Reset() {
 	}
 }
 
+// ensureWide lazily builds the wide good machine, the per-worker faulty
+// machines and the snapshot/diff/eval arenas. Idempotent and cheap once
+// warm; growing parallelism adds machines without discarding existing
+// ones.
+func (s *Session) ensureWide() {
+	if s.wgood == nil {
+		s.wgood = s.compiled.NewPackedBlock()
+		s.snapBuf = make([]int, len(s.faults))
+		s.diffs = make([]logic.BlockMask, len(s.faults))
+		s.coneEvals = make([]int32, len(s.faults))
+	}
+	for len(s.wbad) < s.parallelism {
+		s.wbad = append(s.wbad, s.compiled.NewPackedBlock())
+	}
+}
+
 // Simulate runs the patterns against the still-undetected fault set,
 // dropping every fault on its first detection. Detection indices
 // (DetectedBy) are global: they continue from the patterns simulated by
 // earlier calls since the last Reset. Simulating in chunks yields the
-// same Status/DetectedBy as one call with the concatenated patterns.
-func (s *Session) Simulate(patterns []logic.Vector) (*SimResult, error) {
-	res := &SimResult{Patterns: len(patterns)}
-	for base := 0; base < len(patterns); base += 64 {
+// same Status/DetectedBy as one call with the concatenated patterns;
+// only GateEvals may differ (chunk boundaries change how much work
+// dropping saves).
+func (s *Session) Simulate(patterns []logic.Vector) (SimResult, error) {
+	res := SimResult{Patterns: len(patterns)}
+	s.detN = 0
+	var goodEvals int64
+	base := 0
+	// Every full 256-pattern block runs wide; the tail falls back to
+	// 64-pattern word blocks so short runs (ATPG drop calls) keep the
+	// word path's exact cost profile.
+	for ; base+sim.BlockPatterns <= len(patterns); base += sim.BlockPatterns {
+		if err := s.simulateWideChunk(patterns[base:base+sim.BlockPatterns], base, &res); err != nil {
+			return res, err
+		}
+		goodEvals += int64(logic.BlockWords) * s.comb
+	}
+	for ; base < len(patterns); base += 64 {
 		hi := base + 64
 		if hi > len(patterns) {
 			hi = len(patterns)
 		}
-		block := patterns[base:hi]
-		if err := s.good.LoadPatterns(block); err != nil {
-			return nil, err
+		if err := s.simulateWordBlock(patterns[base:hi], base, &res); err != nil {
+			return res, err
 		}
-		s.good.Run()
-		// Align the faulty machine to the fresh good pass once; every
-		// cone pass below then runs membership-test-free and restores
-		// the alignment itself (sim.RunConeAligned).
-		s.bad.AlignTo(s.good)
-		res.GateEvals += s.comb
-		blockMask := ^uint64(0)
-		if len(block) < 64 {
-			blockMask = (uint64(1) << uint(len(block))) - 1
-		}
-		for wi, w := range s.undet {
-			for w != 0 {
-				bit := bits.TrailingZeros64(w)
-				w &^= 1 << uint(bit)
-				fi := wi<<6 + bit
-				f := s.faults[fi]
-				diff, evals := s.bad.RunConeAligned(s.good, s.cones[fi],
-					sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
-				res.GateEvals += int64(evals)
-				diff &= blockMask
-				if diff != 0 {
-					s.st[fi] = fault.Detected
-					s.detectedBy[fi] = s.patterns + base + bits.TrailingZeros64(diff)
-					s.undet[fi>>6] &^= 1 << uint(fi&63)
-					s.remaining--
-					res.Detected = append(res.Detected, fi)
-				} else if s.st[fi] == fault.NotSimulated {
-					s.st[fi] = fault.Undetected
-				}
-			}
-		}
+		goodEvals += s.comb
 	}
+	res.Detected = s.detBuf[:s.detN:s.detN]
 	s.patterns += len(patterns)
 	s.gateEvals += res.GateEvals
 	// Flush the call's aggregates to the process-wide registry: total
-	// evals, the cone-restricted share (total minus one good pass per
-	// block), drops and patterns — four atomic adds per Simulate call.
-	goodEvals := int64((len(patterns)+63)/64) * s.comb
+	// evals, the cone-restricted share (total minus the good passes),
+	// drops and patterns — four atomic adds per Simulate call.
 	obsGateEvals.Add(res.GateEvals)
 	obsConeEvals.Add(res.GateEvals - goodEvals)
-	obsDropped.Add(int64(len(res.Detected)))
+	obsDropped.Add(int64(s.detN))
 	obsSimPattrns.Add(int64(len(patterns)))
 	return res, nil
+}
+
+// simulateWordBlock runs one <=64-pattern block on the word machines:
+// the original serial hot loop, walking the undetected bitset directly
+// and dropping in place.
+func (s *Session) simulateWordBlock(block []logic.Vector, base int, res *SimResult) error {
+	if err := s.good.LoadPatterns(block); err != nil {
+		return err
+	}
+	s.good.Run()
+	// Align the faulty machine to the fresh good pass once; every cone
+	// pass below then runs membership-test-free and restores the
+	// alignment itself (sim.RunConeAligned).
+	s.bad.AlignTo(s.good)
+	res.GateEvals += s.comb
+	blockMask := ^uint64(0)
+	if len(block) < 64 {
+		blockMask = (uint64(1) << uint(len(block))) - 1
+	}
+	for wi, w := range s.undet {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			fi := bitIndex(wi, bit)
+			f := s.faults[fi]
+			diff, evals := s.bad.RunConeAligned(s.good, s.cones[fi],
+				sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, ^uint64(0))
+			res.GateEvals += int64(evals)
+			diff &= blockMask
+			if diff != 0 {
+				s.recordDetection(fi, base+bits.TrailingZeros64(diff))
+			} else if s.st[fi] == fault.NotSimulated {
+				s.st[fi] = fault.Undetected
+			}
+		}
+	}
+	return nil
+}
+
+// simulateWideChunk runs one full 256-pattern chunk on the wide
+// machines in three phases: snapshot the undetected set, compute every
+// fault's wide diff mask (serially or fanned over the worker pool), and
+// merge detections serially in ascending snapshot order. The merge is
+// shared by both modes, which is what makes parallelism invisible in
+// the results.
+func (s *Session) simulateWideChunk(chunk []logic.Vector, base int, res *SimResult) error {
+	s.ensureWide()
+	if err := s.wgood.LoadPatterns(chunk); err != nil {
+		return err
+	}
+	s.wgood.Run()
+	res.GateEvals += int64(logic.BlockWords) * s.comb
+	nsnap := s.snapshotUndetected()
+	if nsnap == 0 {
+		return nil
+	}
+	workers := s.parallelism
+	if workers > nsnap {
+		workers = nsnap
+	}
+	for w := 0; w < workers; w++ {
+		s.wbad[w].AlignTo(s.wgood)
+	}
+	if workers <= 1 {
+		s.coneRange(s.wbad[0], 0, nsnap)
+	} else {
+		per := (nsnap + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > nsnap {
+				hi = nsnap
+			}
+			s.wg.Add(1)
+			go s.coneWorker(w, lo, hi)
+		}
+		s.wg.Wait()
+	}
+	for k := 0; k < nsnap; k++ {
+		fi := s.snapBuf[k]
+		res.GateEvals += int64(s.coneEvals[k]) * logic.BlockWords
+		d := &s.diffs[k]
+		if d.Any() {
+			s.recordDetection(fi, base+d.FirstSlot())
+		} else if s.st[fi] == fault.NotSimulated {
+			s.st[fi] = fault.Undetected
+		}
+	}
+	return nil
+}
+
+// snapshotUndetected copies the undetected fault indices into snapBuf
+// in ascending order and returns the count — the fixed work list of one
+// wide chunk, immune to the drops the merge phase applies.
+func (s *Session) snapshotUndetected() int {
+	k := 0
+	for wi, w := range s.undet {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			s.snapBuf[k] = bitIndex(wi, bit)
+			k++
+		}
+	}
+	return k
+}
+
+// coneWorker is one wide-path worker: it computes its contiguous
+// snapshot range on its own faulty machine and signals completion.
+// Spawned as a plain method goroutine so the hot compute loop itself
+// (coneRange) stays closure-free.
+func (s *Session) coneWorker(w, lo, hi int) {
+	s.coneRange(s.wbad[w], lo, hi)
+	s.wg.Done()
+}
+
+// coneRange computes the wide cone passes for snapshot entries [lo,hi),
+// filling disjoint slots of the diff and eval arenas. It only reads
+// shared session state (snapshot, faults, cones, the good machine), so
+// any partition of the snapshot across workers is race-free, and the
+// arena contents are independent of the partition.
+func (s *Session) coneRange(bad *sim.PackedBlock, lo, hi int) {
+	mask := logic.BlockMaskAll()
+	for k := lo; k < hi; k++ {
+		fi := s.snapBuf[k]
+		f := s.faults[fi]
+		diff, evals := bad.RunConeAligned(s.wgood, s.cones[fi],
+			sim.FaultSite{Gate: f.Gate, Pin: f.Pin, SA: f.Value}, &mask)
+		s.diffs[k] = diff
+		s.coneEvals[k] = int32(evals)
+	}
+}
+
+// recordDetection marks fault fi detected by chunk-local pattern slot
+// (already offset by the chunk base), drops it from the undetected set
+// and appends it to the call's detection arena.
+func (s *Session) recordDetection(fi, slot int) {
+	s.st[fi] = fault.Detected
+	s.detectedBy[fi] = s.patterns + slot
+	s.undet[fi>>6] &^= 1 << uint(fi&63)
+	s.remaining--
+	s.detBuf[s.detN] = fi
+	s.detN++
 }
 
 // Exclude removes fault fi from the undetected set without changing its
@@ -220,7 +422,7 @@ func (s *Session) Remaining() []int {
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
 			w &^= 1 << uint(bit)
-			out = append(out, wi<<6+bit)
+			out = append(out, bitIndex(wi, bit))
 		}
 	}
 	return out

@@ -1,0 +1,156 @@
+// Wide-path differential and determinism tests: a Session fed full
+// 256-pattern chunks routes them through the wide-block kernels, and
+// everything observable — Status, DetectedBy, Coverage, and under
+// parallelism the exact Report and detection order — must match the
+// serial word-path oracles. Lives in the external package for
+// atpg.ScanView (see differential_test.go).
+package faultsim_test
+
+import (
+	"runtime"
+	"testing"
+
+	"rescue/internal/circuits"
+	"rescue/internal/fault"
+	"rescue/internal/faultsim"
+)
+
+// TestWideSessionMatchesRunFullOnRegistry feeds every registry circuit
+// enough patterns to engage the wide path (320 = one 256 chunk + one
+// word tail) and checks Status/DetectedBy/Coverage against the
+// full-pass reference engine. GateEvals is excluded: the wide path
+// spends cone words on faults the 64-block path would already have
+// dropped within the chunk.
+func TestWideSessionMatchesRunFullOnRegistry(t *testing.T) {
+	for _, name := range circuits.Names() {
+		n := combView(t, name)
+		faults := fault.AllStuckAt(n)
+		pats := faultsim.RandomPatterns(n, 320, 23)
+		full, err := faultsim.RunFull(n, faults, pats)
+		if err != nil {
+			t.Fatalf("%s: full: %v", name, err)
+		}
+		s, err := faultsim.NewSession(n, faults)
+		if err != nil {
+			t.Fatalf("%s: session: %v", name, err)
+		}
+		if _, err := s.Simulate(pats); err != nil {
+			t.Fatalf("%s: simulate: %v", name, err)
+		}
+		rep := s.Report()
+		for fi := range faults {
+			if rep.Status[fi] != full.Status[fi] {
+				t.Errorf("%s: fault %s: wide status %v != full-pass %v",
+					name, faults[fi].Describe(n), rep.Status[fi], full.Status[fi])
+			}
+			if rep.DetectedBy[fi] != full.DetectedBy[fi] {
+				t.Errorf("%s: fault %s: wide DetectedBy %d != full-pass %d",
+					name, faults[fi].Describe(n), rep.DetectedBy[fi], full.DetectedBy[fi])
+			}
+		}
+		if rep.Coverage() != full.Coverage() {
+			t.Errorf("%s: coverage mismatch: wide %+v != full-pass %+v",
+				name, rep.Coverage(), full.Coverage())
+		}
+	}
+}
+
+// TestSessionParallelismIsInvisible runs identical wide-path sessions at
+// parallelism 1, 4 and NumCPU and requires byte-identical observables:
+// the Report (Status, DetectedBy, GateEvals), the per-call detection
+// lists in order, and Remaining. This is the determinism contract of
+// the snapshot-compute-merge structure.
+func TestSessionParallelismIsInvisible(t *testing.T) {
+	levels := []int{1, 4, runtime.NumCPU()}
+	for _, name := range []string{"c17", "alu8", "mul4"} {
+		n := combView(t, name)
+		faults := fault.AllStuckAt(n)
+		pats := faultsim.RandomPatterns(n, 512, 7)
+
+		type outcome struct {
+			rep      *faultsim.Report
+			detected [][]int
+		}
+		outs := make([]outcome, len(levels))
+		for li, p := range levels {
+			s, err := faultsim.NewSession(n, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetParallelism(p)
+			// Two calls: a wide-heavy one and a mixed tail, so chunk
+			// bookkeeping crosses a call boundary under parallelism too.
+			for _, chunk := range [][2]int{{0, 384}, {384, 512}} {
+				sr, err := s.Simulate(pats[chunk[0]:chunk[1]])
+				if err != nil {
+					t.Fatal(err)
+				}
+				outs[li].detected = append(outs[li].detected,
+					append([]int(nil), sr.Detected...))
+			}
+			outs[li].rep = s.Report()
+		}
+		base := outs[0]
+		for li, p := range levels[1:] {
+			got := outs[li+1]
+			for fi := range faults {
+				if got.rep.Status[fi] != base.rep.Status[fi] || got.rep.DetectedBy[fi] != base.rep.DetectedBy[fi] {
+					t.Fatalf("%s: parallelism %d: fault %s diverged: status %v/%v detectedBy %d/%d",
+						name, p, faults[fi].Describe(n),
+						got.rep.Status[fi], base.rep.Status[fi],
+						got.rep.DetectedBy[fi], base.rep.DetectedBy[fi])
+				}
+			}
+			if got.rep.GateEvals != base.rep.GateEvals {
+				t.Errorf("%s: parallelism %d: GateEvals %d != serial %d",
+					name, p, got.rep.GateEvals, base.rep.GateEvals)
+			}
+			for ci := range base.detected {
+				if len(got.detected[ci]) != len(base.detected[ci]) {
+					t.Fatalf("%s: parallelism %d: call %d detected %d faults, serial %d",
+						name, p, ci, len(got.detected[ci]), len(base.detected[ci]))
+				}
+				for k := range base.detected[ci] {
+					if got.detected[ci][k] != base.detected[ci][k] {
+						t.Fatalf("%s: parallelism %d: call %d detection %d: %d != serial %d",
+							name, p, ci, k, got.detected[ci][k], base.detected[ci][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideSessionChunkingMatchesWordPath pins the wide path against the
+// session's own word path: the same 256 patterns simulated as one wide
+// chunk and as four 64-blocks (via two 128-pattern calls, which stay on
+// the word path) must agree on Status and DetectedBy.
+func TestWideSessionChunkingMatchesWordPath(t *testing.T) {
+	n := combView(t, "mul8")
+	faults := fault.AllStuckAt(n)
+	pats := faultsim.RandomPatterns(n, 256, 41)
+	wide, err := faultsim.NewSession(n, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wide.Simulate(pats); err != nil {
+		t.Fatal(err)
+	}
+	word, err := faultsim.NewSession(n, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := word.Simulate(pats[:128]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := word.Simulate(pats[128:]); err != nil {
+		t.Fatal(err)
+	}
+	wr, sr := wide.Report(), word.Report()
+	for fi := range faults {
+		if wr.Status[fi] != sr.Status[fi] || wr.DetectedBy[fi] != sr.DetectedBy[fi] {
+			t.Errorf("fault %s: wide %v/%d != word %v/%d", faults[fi].Describe(n),
+				wr.Status[fi], wr.DetectedBy[fi], sr.Status[fi], sr.DetectedBy[fi])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package logic
+
+import "testing"
+
+// exhaustive four-value operand words: every slot pairing of {0,1,X,Z}
+// appears within the first 16 slots and the pattern repeats, so one
+// word comparison covers the whole truth table in every bit position.
+func opWords() (a, b Word) {
+	vals := []V{Zero, One, X, Z}
+	for i := uint(0); i < 64; i++ {
+		a = a.Set(i, vals[i%4])
+		b = b.Set(i, vals[(i/4)%4])
+	}
+	return a, b
+}
+
+func TestBlockOpsMatchWordOps(t *testing.T) {
+	aw, bw := opWords()
+	// Rotate operands per word so the four words of a block differ.
+	var a, b, sel Block
+	for w := uint(0); w < BlockWords; w++ {
+		for i := uint(0); i < 64; i++ {
+			a.Set(w*64+i, aw.Get((i+w)&63))
+			b.Set(w*64+i, bw.Get((i+2*w)&63))
+			sel.Set(w*64+i, aw.Get((i+3*w)&63))
+		}
+	}
+	var dst Block
+	check := func(name string, wop func(x, y Word) Word) {
+		t.Helper()
+		for w := 0; w < BlockWords; w++ {
+			if want := wop(a[w], b[w]); dst[w] != want {
+				t.Errorf("%s word %d: block %+v != word %+v", name, w, dst[w], want)
+			}
+		}
+	}
+	AndB(&dst, &a, &b)
+	check("AndB", AndW)
+	OrB(&dst, &a, &b)
+	check("OrB", OrW)
+	XorB(&dst, &a, &b)
+	check("XorB", XorW)
+	NotB(&dst, &a)
+	check("NotB", func(x, _ Word) Word { return NotW(x) })
+	MuxB(&dst, &sel, &a, &b)
+	for w := 0; w < BlockWords; w++ {
+		if want := MuxW(sel[w], a[w], b[w]); dst[w] != want {
+			t.Errorf("MuxB word %d: block %+v != word %+v", w, dst[w], want)
+		}
+	}
+	// Aliased destination: dst may be an operand.
+	dst = a
+	AndB(&dst, &dst, &b)
+	check("AndB aliased", AndW)
+}
+
+func TestBlockGetSetRoundTrip(t *testing.T) {
+	var b Block
+	// The two-plane encoding collapses Z to X, so only 0/1/X roundtrip.
+	vals := []V{Zero, One, X}
+	for i := uint(0); i < BlockSlots; i++ {
+		b.Set(i, vals[(i*7)%3])
+	}
+	for i := uint(0); i < BlockSlots; i++ {
+		if got, want := b.Get(i), vals[(i*7)%3]; got != want {
+			t.Fatalf("slot %d: got %v want %v", i, got, want)
+		}
+	}
+	if all := BlockAll(One); all.Get(0) != One || all.Get(BlockSlots-1) != One {
+		t.Error("BlockAll(One) must fill every slot")
+	}
+	var zero Block
+	for i := uint(0); i < BlockSlots; i += 17 {
+		if zero.Get(i) != X {
+			t.Fatalf("zero block slot %d = %v, want X", i, zero.Get(i))
+		}
+	}
+}
+
+func TestBlockMaskFirstSlot(t *testing.T) {
+	var m BlockMask
+	if m.FirstSlot() != -1 || m.Any() {
+		t.Error("empty mask must report no slot")
+	}
+	m[2] = 1 << 13
+	m[3] = 1
+	if got := m.FirstSlot(); got != 2*64+13 {
+		t.Errorf("FirstSlot = %d, want %d", got, 2*64+13)
+	}
+	m[0] = 1 << 63
+	if got := m.FirstSlot(); got != 63 {
+		t.Errorf("FirstSlot = %d, want 63", got)
+	}
+	if !m.Any() {
+		t.Error("mask with bits must report Any")
+	}
+	// DiffB accumulates rather than overwrites.
+	a, b := BlockAll(Zero), BlockAll(Zero)
+	b.Set(5, One)
+	var d BlockMask
+	d[1] = 7
+	DiffB(&a, &b, &d)
+	if d[0] != 1<<5 || d[1] != 7 {
+		t.Errorf("DiffB must OR-accumulate: got %+v", d)
+	}
+}

@@ -193,6 +193,51 @@ func WriteLegacy(path string, r *Result) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
+// Median condenses a trajectory into one robust baseline point: each
+// metric is the median of its values across the points that carry it
+// (mean of the middle two for even counts), so one anomalously fast or
+// slow committed point — a quiet runner, a noisy neighbour — cannot
+// skew the regression gate the way gating against the newest point
+// alone did. Name, schema, params and provenance come from the newest
+// point; Iterations is the newest point's too (a per-run fact with no
+// meaningful aggregate). Nil for an empty trajectory.
+func Median(pts []Result) *Result {
+	if len(pts) == 0 {
+		return nil
+	}
+	newest := pts[len(pts)-1]
+	out := &Result{
+		Schema:     newest.Schema,
+		Name:       newest.Name,
+		Iterations: newest.Iterations,
+		Params:     newest.Params,
+		Metrics:    make(map[string]float64, len(newest.Metrics)),
+		Provenance: newest.Provenance,
+	}
+	keys := make(map[string]bool)
+	for _, pt := range pts {
+		for k := range pt.Metrics {
+			keys[k] = true
+		}
+	}
+	for k := range keys {
+		var vals []float64
+		for _, pt := range pts {
+			if v, ok := pt.Metrics[k]; ok {
+				vals = append(vals, v)
+			}
+		}
+		sort.Float64s(vals)
+		mid := len(vals) / 2
+		if len(vals)%2 == 1 {
+			out.Metrics[k] = vals[mid]
+		} else {
+			out.Metrics[k] = (vals[mid-1] + vals[mid]) / 2
+		}
+	}
+	return out
+}
+
 // Direction states which way a metric is allowed to move.
 type Direction int
 

@@ -146,3 +146,52 @@ func TestCollectProvenance(t *testing.T) {
 		t.Error("provenance did not resolve the repo's git commit")
 	}
 }
+
+// TestMedianBaseline drives Median over a synthetic noisy trajectory:
+// a stable metric with one wild outlier, an even-count metric, and a
+// metric only newer points carry. Gating against the median must
+// tolerate the outlier that newest-point gating would anchor on.
+func TestMedianBaseline(t *testing.T) {
+	if Median(nil) != nil {
+		t.Fatal("Median of an empty trajectory must be nil")
+	}
+	pts := []Result{
+		*point("kernel", map[string]float64{"ns_per_gate_eval": 6.2}),
+		*point("kernel", map[string]float64{"ns_per_gate_eval": 6.4, "jobs_per_sec": 100}),
+		*point("kernel", map[string]float64{"ns_per_gate_eval": 1.1, "jobs_per_sec": 140}), // outlier: lucky quiet run
+		*point("kernel", map[string]float64{"ns_per_gate_eval": 6.3, "jobs_per_sec": 120}),
+		*point("kernel", map[string]float64{"ns_per_gate_eval": 6.5, "jobs_per_sec": 110}),
+	}
+	m := Median(pts)
+	if m.Name != "kernel" {
+		t.Errorf("Name = %q, want newest point's", m.Name)
+	}
+	// Odd count (5 values): the middle of the sorted ns series, not the
+	// 1.1 outlier and not the newest 6.5.
+	if got := m.Metrics["ns_per_gate_eval"]; got != 6.3 {
+		t.Errorf("ns median = %g, want 6.3", got)
+	}
+	// Even count (4 values): mean of the middle two (110, 120).
+	if got := m.Metrics["jobs_per_sec"]; got != 115 {
+		t.Errorf("jobs median = %g, want 115", got)
+	}
+	// A current run 20% above the median must pass a 0.25 gate even
+	// though it is ~6x the outlier the old newest-point baseline would
+	// have used had the outlier been last.
+	cur := point("kernel", map[string]float64{"ns_per_gate_eval": 6.3 * 1.2})
+	specs := []GateSpec{{Metric: "ns_per_gate_eval", Direction: LowerIsBetter, Tolerance: 0.25}}
+	if v, _ := Compare(m, cur, specs); len(v) != 0 {
+		t.Errorf("median baseline tripped on in-tolerance run: %v", v)
+	}
+	if v, _ := Compare(&pts[2], cur, specs); len(v) == 0 {
+		t.Error("sanity: the outlier as baseline should have tripped the same gate")
+	}
+	// Single-point trajectory degrades to that point's metrics.
+	one := Median(pts[:1])
+	if got := one.Metrics["ns_per_gate_eval"]; got != 6.2 {
+		t.Errorf("single-point median = %g, want 6.2", got)
+	}
+	if _, ok := one.Metrics["jobs_per_sec"]; ok {
+		t.Error("single-point median must not invent metrics")
+	}
+}

@@ -32,7 +32,7 @@ func NewPacked(n *netlist.Netlist) (*Packed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Packed{N: n, c: c, words: c.newWords(), scratch: c.newScratch()}, nil
+	return c.NewPacked(), nil
 }
 
 // Compiled returns the shared compiled machine this simulator executes.
