@@ -6,10 +6,15 @@
 package rescue_test
 
 import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"rescue/internal/atpg"
+	"rescue/internal/campaign"
 	"rescue/internal/circuits"
 	"rescue/internal/cpu"
 	"rescue/internal/fault"
@@ -19,6 +24,7 @@ import (
 	"rescue/internal/lockstep"
 	"rescue/internal/logic"
 	"rescue/internal/noc"
+	"rescue/internal/obs"
 	"rescue/internal/puf"
 	"rescue/internal/xlayer"
 )
@@ -302,6 +308,104 @@ func BenchmarkAblation_RemapThreshold(b *testing.B) {
 	}
 	b.ReportMetric(float64(prevented[0]), "prevented_aggressive")
 	b.ReportMetric(float64(prevented[len(prevented)-1]), "prevented_none")
+}
+
+// memoSeed hands every BenchmarkCampaignMemo iteration a campaign base
+// seed no other run of this process has used, so each cache-on
+// measurement starts cold: the reported speedup is what one campaign
+// gains from cross-job dedup within itself, not from replaying a cache
+// warmed by a previous iteration.
+var memoSeed atomic.Int64
+
+func init() { memoSeed.Store(1 << 40) }
+
+// runCampaignMemo measures one matrix shape cache-off then cache-on
+// (same seed, so the summaries must be byte-identical — the ablation
+// doubles as a correctness gate) and reports both throughputs, the
+// speedup and the observed stage-cache hit rate.
+func runCampaignMemo(b *testing.B, matrixFor func(seed int64) campaign.Matrix) {
+	b.Helper()
+	ctx := context.Background()
+	var onWall, offWall time.Duration
+	var jobs int
+	var hits, waits, misses float64
+	for i := 0; i < b.N; i++ {
+		m := matrixFor(memoSeed.Add(1))
+		t0 := time.Now()
+		off, err := campaign.Run(ctx, m, campaign.Config{Parallelism: runtime.NumCPU(), DisableStageCache: true})
+		offWall += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := obs.Default.Snapshot()
+		t0 = time.Now()
+		on, err := campaign.Run(ctx, m, campaign.Config{Parallelism: runtime.NumCPU()})
+		onWall += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after := obs.Default.Snapshot()
+		hits += after["campaign_stage_cache_hits_total"] - before["campaign_stage_cache_hits_total"]
+		waits += after["campaign_stage_cache_waits_total"] - before["campaign_stage_cache_waits_total"]
+		misses += after["campaign_stage_cache_misses_total"] - before["campaign_stage_cache_misses_total"]
+		offJS, err := off.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		onJS, err := on.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(onJS, offJS) {
+			b.Fatal("cache-on summary differs from cache-off: the memoization layer changed results")
+		}
+		jobs = on.Jobs
+	}
+	onJPS := float64(jobs) * float64(b.N) / onWall.Seconds()
+	offJPS := float64(jobs) * float64(b.N) / offWall.Seconds()
+	hitRate := 0.0
+	if total := hits + waits + misses; total > 0 {
+		hitRate = (hits + waits) / total
+	}
+	b.ReportMetric(onJPS, "jobs_per_sec_cache_on")
+	b.ReportMetric(offJPS, "jobs_per_sec_cache_off")
+	b.ReportMetric(onJPS/offJPS, "speedup_x")
+	b.ReportMetric(hitRate, "stage_cache_hit_rate")
+	b.Logf("%d jobs: %.1f jobs/s cache-on vs %.1f cache-off (%.2fx), hit rate %.0f%% (%g hits, %g waits, %g misses)",
+		jobs, onJPS, offJPS, onJPS/offJPS, hitRate*100, hits, waits, misses)
+}
+
+// BenchmarkCampaignMemo is the stage-cache ablation: the dedup-heavy
+// shape fans one circuit across every environment and three technology
+// nodes under the holistic scenario — quality, safety and security are
+// environment- and technology-free, so 12 jobs share one computation of
+// each — while the dedup-free shape gives every job its own circuit, so
+// every stage key is unique and the cache can only add overhead.
+func BenchmarkCampaignMemo(b *testing.B) {
+	b.Run("dedup-heavy", func(b *testing.B) {
+		runCampaignMemo(b, func(seed int64) campaign.Matrix {
+			return campaign.Matrix{
+				Circuits:     []string{"mul8"},
+				Environments: campaign.EnvironmentNames(),
+				Technologies: []string{"28nm", "65nm", "130nm"},
+				Scenarios:    []campaign.Scenario{campaign.ScenarioHolistic},
+				Patterns:     32,
+				Years:        5,
+				Seed:         seed,
+			}
+		})
+	})
+	b.Run("dedup-free", func(b *testing.B) {
+		runCampaignMemo(b, func(seed int64) campaign.Matrix {
+			return campaign.Matrix{
+				Circuits:  circuits.Names(),
+				Scenarios: []campaign.Scenario{campaign.ScenarioHolistic},
+				Patterns:  32,
+				Years:     5,
+				Seed:      seed,
+			}
+		})
+	})
 }
 
 // BenchmarkExt_NoCFaultTolerance measures the mesh interconnect with

@@ -191,7 +191,11 @@ func benchKernel(iterations int) (*bench.Result, error) {
 // benchCampaign is the end-to-end engine measurement: the full built-in
 // registry under the holistic scenario (BenchmarkCampaign's matrix),
 // best-of-iterations jobs/s, with the exact work counters for the run
-// sampled from the obs registry.
+// sampled from the obs registry. The stage cache is disabled so the
+// trajectory keeps measuring raw engine throughput: iterations repeat
+// one matrix, and with the cache on every run after the first would
+// measure pure replay. BenchmarkCampaignMemo (repo root) is the
+// cache-on/cache-off ablation with its own headline number.
 func benchCampaign(iterations, patterns, parallel int) (*bench.Result, error) {
 	m := campaign.Matrix{
 		Circuits:  circuits.Names(),
@@ -209,7 +213,7 @@ func benchCampaign(iterations, patterns, parallel int) (*bench.Result, error) {
 	before := obs.Default.Snapshot()
 	for it := 0; it < iterations; it++ {
 		t := time.Now()
-		sum, err := campaign.Run(context.Background(), m, campaign.Config{Parallelism: parallel})
+		sum, err := campaign.Run(context.Background(), m, campaign.Config{Parallelism: parallel, DisableStageCache: true})
 		wall := time.Since(t)
 		if err != nil {
 			return nil, err
@@ -224,7 +228,7 @@ func benchCampaign(iterations, patterns, parallel int) (*bench.Result, error) {
 	}
 	after := obs.Default.Snapshot()
 	res := bench.New("campaign", iterations)
-	res.Params = map[string]any{"scenario": "holistic", "circuits": "all"}
+	res.Params = map[string]any{"scenario": "holistic", "circuits": "all", "stage_cache": "off"}
 	res.Metrics["jobs"] = float64(jobs)
 	res.Metrics["jobs_per_sec"] = bestJPS
 	res.Metrics["wall_ms"] = float64(bestWall.Milliseconds())

@@ -72,6 +72,7 @@ func main() {
 	shardThreshold := flag.Int("shard-threshold", campaign.DefaultShardThreshold, "fault count above which sharding applies")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count")
 	sessionParallel := flag.Int("session-parallel", 1, "per-job fault-simulation workers (results identical at any level; use when jobs are fewer than cores)")
+	stageCache := flag.String("stage-cache", "on", `cross-job stage-result memoization: "on" shares equal-input stage results across jobs, "off" recomputes everything (results are byte-identical either way)`)
 	jsonl := flag.String("jsonl", "-", `per-job JSONL stream path ("-" = stdout, "" = off)`)
 	out := flag.String("out", "", "campaign summary JSON path (default: render a text summary)")
 	dir := flag.String("dir", "", "run directory for the crash-safe checkpoint log (re-run to resume; writes campaign.json there on completion)")
@@ -91,6 +92,10 @@ func main() {
 	fatal := func(v ...any) {
 		stopProf()
 		log.Fatal(v...)
+	}
+
+	if *stageCache != "on" && *stageCache != "off" {
+		fatal(fmt.Sprintf(`-stage-cache must be "on" or "off", got %q`, *stageCache))
 	}
 
 	var m campaign.Matrix
@@ -181,6 +186,7 @@ func main() {
 	cfg := campaign.Config{
 		Parallelism:        *parallel,
 		SessionParallelism: *sessionParallel,
+		DisableStageCache:  *stageCache == "off",
 		OnResult: func(r campaign.Result) {
 			if stream != nil {
 				if err := stream.Encode(r); err != nil {

@@ -1,8 +1,8 @@
 // Package analysis is the repo's static-analysis layer: a small driver
-// and four analyzers that mechanically enforce the invariants the rest
+// and five analyzers that mechanically enforce the invariants the rest
 // of the codebase states in prose — deterministic campaign aggregation,
 // zero-overhead simulation hot loops, fsync-before-observe durability,
-// and library hygiene. It is built purely on the standard library
+// library hygiene, and stage-memoization soundness. It is built purely on the standard library
 // (go/parser, go/ast, go/types, plus `go list` for package discovery),
 // keeping the module dependency-free.
 //
@@ -66,7 +66,7 @@ type Package struct {
 
 // All returns the analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, HotPath, Durability, Hygiene}
+	return []*Analyzer{Determinism, HotPath, Durability, Hygiene, Memo}
 }
 
 // EffectivePath is the package's import path with any fixture prefix

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The memo analyzer protects the stage-memoization contract (PR 9): a
+// cached stage result is only sound if the stage's randomness and
+// behaviour are fully determined by its *declared* effective inputs.
+// Two defect classes break that silently:
+//
+//  1. An exported StageID constant with no entry in core's stageInputs
+//     table — the seed derivation and the campaign cache key would fall
+//     back to "no inputs", so jobs with different coordinates could
+//     share one cached result.
+//  2. Stage code (a flowState run* method) reading FlowConfig.Seed
+//     directly instead of going through the stageSeed helper — the raw
+//     flow seed is not coordinate-derived per stage, so two jobs whose
+//     declared inputs match could still compute different bytes, and a
+//     cache hit would hand one job the other's result.
+
+// memoPkg is the package owning the declared-inputs table and the stage
+// implementations.
+const memoPkg = "rescue/internal/core"
+
+// Memo checks that every stage declares its effective inputs and that
+// stage code derives randomness only through the declared-input hasher.
+var Memo = &Analyzer{
+	Name: "memo",
+	Doc:  "every StageID declares effective inputs; stage code reaches randomness only via stageSeed",
+	Why:  "stage memoization keys hash only declared inputs; an undeclared stage or a direct FlowConfig.Seed read lets a cache hit return bytes recomputation would not produce",
+	Run:  runMemo,
+}
+
+func runMemo(p *Package) []Finding {
+	if p.EffectivePath() != memoPkg {
+		return nil
+	}
+	var fs []Finding
+	declared := stageInputKeys(p)
+	for _, c := range stageConstants(p) {
+		if !declared[c.Name] {
+			fs = append(fs, Finding{Pos: p.position(c.Pos()), Analyzer: "memo",
+				Message: "exported stage " + c.Name + " has no declared-inputs entry in stageInputs"})
+		}
+	}
+	fs = append(fs, seedReadsInStages(p)...)
+	return fs
+}
+
+// stageConstants returns the exported package-level constants of type
+// StageID — the stage identifiers the rest of the repo schedules by.
+func stageConstants(p *Package) []*ast.Ident {
+	var out []*ast.Ident
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !name.IsExported() {
+						continue
+					}
+					obj := p.Info.Defs[name]
+					if obj == nil || namedTypeName(obj.Type()) != "StageID" {
+						continue
+					}
+					out = append(out, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stageInputKeys collects the constant names used as keys of the
+// package-level stageInputs composite literal.
+func stageInputKeys(p *Package) map[string]bool {
+	keys := make(map[string]bool)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "stageInputs" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id := identOf(kv.Key); id != nil {
+							keys[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// seedReadsInStages flags FlowConfig.Seed selectors inside flowState
+// run* methods. The stageSeed helper (the one blessed reader — it is
+// where the nil-StageSeeds fallback to the flow seed lives) and
+// non-stage code are out of scope by construction.
+func seedReadsInStages(p *Package) []Finding {
+	var fs []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := identOf(fd.Recv.List[0].Type)
+			if recv == nil || recv.Name != "flowState" || !strings.HasPrefix(fd.Name.Name, "run") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Seed" {
+					return true
+				}
+				if tv, ok := p.Info.Types[sel.X]; !ok || namedTypeName(tv.Type) != "FlowConfig" {
+					return true
+				}
+				fs = append(fs, Finding{Pos: p.position(sel.Pos()), Analyzer: "memo",
+					Message: "stage code reads FlowConfig.Seed directly in " + fd.Name.Name,
+					Why:     "derive stage randomness through stageSeed(id): the raw flow seed is not part of any stage's declared inputs, so reading it desynchronizes cached and recomputed results"})
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// namedTypeName returns the name of t's (pointer-unwrapped) named type,
+// or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

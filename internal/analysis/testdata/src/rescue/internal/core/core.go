@@ -1,0 +1,72 @@
+// Package core impersonates rescue/internal/core for the memo
+// analyzer: an exported stage missing from the declared-inputs table,
+// a run* stage method reading the raw flow seed, and the compliant
+// forms of both, side by side.
+package core
+
+// StageID mirrors the real flow-stage identifier type.
+type StageID string
+
+const (
+	// StageQuality and StageReliability are declared in stageInputs.
+	StageQuality     StageID = "quality"
+	StageReliability StageID = "reliability"
+	// StageSafety is missing from the table.
+	StageSafety StageID = "safety" // want "memo: exported stage StageSafety has no declared-inputs entry in stageInputs"
+)
+
+// stageLabel is unexported: only exported stages are schedulable, so
+// the table need not cover it.
+const stageLabel StageID = "label"
+
+// StageInputs mirrors the declared-effective-inputs record.
+type StageInputs struct {
+	Environment bool
+	FaultShard  bool
+}
+
+var stageInputs = map[StageID]StageInputs{
+	StageQuality:     {FaultShard: true},
+	StageReliability: {Environment: true, FaultShard: true},
+}
+
+// FlowConfig mirrors the real flow configuration.
+type FlowConfig struct {
+	Seed       int64
+	Patterns   int
+	StageSeeds map[StageID]int64
+}
+
+type flowState struct {
+	cfg FlowConfig
+}
+
+// stageSeed is the blessed reader: the nil-StageSeeds fallback to the
+// flow seed lives here, outside any run* stage method.
+func (st *flowState) stageSeed(id StageID) int64 {
+	if s, ok := st.cfg.StageSeeds[id]; ok {
+		return s
+	}
+	return st.cfg.Seed
+}
+
+// runQuality derives its randomness through the helper: compliant.
+func (st *flowState) runQuality() int64 {
+	return st.stageSeed(StageQuality)
+}
+
+// runReliability bypasses the helper and reads the raw flow seed.
+func (st *flowState) runReliability() int64 {
+	return st.cfg.Seed + 1 // want "memo: stage code reads FlowConfig.Seed directly in runReliability"
+}
+
+// Patterns is a FlowConfig field read, not the seed: out of scope.
+func (st *flowState) runSafety() int64 {
+	return int64(st.cfg.Patterns)
+}
+
+// SeedOf is not a flowState stage method; direct reads are the caller's
+// business there.
+func SeedOf(cfg FlowConfig) int64 {
+	return cfg.Seed
+}

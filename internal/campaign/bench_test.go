@@ -23,7 +23,11 @@ func runBench(b *testing.B, parallelism int) {
 	m := benchMatrix()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sum, err := Run(context.Background(), m, Config{Parallelism: parallelism})
+		// The raw-engine trajectory deliberately bypasses the stage
+		// cache: with it on, every iteration after the first would
+		// measure pure cache replay. BenchmarkCampaignMemo (repo root)
+		// is the cache-on/cache-off ablation.
+		sum, err := Run(context.Background(), m, Config{Parallelism: parallelism, DisableStageCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +53,7 @@ func BenchmarkCampaign(b *testing.B) {
 		b.ReportAllocs()
 		jobs := 0
 		for i := 0; i < b.N; i++ {
-			sum, err := Run(context.Background(), m, Config{Parallelism: runtime.NumCPU()})
+			sum, err := Run(context.Background(), m, Config{Parallelism: runtime.NumCPU(), DisableStageCache: true})
 			if err != nil {
 				b.Fatal(err)
 			}

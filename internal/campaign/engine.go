@@ -48,11 +48,20 @@ type Config struct {
 	// that produced them.
 	OnResult func(Result)
 
+	// DisableStageCache bypasses the process-wide cross-job stage cache:
+	// every job recomputes all of its stages. Results are byte-identical
+	// either way — a stage's cache key covers every declared input, so a
+	// hit returns exactly what recomputation would — making this an
+	// ablation/debugging escape hatch (rescue-campaign -stage-cache=off),
+	// not a semantics switch.
+	DisableStageCache bool
+
 	// Completed holds results replayed from a checkpoint log: their jobs
 	// are skipped instead of re-run and the results merge into the
 	// Summary as-is, so a resumed campaign aggregates to the same bytes
 	// as an uninterrupted one. Every entry must match a distinct job of
-	// the expanded matrix exactly.
+	// the expanded matrix exactly. Replayed jobs never execute, so they
+	// neither consult nor repopulate the stage cache.
 	Completed []Result
 
 	// runJob overrides the job runner in tests (panic injection etc.).
@@ -111,7 +120,17 @@ func Run(ctx context.Context, m Matrix, cfg Config) (*Summary, error) {
 	run := cfg.runJob
 	if run == nil {
 		sp := cfg.SessionParallelism
-		run = func(ctx context.Context, j Job) Result { return runJobWith(ctx, j, sp) }
+		cache := sharedStageCache
+		if cfg.DisableStageCache {
+			cache = nil
+		}
+		if cache != nil && len(pending) > 1 {
+			// Cache-aware scheduling: jobs sharing a stage key land on
+			// nearby slots, so duplicates resolve as hits or short
+			// singleflight waits instead of cold recomputations later.
+			pending = orderForCache(pending)
+		}
+		run = func(ctx context.Context, j Job) Result { return runJobWith(ctx, j, sp, cache) }
 	}
 	obsRuns.Inc()
 	obsJobsReplayed.Add(int64(len(replayed)))
@@ -203,18 +222,19 @@ func safeRun(ctx context.Context, j Job, run func(context.Context, Job) Result) 
 // artifact (flow netlist, compiled simulation machine, collapsed fault
 // list — built once, shared by every shard job and repeated scenario of
 // the circuit), slices the job's fault shard, and runs the scenario's
-// stages with the job's derived seed. Every input is recomputed from the
-// job coordinates, so the result is independent of which worker runs it
-// and of what ran before.
+// stages with per-stage declared-input seeds derived from the job
+// coordinates. Every input is recomputed from the coordinates, so the
+// result is independent of which worker runs it and of what ran before
+// — including whether a stage came out of the shared stage cache.
 func RunJob(ctx context.Context, j Job) Result {
-	return runJobWith(ctx, j, 0)
+	return runJobWith(ctx, j, 0, sharedStageCache)
 }
 
-// runJobWith is RunJob with the campaign-level session-parallelism
-// knob applied. It is deliberately not a Job coordinate: results are
-// identical at any setting, so checkpoints and job identity stay
-// untouched by it.
-func runJobWith(ctx context.Context, j Job, sessionParallelism int) Result {
+// runJobWith is RunJob with the campaign-level session-parallelism knob
+// and the stage cache applied. Neither is a Job coordinate: results are
+// identical at any session-parallelism setting and with the cache on or
+// off, so checkpoints and job identity stay untouched by both.
+func runJobWith(ctx context.Context, j Job, sessionParallelism int, cache *stageCache) Result {
 	art := circuitArtifactFor(j.Circuit)
 	if art.err != nil {
 		return Result{Job: j, Err: art.err.Error()}
@@ -258,7 +278,7 @@ func runJobWith(ctx context.Context, j Job, sessionParallelism int) Result {
 			stages = kept
 		}
 	}
-	rep, err := core.RunStages(ctx, core.FlowConfig{
+	cfg := core.FlowConfig{
 		Netlist:            n,
 		Faults:             faults,
 		FaultShare:         share,
@@ -268,8 +288,13 @@ func runJobWith(ctx context.Context, j Job, sessionParallelism int) Result {
 		Years:              j.Years,
 		Patterns:           j.Patterns,
 		Seed:               j.Seed,
+		StageSeeds:         stageSeedsFor(j, stages),
 		SessionParallelism: sessionParallelism,
-	}, stages...)
+	}
+	if cache != nil {
+		cfg.Memo = jobMemo{ctx: ctx, cache: cache, job: j}
+	}
+	rep, err := core.RunStages(ctx, cfg, stages...)
 	if err != nil {
 		return Result{Job: j, Err: err.Error(), Canceled: ctx.Err() != nil && errors.Is(err, ctx.Err())}
 	}

@@ -160,9 +160,16 @@ func (j Job) Name() string {
 // on the coordinates, so reordering or extending the matrix never changes
 // the seed of an existing job.
 func DeriveSeed(base int64, circuit, env, tech string, scen Scenario, shard int) int64 {
+	return base ^ coordHash(circuit, env, tech, scen, shard)
+}
+
+// coordHash is the masked-positive FNV-1a hash of one job's
+// coordinates. XOR-folding it into the base seed is involutive, which
+// is how jobBaseSeed recovers the campaign base from a Job alone.
+func coordHash(circuit, env, tech string, scen Scenario, shard int) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%s|%s|%d", circuit, env, tech, scen, shard)
-	return base ^ int64(h.Sum64()&0x7fffffffffffffff)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
 // Expand validates the matrix and enumerates its jobs in deterministic

@@ -155,6 +155,39 @@ type ServiceStatus struct {
 	Reliability *ReliabilityRollup `json:"reliability,omitempty"`
 	Safety      *SafetyRollup      `json:"safety,omitempty"`
 	Security    *SecurityRollup    `json:"security,omitempty"`
+
+	// StageCache surfaces the cross-job stage cache's dedup
+	// effectiveness (omitted when the run disables the cache).
+	StageCache *StageCacheStatus `json:"stage_cache,omitempty"`
+}
+
+// StageCacheStatus is the /status view of the process-wide stage cache:
+// the same numbers a /metrics scrape would read, pre-assembled so a
+// long-running -serve campaign exposes its dedup rate without a
+// Prometheus stack.
+type StageCacheStatus struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Waits     int64 `json:"waits"`
+	InFlight  int64 `json:"in_flight"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Evictions int64 `json:"evictions,omitempty"`
+}
+
+// stageCacheStatus samples the cache's obs series. The counters are
+// process-wide, like /metrics: a multi-run service reports cumulative
+// effectiveness across every campaign it has hosted.
+func stageCacheStatus() *StageCacheStatus {
+	return &StageCacheStatus{
+		Hits:      obsStageCacheHits.Value(),
+		Misses:    obsStageCacheMisses.Value(),
+		Waits:     obsStageCacheWaits.Value(),
+		InFlight:  obsStageCacheInflight.Value(),
+		Entries:   obsStageCacheEntries.Value(),
+		Bytes:     obsStageCacheBytes.Value(),
+		Evictions: obsStageCacheEvicted.Value(),
+	}
 }
 
 // Status aggregates the rollup-so-far. It is what /status serves.
@@ -173,6 +206,9 @@ func (s *Service) Status() ServiceStatus {
 		Reliability: agg.Reliability,
 		Safety:      agg.Safety,
 		Security:    agg.Security,
+	}
+	if !s.cfg.DisableStageCache {
+		st.StageCache = stageCacheStatus()
 	}
 	s.mu.Lock()
 	started, ended, replayed := s.started, s.finished, s.replayed

@@ -36,6 +36,18 @@ type FlowConfig struct {
 	Years        float64 // aging horizon
 	Patterns     int
 	Seed         int64
+	// StageSeeds, when non-nil, overrides Seed per stage: stage id draws
+	// all of its randomness from StageSeeds[id], falling back to Seed
+	// for stages without an entry. The campaign engine fills it through
+	// DeriveStageSeed so equal-input stages of different matrix cells
+	// get equal seeds — the property its cross-job stage cache keys rely
+	// on. Direct RunFlow users leave it nil: every stage then shares
+	// Seed, exactly as before.
+	StageSeeds map[StageID]int64
+	// Memo, when non-nil, intercepts each stage execution for cross-job
+	// result reuse (see StageMemo). Correctness never depends on it: a
+	// nil Memo recomputes every stage.
+	Memo StageMemo
 	// SessionParallelism is the quality stage's intra-session
 	// fault-simulation worker count (<=1 serial). Results are identical
 	// at any level; it trades cores for wall-clock inside one flow run,

@@ -1,0 +1,42 @@
+package core
+
+// StageResult is the output of exactly one stage run: the single aspect
+// report the stage populates. The report structs are pure values (no
+// slices, maps or pointers inside), so the campaign layer can hold one
+// StageResult in its cross-job cache and apply it into many Reports
+// without aliasing.
+type StageResult struct {
+	Quality     *QualityReport
+	Reliability *ReliabilityReport
+	Safety      *SafetyReport
+	Security    *SecurityReport
+}
+
+// apply copies the populated aspect into the merged report.
+func (r StageResult) apply(rep *Report) {
+	switch {
+	case r.Quality != nil:
+		rep.Quality = *r.Quality
+	case r.Reliability != nil:
+		rep.Reliability = *r.Reliability
+	case r.Safety != nil:
+		rep.Safety = *r.Safety
+	case r.Security != nil:
+		rep.Security = *r.Security
+	}
+}
+
+// StageMemo intercepts stage execution for cross-job result reuse.
+// RunStages calls Stage once per scheduled stage; the implementation
+// either returns a previously computed result for an equal-input stage
+// or invokes compute — exactly once per distinct key when it
+// de-duplicates concurrent callers — and remembers what it returned.
+// Implementations must be transparent: the result handed back must be
+// byte-identical to what compute would produce, which the
+// declared-input seed derivation (DeriveStageSeed) guarantees whenever
+// the memo keys on the same declared inputs. Errors must never be
+// memoised — a failed or cancelled computation is retried by the next
+// caller.
+type StageMemo interface {
+	Stage(id StageID, compute func() (StageResult, error)) (StageResult, error)
+}

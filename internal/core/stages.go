@@ -72,14 +72,17 @@ func AllStages() []StageID {
 }
 
 // flowState carries the inputs shared by all stages of one flow run.
-// Fault list and pattern set are derived lazily but from the config seed
-// only, so any stage subset sees the same values a full run would — and a
-// stage subset that needs neither (security) pays for neither.
+// Fault list and pattern sets are derived lazily but from the per-stage
+// seeds only, so any stage subset sees the same values a full run would
+// — and a stage subset that needs neither (security) pays for neither.
 type flowState struct {
 	cfg    FlowConfig
 	n      *netlist.Netlist
 	faults fault.List
-	pats   []logic.Vector
+	// pats memoises derived pattern sets by pattern seed: stages whose
+	// declared-input seeds coincide (always, when StageSeeds is nil)
+	// share one generation.
+	pats map[int64][]logic.Vector
 }
 
 func newFlowState(cfg FlowConfig) (*flowState, error) {
@@ -106,42 +109,58 @@ func (st *flowState) faultList() fault.List {
 	return st.faults
 }
 
-func (st *flowState) patterns() []logic.Vector {
-	if st.pats == nil {
-		st.pats = faultsim.RandomPatterns(st.n, st.cfg.Patterns, st.cfg.Seed+1)
+// stageSeed is the only path from stage code to randomness: it returns
+// the stage's declared-input seed (StageSeeds) or the shared flow seed
+// when none was derived. rescue-lint's memo check keeps run* methods
+// from bypassing it straight to the raw FlowConfig seed.
+func (st *flowState) stageSeed(id StageID) int64 {
+	if s, ok := st.cfg.StageSeeds[id]; ok {
+		return s
 	}
-	return st.pats
+	return st.cfg.Seed
 }
 
-func (st *flowState) runQuality(rep *Report) error {
+func (st *flowState) patternsFor(id StageID) []logic.Vector {
+	seed := st.stageSeed(id) + 1
+	if p, ok := st.pats[seed]; ok {
+		return p
+	}
+	p := faultsim.RandomPatterns(st.n, st.cfg.Patterns, seed)
+	if st.pats == nil {
+		st.pats = make(map[int64][]logic.Vector, 2)
+	}
+	st.pats[seed] = p
+	return p
+}
+
+func (st *flowState) runQuality() (*QualityReport, error) {
 	faults := st.faultList()
 	// Serial deterministic phase: campaign workers already saturate the
 	// CPU with whole jobs, and the flow's results are identical at any
 	// parallelism level anyway.
 	res, err := atpg.GenerateTests(st.n, faults, atpg.FlowOptions{
-		RandomPatterns: 64, Seed: st.cfg.Seed, Compact: true,
+		RandomPatterns: 64, Seed: st.stageSeed(StageQuality), Compact: true,
 		SessionParallelism: st.cfg.SessionParallelism,
 	})
 	if err != nil {
-		return fmt.Errorf("core: quality stage: %v", err)
+		return nil, fmt.Errorf("core: quality stage: %v", err)
 	}
-	rep.Quality = QualityReport{
+	return &QualityReport{
 		Faults:       len(faults),
 		TestCoverage: res.Coverage.Effective(),
 		Untestable:   res.Coverage.Untestable,
 		TestCount:    len(res.Tests),
 		PODEMCalls:   res.PODEMCalls,
 		Backtracks:   res.Backtracks,
-	}
-	return nil
+	}, nil
 }
 
-func (st *flowState) runReliability(rep *Report) error {
+func (st *flowState) runReliability() (*ReliabilityReport, error) {
 	faults := st.faultList()
-	pats := st.patterns()
+	pats := st.patternsFor(StageReliability)
 	acc, err := slicing.AcceleratedRun(st.n, faults, pats)
 	if err != nil {
-		return fmt.Errorf("core: reliability stage: %v", err)
+		return nil, fmt.Errorf("core: reliability stage: %v", err)
 	}
 	detected := 0
 	for _, s := range acc.Status {
@@ -158,26 +177,25 @@ func (st *flowState) runReliability(rep *Report) error {
 	if !st.cfg.SkipAging {
 		probs, err := aging.SignalProbabilities(st.n, pats)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pathRep, err := aging.AnalyzePaths(st.n, probs, st.cfg.Years, aging.DefaultBTI())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		slowdown = pathRep.Slowdown()
 	}
-	rep.Reliability = ReliabilityReport{
+	return &ReliabilityReport{
 		Faults:        len(faults),
 		RawFIT:        raw,
 		DeratedFIT:    raw * sdc,
 		SDCRate:       sdc,
 		SlicedSpeedup: acc.Speedup(),
 		AgingSlowdown: slowdown,
-	}
-	return nil
+	}, nil
 }
 
-func (st *flowState) runSafety(rep *Report) error {
+func (st *flowState) runSafety() (*SafetyReport, error) {
 	functional := st.n.Outputs
 	if len(st.cfg.AlarmOutputs) > 0 {
 		alarmSet := make(map[int]bool)
@@ -192,52 +210,61 @@ func (st *flowState) runSafety(rep *Report) error {
 		}
 	}
 	sc := &fusa.SafetyCircuit{N: st.n, FunctionalOutputs: functional, AlarmOutputs: st.cfg.AlarmOutputs}
-	classes, err := fusa.Classify(sc, st.faultList(), st.patterns())
+	classes, err := fusa.Classify(sc, st.faultList(), st.patternsFor(StageSafety))
 	if err != nil {
-		return fmt.Errorf("core: safety stage: %v", err)
+		return nil, fmt.Errorf("core: safety stage: %v", err)
 	}
 	metrics := fusa.ComputeMetrics(classes, 0.01)
 	cc, err := fusa.CrossCheck(sc, st.faultList(), classes, atpg.Options{})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	rep.Safety = SafetyReport{
+	return &SafetyReport{
 		SPFM: metrics.SPFM, LFM: metrics.LFM,
 		MeetsASILB:           metrics.MeetsASIL(fusa.ASILB),
 		Suspicious:           len(cc.Suspicions),
 		CrossCheckBacktracks: cc.Backtracks,
-	}
-	return nil
+	}, nil
 }
 
-func (st *flowState) runSecurity(rep *Report) error {
+func (st *flowState) runSecurity() (*SecurityReport, error) {
 	secret := st.cfg.Secret
 	if len(secret) == 0 {
 		secret = []byte{0x52, 0x45, 0x53, 0x43} // "RESC"
 	}
-	leaky := sca.VerifyTiming(st.n.Name+"-leaky", sca.NewLeakyComparer(secret, st.cfg.Seed), secret, st.cfg.Seed+2)
-	fixed := sca.VerifyTiming(st.n.Name+"-ct", sca.NewConstantTimeComparer(secret, st.cfg.Seed), secret, st.cfg.Seed+2)
-	rep.Security = SecurityReport{
+	seed := st.stageSeed(StageSecurity)
+	leaky := sca.VerifyTiming(st.n.Name+"-leaky", sca.NewLeakyComparer(secret, seed), secret, seed+2)
+	fixed := sca.VerifyTiming(st.n.Name+"-ct", sca.NewConstantTimeComparer(secret, seed), secret, seed+2)
+	return &SecurityReport{
 		TimingLeaky:     leaky.Leaky,
 		TValue:          leaky.TValue,
 		SecretRecovered: string(leaky.Recovered) == string(secret),
 		FixedVerified:   !fixed.Leaky,
-	}
-	return nil
+	}, nil
 }
 
-func (st *flowState) run(id StageID, rep *Report) error {
+// runStage executes one stage and returns its aspect as a StageResult
+// value — the unit the campaign layer caches and shares across jobs.
+// The stage's wall-clock span wraps the actual computation only, so a
+// memoised stage never re-records latency it did not spend.
+func (st *flowState) runStage(id StageID) (StageResult, error) {
+	span := obs.StartSpan(stageSeconds[id])
+	defer span.End()
 	switch id {
 	case StageQuality:
-		return st.runQuality(rep)
+		q, err := st.runQuality()
+		return StageResult{Quality: q}, err
 	case StageReliability:
-		return st.runReliability(rep)
+		r, err := st.runReliability()
+		return StageResult{Reliability: r}, err
 	case StageSafety:
-		return st.runSafety(rep)
+		s, err := st.runSafety()
+		return StageResult{Safety: s}, err
 	case StageSecurity:
-		return st.runSecurity(rep)
+		s, err := st.runSecurity()
+		return StageResult{Security: s}, err
 	}
-	return fmt.Errorf("core: unknown stage %d", id)
+	return StageResult{}, fmt.Errorf("core: unknown stage %d", id)
 }
 
 // RunStages runs the selected Fig. 2 stages over one design and returns
@@ -266,11 +293,17 @@ func RunStages(ctx context.Context, cfg FlowConfig, stages ...StageID) (*Report,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		span := obs.StartSpan(stageSeconds[id])
-		if err := st.run(id, rep); err != nil {
+		compute := func() (StageResult, error) { return st.runStage(id) }
+		var out StageResult
+		if cfg.Memo != nil {
+			out, err = cfg.Memo.Stage(id, compute)
+		} else {
+			out, err = compute()
+		}
+		if err != nil {
 			return nil, err
 		}
-		span.End()
+		out.apply(rep)
 		rep.Stages = append(rep.Stages, id.String())
 	}
 	return rep, nil
