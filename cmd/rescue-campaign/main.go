@@ -20,6 +20,14 @@
 // RUN_DIR/campaign.json is byte-identical to an uninterrupted run.
 // -serve ADDR exposes the live campaign over HTTP (/status, /jobs,
 // /result) and keeps serving the finished result until interrupted.
+//
+// -multi BASE_DIR (with -serve ADDR) starts the long-lived multi-run
+// server instead: campaigns are submitted over POST /runs, queue behind
+// a bounded admission queue (-queue-cap, 429 + Retry-After when full),
+// and execute -max-runs at a time sharing the process-wide caches. Each
+// run is durable under BASE_DIR/run-NNNNNN; restarting the server on
+// the same BASE_DIR resumes every unfinished run. The matrix flags are
+// ignored in this mode — matrices arrive over the API.
 package main
 
 import (
@@ -77,6 +85,9 @@ func main() {
 	out := flag.String("out", "", "campaign summary JSON path (default: render a text summary)")
 	dir := flag.String("dir", "", "run directory for the crash-safe checkpoint log (re-run to resume; writes campaign.json there on completion)")
 	serve := flag.String("serve", "", "serve the live campaign HTTP API (/status /jobs /result) on this address, e.g. :8080")
+	multi := flag.String("multi", "", "multi-run server mode: base directory for durable run directories (requires -serve; matrices arrive over POST /runs)")
+	queueCap := flag.Int("queue-cap", 16, "multi-run mode: bounded admission queue size (overflow answers 429)")
+	maxRuns := flag.Int("max-runs", 2, "multi-run mode: campaigns executing concurrently")
 	timing := flag.String("timing", "", "machine-readable wall-clock benchmark JSON path")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	prof := profiling.AddFlags(flag.CommandLine)
@@ -96,6 +107,41 @@ func main() {
 
 	if *stageCache != "on" && *stageCache != "off" {
 		fatal(fmt.Sprintf(`-stage-cache must be "on" or "off", got %q`, *stageCache))
+	}
+
+	if *multi != "" {
+		if *serve == "" {
+			fatal("-multi requires -serve ADDR (the multi-run server only exists over its HTTP API)")
+		}
+		srv, err := campaign.NewServer(campaign.ServerConfig{
+			BaseDir:       *multi,
+			QueueCapacity: *queueCap,
+			MaxActiveRuns: *maxRuns,
+			RunConfig: campaign.Config{
+				Parallelism:        *parallel,
+				SessionParallelism: *sessionParallel,
+				DisableStageCache:  *stageCache == "off",
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if n := srv.Recovered(); n > 0 {
+			log.Printf("recovered %d unfinished runs from %s", n, *multi)
+		}
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("serving multi-run campaign API on http://%s (POST /runs, GET /runs, GET /runs/{id}/status|jobs|result, DELETE /runs/{id}, /metrics)", ln.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		// Serve drains on the first signal: active runs checkpoint and
+		// stop, queued runs stay durable, and the next start resumes both.
+		if err := srv.Serve(ctx, ln); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var m campaign.Matrix

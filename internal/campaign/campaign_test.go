@@ -396,6 +396,53 @@ func TestWorkerPanicRecovery(t *testing.T) {
 	}
 }
 
+// TestOnResultSerialized pins Config.OnResult's serialization
+// guarantee: the engine calls it from a single collector goroutine,
+// never concurrently, so callers (like the CLI's unsynchronized
+// progress counter and JSONL encoder) need no locking of their own.
+// The callback deliberately mutates plain shared state — the -race CI
+// job turns any future engine regression into a detector report — and
+// an enter/exit flag catches runtime overlap even without -race.
+func TestOnResultSerialized(t *testing.T) {
+	m := Matrix{
+		Circuits:  []string{"mul8"},
+		Scenarios: []Scenario{ScenarioQuality},
+		Shards:    64, ShardThreshold: 1,
+		Patterns: 8,
+	}
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inCallback atomic.Bool
+	var overlaps atomic.Int64
+	calls := 0 // deliberately unsynchronized: the guarantee under test
+	cfg := Config{
+		Parallelism: 16,
+		// The stub reports a job failure (Aggregate reads no Report from
+		// failed jobs) — OnResult streams every result regardless, which
+		// is all this test observes.
+		runJob: func(_ context.Context, j Job) Result { return Result{Job: j, Err: "stub"} },
+		OnResult: func(Result) {
+			if !inCallback.CompareAndSwap(false, true) {
+				overlaps.Add(1)
+				return
+			}
+			calls++
+			inCallback.Store(false)
+		},
+	}
+	if _, err := Run(context.Background(), m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := overlaps.Load(); n != 0 {
+		t.Fatalf("OnResult overlapped with itself %d times; the engine must serialize it", n)
+	}
+	if calls != len(jobs) {
+		t.Fatalf("OnResult ran %d times, want %d (one per job, serialized)", calls, len(jobs))
+	}
+}
+
 func TestCampaignMatchesRunFlow(t *testing.T) {
 	// A one-job holistic campaign must reproduce core.RunStages exactly
 	// (same derived seed path), keeping campaign results comparable with

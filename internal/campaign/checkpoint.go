@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -163,6 +164,37 @@ func Resume(dir string, m Matrix) (*Checkpoint, error) {
 		}
 	}
 	return c, nil
+}
+
+// PeekMatrix reads the matrix out of a run directory's checkpoint
+// header without taking the log's lock — how the multi-run server
+// identifies what a recovered run directory holds before deciding to
+// resume it. Only the header line is decoded; the body of the log is
+// validated by Resume as usual.
+func PeekMatrix(dir string) (Matrix, error) {
+	path := filepath.Join(dir, CheckpointFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return Matrix{}, fmt.Errorf("campaign: peek: %v", err)
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(f).ReadBytes('\n')
+	if err != nil {
+		// Includes io.EOF on an unterminated first line: the header write
+		// itself was torn, so nothing durable identifies this directory.
+		return Matrix{}, fmt.Errorf("campaign: peek %s: no durable header: %v", path, err)
+	}
+	var hdr checkpointRecord
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return Matrix{}, fmt.Errorf("campaign: peek %s: corrupt header: %v", path, err)
+	}
+	switch {
+	case hdr.Type != "header" || hdr.Matrix == nil:
+		return Matrix{}, fmt.Errorf("campaign: peek %s: first record is not a matrix header", path)
+	case hdr.Version != checkpointVersion:
+		return Matrix{}, fmt.Errorf("campaign: peek %s: checkpoint version %d, this build reads %d", path, hdr.Version, checkpointVersion)
+	}
+	return *hdr.Matrix, nil
 }
 
 // OpenCheckpoint resumes the run directory's log if one exists and
@@ -356,6 +388,19 @@ func (c *Checkpoint) Close() error {
 	err := c.f.Close()
 	c.f = nil
 	return err
+}
+
+// Destroy closes the log and removes the whole run directory — the
+// explicit-discard path: a run canceled by its tenant must not
+// resurrect at the next server start. It is never part of a normal run
+// lifecycle; completed and merely-interrupted runs keep their
+// directories.
+func (c *Checkpoint) Destroy() error {
+	cerr := c.Close()
+	if err := os.RemoveAll(c.dir); err != nil {
+		return err
+	}
+	return cerr
 }
 
 // Run executes the campaign under this checkpoint: replayed jobs are

@@ -46,6 +46,13 @@ type Config struct {
 	// final Summary is always sorted and deterministic. Replayed results
 	// (see Completed) are not streamed — they were streamed by the run
 	// that produced them.
+	//
+	// The serialization is a load-bearing API guarantee, not an
+	// implementation accident: callers (the CLI's progress counter and
+	// JSONL stream encoder among them) mutate shared state from the
+	// callback without any locking of their own. The engine owns that
+	// synchronization — all workers funnel into one collector loop — and
+	// TestOnResultSerialized pins it under the race detector.
 	OnResult func(Result)
 
 	// DisableStageCache bypasses the process-wide cross-job stage cache:

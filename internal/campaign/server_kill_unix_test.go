@@ -1,0 +1,193 @@
+//go:build unix
+
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain diverts the re-exec'd child before the test runner: the
+// child is a real multi-run campaign server that the parent test
+// SIGKILLs mid-run to prove crash recovery.
+func TestMain(m *testing.M) {
+	if os.Getenv("CAMPAIGN_SERVER_TEST_CHILD") == "1" {
+		serverChildMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// serverChildMain runs a campaign server until killed. It publishes its
+// listen address through a file because the parent chose port 0.
+func serverChildMain() {
+	s, err := NewServer(ServerConfig{
+		BaseDir:       os.Getenv("CAMPAIGN_SERVER_TEST_DIR"),
+		MaxActiveRuns: 1,
+		RunConfig:     Config{Parallelism: 1},
+	})
+	if err != nil {
+		os.Exit(3)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.Exit(3)
+	}
+	if err := os.WriteFile(os.Getenv("CAMPAIGN_SERVER_TEST_ADDRFILE"), []byte(ln.Addr().String()), 0o644); err != nil {
+		os.Exit(3)
+	}
+	if err := s.Serve(context.Background(), ln); err != nil {
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// killMatrix expands to enough single-threaded work that the parent can
+// reliably observe the child mid-run: many sharded mul8 quality jobs.
+func killMatrix() Matrix {
+	return Matrix{
+		Circuits:  []string{"mul8"},
+		Scenarios: []Scenario{ScenarioQuality},
+		Shards:    16, ShardThreshold: 1,
+		Patterns: 96,
+		Seed:     11,
+	}
+}
+
+// TestServerKillDashNineRecovery is the crash half of the durability
+// contract: a server killed with SIGKILL mid-run (no handlers, no
+// drain) restarts on the same base directory, resumes the interrupted
+// run from its checkpoint, and finishes with a campaign.json
+// byte-identical to a run that was never interrupted.
+func TestServerKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec child test")
+	}
+	m := killMatrix()
+	want := uninterruptedJSON(t, m)
+
+	base := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CAMPAIGN_SERVER_TEST_CHILD=1",
+		"CAMPAIGN_SERVER_TEST_DIR="+base,
+		"CAMPAIGN_SERVER_TEST_ADDRFILE="+addrFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	childDone := make(chan error, 1)
+	go func() { childDone <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	// Wait for the child to publish its address.
+	var addr string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			addr = string(raw)
+			break
+		}
+		select {
+		case err := <-childDone:
+			t.Fatalf("child exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	baseURL := "http://" + addr
+
+	js, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/runs", "application/json", bytes.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info RunInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs: status %d", resp.StatusCode)
+	}
+
+	// Poll until the run has durably completed some jobs but not all,
+	// then SIGKILL — no goroutine in the child gets to clean anything up.
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/runs/%d", baseURL, info.ID))
+		if err != nil {
+			t.Fatalf("polling child: %v", err)
+		}
+		var cur RunInfo
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State == RunDone || cur.Results >= cur.Jobs {
+			t.Fatalf("run finished before the kill (%d/%d results); killMatrix is too small", cur.Results, cur.Jobs)
+		}
+		if cur.Results >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never made progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err = <-childDone
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child did not die of a signal: %v", err)
+	}
+	if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child exit state = %v, want death by SIGKILL", ee)
+	}
+
+	// The run directory must hold a checkpoint but no summary yet.
+	runDir := filepath.Join(base, runDirName(info.ID))
+	if _, err := os.Stat(filepath.Join(runDir, CheckpointFile)); err != nil {
+		t.Fatalf("killed run lost its checkpoint: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(runDir, SummaryFile)); !os.IsNotExist(err) {
+		t.Fatalf("killed run already has a summary (err %v)", err)
+	}
+
+	// Restart in-process on the same base directory: the run re-queues,
+	// resumes past its durable results, and finishes byte-identical.
+	s2 := newTestServer(t, ServerConfig{BaseDir: base, RunConfig: Config{Parallelism: 2}})
+	if got := s2.Recovered(); got != 1 {
+		t.Fatalf("recovered %d runs, want 1", got)
+	}
+	h := s2.Handler()
+	waitRunState(t, h, info.ID, RunDone)
+	code, res := get(t, h, fmt.Sprintf("/runs/%d/result", info.ID))
+	if code != http.StatusOK {
+		t.Fatalf("recovered /result: status %d", code)
+	}
+	if !bytes.Equal(res, want) {
+		t.Error("post-crash result differs from an uninterrupted run")
+	}
+	if disk := readSummary(t, runDir); !bytes.Equal(disk, want) {
+		t.Error("post-crash campaign.json differs from an uninterrupted run")
+	}
+}

@@ -36,6 +36,10 @@ type Service struct {
 	finished time.Time // zero until the campaign ends
 	replayed int       // checkpoint-replayed results (not executed here)
 	done     chan struct{}
+	// cacheBase is the process-wide stage-cache counter snapshot taken
+	// when this run started; /status reports deltas against it so a
+	// multi-run process never misattributes other runs' cache traffic.
+	cacheBase StageCacheStatus
 }
 
 // drainTimeout bounds the graceful-shutdown drain of in-flight requests.
@@ -60,6 +64,9 @@ func NewService(m Matrix, cfg Config) (*Service, error) {
 		workers: workers,
 		results: make(map[int]Result, len(jobs)),
 		done:    make(chan struct{}),
+		// Re-snapshotted when Run starts; seeding it here keeps a
+		// pre-Run Status from reporting the whole process history.
+		cacheBase: stageCacheSnapshot(),
 	}, nil
 }
 
@@ -77,6 +84,7 @@ func (s *Service) Run(ctx context.Context, ck *Checkpoint) (*Summary, error) {
 		}
 	}
 	s.mu.Lock()
+	s.cacheBase = stageCacheSnapshot()
 	//lint:allow determinism live /status throughput display only; never serialized into campaign.json
 	s.started = time.Now()
 	s.mu.Unlock()
@@ -161,10 +169,13 @@ type ServiceStatus struct {
 	StageCache *StageCacheStatus `json:"stage_cache,omitempty"`
 }
 
-// StageCacheStatus is the /status view of the process-wide stage cache:
-// the same numbers a /metrics scrape would read, pre-assembled so a
-// long-running -serve campaign exposes its dedup rate without a
-// Prometheus stack.
+// StageCacheStatus is the /status view of the stage cache. Hits,
+// Misses, Waits and Evictions are this run's own traffic — deltas of
+// the process-wide counters since the run started, so two campaigns
+// sharing the process (the multi-run server's whole point) each report
+// only their own dedup rate. InFlight, Entries and Bytes are
+// point-in-time gauges of the shared cache itself. The raw cumulative
+// series stay on /metrics.
 type StageCacheStatus struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
@@ -175,11 +186,9 @@ type StageCacheStatus struct {
 	Evictions int64 `json:"evictions,omitempty"`
 }
 
-// stageCacheStatus samples the cache's obs series. The counters are
-// process-wide, like /metrics: a multi-run service reports cumulative
-// effectiveness across every campaign it has hosted.
-func stageCacheStatus() *StageCacheStatus {
-	return &StageCacheStatus{
+// stageCacheSnapshot samples the cache's process-wide obs series.
+func stageCacheSnapshot() StageCacheStatus {
+	return StageCacheStatus{
 		Hits:      obsStageCacheHits.Value(),
 		Misses:    obsStageCacheMisses.Value(),
 		Waits:     obsStageCacheWaits.Value(),
@@ -187,6 +196,38 @@ func stageCacheStatus() *StageCacheStatus {
 		Entries:   obsStageCacheEntries.Value(),
 		Bytes:     obsStageCacheBytes.Value(),
 		Evictions: obsStageCacheEvicted.Value(),
+	}
+}
+
+// stageCacheDelta subtracts the run-start snapshot from the current
+// counters, keeping the shared-state gauges as-is.
+func (s *Service) stageCacheDelta() *StageCacheStatus {
+	now := stageCacheSnapshot()
+	s.mu.Lock()
+	base := s.cacheBase
+	s.mu.Unlock()
+	return &StageCacheStatus{
+		Hits:      now.Hits - base.Hits,
+		Misses:    now.Misses - base.Misses,
+		Waits:     now.Waits - base.Waits,
+		Evictions: now.Evictions - base.Evictions,
+		InFlight:  now.InFlight,
+		Entries:   now.Entries,
+		Bytes:     now.Bytes,
+	}
+}
+
+// runState maps a finished campaign's error to the /status state
+// machine — the single definition shared by /status and /result, so the
+// two endpoints can never disagree about what "canceled" means.
+func runState(err error) string {
+	switch {
+	case err == nil:
+		return "done"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "failed"
 	}
 }
 
@@ -208,7 +249,7 @@ func (s *Service) Status() ServiceStatus {
 		Security:    agg.Security,
 	}
 	if !s.cfg.DisableStageCache {
-		st.StageCache = stageCacheStatus()
+		st.StageCache = s.stageCacheDelta()
 	}
 	s.mu.Lock()
 	started, ended, replayed := s.started, s.finished, s.replayed
@@ -225,14 +266,8 @@ func (s *Service) Status() ServiceStatus {
 		}
 	}
 	if finished {
-		switch {
-		case sumErr == nil:
-			st.State = "done"
-		case errors.Is(sumErr, context.Canceled) || errors.Is(sumErr, context.DeadlineExceeded):
-			st.State = "canceled"
-			st.Error = sumErr.Error()
-		default:
-			st.State = "failed"
+		st.State = runState(sumErr)
+		if sumErr != nil {
 			st.Error = sumErr.Error()
 		}
 	}
@@ -273,18 +308,42 @@ type JobsPage struct {
 	Jobs   []JobStatus `json:"jobs"`
 }
 
-// Jobs returns the [offset, offset+limit) window of per-job states in
-// job-ID order. It is what /jobs serves.
-func (s *Service) Jobs(offset, limit int) JobsPage {
+// Page-limit discipline, shared by every paged endpoint (Service.Jobs,
+// Server.Runs): a non-positive limit means the default page, and no
+// caller — programmatic or HTTP — ever gets more than maxPageLimit rows
+// per call. The clamps live here, not in the HTTP handlers, because the
+// expensive part (assembling rows under the store mutex) happens in the
+// accessors: Jobs(0, 0) must not build the whole expanded matrix.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// clampPage normalizes a page window. Negative offsets clamp to 0 here;
+// the HTTP layer is stricter (intParam rejects them with 400) so a
+// malformed query fails loudly while programmatic callers stay total.
+func clampPage(offset, limit int) (int, int) {
 	if offset < 0 {
 		offset = 0
 	}
+	if limit <= 0 {
+		limit = defaultPageLimit
+	} else if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	return offset, limit
+}
+
+// Jobs returns the [offset, offset+limit) window of per-job states in
+// job-ID order, clamped per clampPage. It is what /jobs serves.
+func (s *Service) Jobs(offset, limit int) JobsPage {
+	offset, limit = clampPage(offset, limit)
 	if offset > len(s.jobs) {
 		offset = len(s.jobs)
 	}
 	end := offset + limit
-	// end < offset catches integer overflow of a huge limit.
-	if limit <= 0 || end > len(s.jobs) || end < offset {
+	// end < offset catches integer overflow of a huge offset.
+	if end > len(s.jobs) || end < offset {
 		end = len(s.jobs)
 	}
 	page := JobsPage{Total: len(s.jobs), Offset: offset, Jobs: make([]JobStatus, 0, end-offset)}
@@ -334,52 +393,70 @@ func (s *Service) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		limit, err := intParam(r, "limit", 100)
+		limit, err := intParam(r, "limit", defaultPageLimit)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		// An explicit limit=0 means the default page, not Jobs' "to the
-		// end" — the whole expanded matrix must never ship in one
-		// response (nor be assembled under the store mutex).
-		if limit == 0 {
-			limit = 100
-		} else if limit > 1000 {
-			limit = 1000
-		}
+		// Jobs itself clamps (default page on limit<=0, maxPageLimit cap),
+		// so an explicit limit=0 serves the default page, never the whole
+		// expanded matrix.
 		writeJSON(w, http.StatusOK, s.Jobs(offset, limit))
 	})
 	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
 			return
 		}
-		// Order matters: confirm completion before reading sum/runErr.
-		// Run stores both under the mutex before closing done, so once
-		// done is closed the values read here are final — the reverse
-		// order could serve a nil summary to a request racing the
-		// campaign's last job.
-		select {
-		case <-s.done:
-		default:
-			writeJSON(w, http.StatusConflict, map[string]string{"error": "campaign still running"})
-			return
-		}
-		s.mu.Lock()
-		sum, runErr := s.sum, s.runErr
-		s.mu.Unlock()
-		if runErr != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": runErr.Error()})
-			return
-		}
-		js, err := sum.JSON()
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(append(js, '\n'))
+		s.writeResult(w)
 	})
 	return mux
+}
+
+// writeResult serves the canonical campaign result: the summary JSON
+// once the run completed, 409 {"state":"running"} while it is still
+// going, 409 {"state":"canceled"} for a canceled run (cancellation is a
+// lifecycle conflict, not a server fault — matching /status's state
+// machine), and 500 {"state":"failed"} only when the campaign itself
+// errored. The multi-run server's /runs/{id}/result delegates here.
+func (s *Service) writeResult(w http.ResponseWriter) {
+	// Order matters: confirm completion before reading sum/runErr.
+	// Run stores both under the mutex before closing done, so once
+	// done is closed the values read here are final — the reverse
+	// order could serve a nil summary to a request racing the
+	// campaign's last job.
+	select {
+	case <-s.done:
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"state": "running", "error": "campaign still running"})
+		return
+	}
+	s.mu.Lock()
+	sum, runErr := s.sum, s.runErr
+	s.mu.Unlock()
+	if runErr != nil {
+		state := runState(runErr)
+		code := http.StatusInternalServerError
+		if state == "canceled" {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, map[string]string{"state": state, "error": runErr.Error()})
+		return
+	}
+	js, err := sum.JSON()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"state": "failed", "error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(js, '\n'))
+}
+
+// ResultCount returns how many job results the service has recorded so
+// far — replayed or executed, any outcome.
+func (s *Service) ResultCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
 }
 
 func allowGet(w http.ResponseWriter, r *http.Request) bool {

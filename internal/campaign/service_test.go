@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -315,6 +316,74 @@ func TestServiceServeGracefulDrain(t *testing.T) {
 	}
 }
 
+// TestResultCanceledConflict pins /result's handling of a canceled
+// campaign: cancellation is a lifecycle state, not a server fault, so
+// the endpoint must answer 409 with {"state":"canceled"} — consistent
+// with /status's state machine — rather than collapsing every non-nil
+// run error into a generic 500.
+func TestResultCanceledConflict(t *testing.T) {
+	svc, err := NewService(testMatrix(), Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Run(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under canceled context = %v, want context.Canceled", err)
+	}
+	h := svc.Handler()
+	code, body := get(t, h, "/result")
+	if code != http.StatusConflict {
+		t.Fatalf("/result of canceled campaign: status %d, want 409 (body %s)", code, body)
+	}
+	payload := decode[map[string]string](t, body)
+	if payload["state"] != "canceled" {
+		t.Fatalf("/result of canceled campaign: state %q, want %q (body %s)", payload["state"], "canceled", body)
+	}
+	st := decode[ServiceStatus](t, second(get(t, h, "/status")))
+	if st.State != "canceled" {
+		t.Fatalf("/status state %q disagrees with /result's %q", st.State, payload["state"])
+	}
+}
+
+// TestStatusStageCachePerRun pins /status's stage-cache accounting to
+// the run's own traffic. The counters behind it are process-wide (and
+// stay cumulative on /metrics); before the fix a second campaign in the
+// same process reported the first one's hits as its own. Every stage
+// slot resolves to exactly one of hit/miss/wait, so a run's delta total
+// is a fixed function of its matrix — equal across back-to-back runs,
+// where cumulative reporting would roughly double.
+func TestStatusStageCachePerRun(t *testing.T) {
+	m := testMatrix()
+	runOnce := func() *StageCacheStatus {
+		t.Helper()
+		svc, err := NewService(m, Config{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Run(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+		return svc.Status().StageCache
+	}
+	run1 := runOnce()
+	run2 := runOnce()
+	if run1 == nil || run2 == nil {
+		t.Fatal("stage-cache status missing from /status")
+	}
+	totalOf := func(s *StageCacheStatus) int64 { return s.Hits + s.Misses + s.Waits }
+	if totalOf(run1) == 0 {
+		t.Fatal("first run reports no stage-cache traffic at all")
+	}
+	if totalOf(run1) != totalOf(run2) {
+		t.Fatalf("per-run stage totals differ across identical runs: %d then %d (cumulative leak)",
+			totalOf(run1), totalOf(run2))
+	}
+	if run2.Hits == 0 {
+		t.Error("second identical run saw no stage-cache hits")
+	}
+}
+
 // TestJobsLimitCaps pins the paging caps on a matrix that expands past
 // both: an explicit limit=0 means the default page (not the whole
 // matrix), and oversized limits clamp to 1000.
@@ -342,9 +411,21 @@ func TestJobsLimitCaps(t *testing.T) {
 	if page.Count != 1000 {
 		t.Errorf("limit=999999 returned %d entries, want the 1000 cap", page.Count)
 	}
-	// The exported method keeps its documented "limit <= 0 reads to the
-	// end" contract for programmatic callers.
-	if got := len(svc.Jobs(0, 0).Jobs); got != total {
-		t.Errorf("Service.Jobs(0, 0) returned %d entries, want all %d", got, total)
+	// The clamps live in Jobs itself, not the handler: programmatic
+	// Jobs(0, 0) must serve the default page, never assemble the whole
+	// expanded matrix under the store mutex.
+	if got := len(svc.Jobs(0, 0).Jobs); got != defaultPageLimit {
+		t.Errorf("Service.Jobs(0, 0) returned %d entries, want the default page of %d", got, defaultPageLimit)
+	}
+	if got := len(svc.Jobs(0, 999999).Jobs); got != maxPageLimit {
+		t.Errorf("Service.Jobs(0, 999999) returned %d entries, want the %d cap", got, maxPageLimit)
+	}
+	// Negative offsets clamp programmatically (the HTTP layer rejects
+	// them with 400 before Jobs ever sees one).
+	if page := svc.Jobs(-5, 10); page.Offset != 0 || len(page.Jobs) != 10 {
+		t.Errorf("Service.Jobs(-5, 10) = offset %d, %d entries; want offset 0, 10 entries", page.Offset, len(page.Jobs))
+	}
+	if code, _ := get(t, h, "/jobs?offset=-1"); code != http.StatusBadRequest {
+		t.Errorf("GET /jobs?offset=-1 = %d, want 400", code)
 	}
 }

@@ -82,6 +82,18 @@ type (
 	// CampaignServiceStatus is the /status payload: progress counters
 	// plus the per-aspect rollups over the results so far.
 	CampaignServiceStatus = campaign.ServiceStatus
+	// CampaignServer is the long-lived multi-run server: POST /runs
+	// admission with a bounded backpressured queue, bounded-concurrency
+	// execution over shared caches, durable per-run directories, and
+	// crash/restart recovery.
+	CampaignServer = campaign.Server
+	// CampaignServerConfig tunes the multi-run server (base directory,
+	// queue capacity, concurrent runs, per-run engine config).
+	CampaignServerConfig = campaign.ServerConfig
+	// CampaignRunInfo is one entry of the server's /runs listing.
+	CampaignRunInfo = campaign.RunInfo
+	// CampaignRunState is a server-managed run's lifecycle state.
+	CampaignRunState = campaign.RunState
 )
 
 // Circuit returns a named benchmark circuit from the built-in registry
@@ -191,6 +203,14 @@ func ResumeCampaign(dir string, m CampaignMatrix) (*CampaignCheckpoint, error) {
 // CampaignService and cmd/rescue-campaign's -serve flag.
 func NewCampaignService(m CampaignMatrix, cfg CampaignConfig) (*CampaignService, error) {
 	return campaign.NewService(m, cfg)
+}
+
+// NewCampaignServer starts the long-lived multi-run campaign server:
+// it recovers any unfinished runs from the base directory and begins
+// executing queued runs immediately; expose its Handler (or Serve) to
+// accept submissions. See cmd/rescue-campaign's -multi flag.
+func NewCampaignServer(cfg CampaignServerConfig) (*CampaignServer, error) {
+	return campaign.NewServer(cfg)
 }
 
 // Fig1Distribution regenerates the paper's Fig. 1 research-results
