@@ -397,10 +397,18 @@ func (c *Checkpoint) Close() error {
 // directories.
 func (c *Checkpoint) Destroy() error {
 	cerr := c.Close()
-	if err := os.RemoveAll(c.dir); err != nil {
+	if err := destroyRunDir(c.dir); err != nil {
 		return err
 	}
 	return cerr
+}
+
+// destroyRunDir removes a run directory whose checkpoint log is already
+// closed — the explicit-discard path for a run canceled after a server
+// drain released its log. Run-directory mutation stays in this file so
+// the durability contract has one home.
+func destroyRunDir(dir string) error {
+	return os.RemoveAll(dir)
 }
 
 // Run executes the campaign under this checkpoint: replayed jobs are

@@ -53,6 +53,10 @@ type serverRun struct {
 	ck     *Checkpoint        // open (and flock'd) from admission until execution ends
 	cancel context.CancelFunc // non-nil while running
 	errMsg string
+	// userCanceled records an explicit tenant DELETE while running: the
+	// run directory is discarded even if a server drain races the unwind
+	// (s.ctx.Err() alone cannot tell the two apart).
+	userCanceled bool
 	// sum/result hold a recovered completed run's decoded summary and
 	// its canonical campaign.json bytes (svc == nil).
 	sum    *Summary

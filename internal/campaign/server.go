@@ -119,6 +119,11 @@ type Server struct {
 	nextID    int
 	draining  bool
 	recovered int
+
+	// testBeforeOffer, when non-nil, runs in Submit's window between the
+	// listing insert and the queue offer — tests use it to interleave a
+	// rival Submit deterministically.
+	testBeforeOffer func()
 }
 
 // NewServer validates the config, recovers the base directory's
@@ -289,14 +294,17 @@ func (s *Server) Submit(m Matrix) (RunInfo, error) {
 	s.mu.Unlock()
 
 	dir := filepath.Join(s.cfg.BaseDir, runDirName(id))
+	// m.Expand already validated the spec above, so failures from here on
+	// are the server's own (disk, config) — wrapped so the HTTP layer can
+	// tell them from a bad matrix.
 	ck, err := NewCheckpoint(dir, m)
 	if err != nil {
-		return RunInfo{}, err
+		return RunInfo{}, fmt.Errorf("%w: %v", errSubmitInternal, err)
 	}
 	svc, err := NewService(m, s.cfg.RunConfig)
 	if err != nil {
 		ck.Destroy()
-		return RunInfo{}, err
+		return RunInfo{}, fmt.Errorf("%w: %v", errSubmitInternal, err)
 	}
 	r := &serverRun{id: id, dir: dir, matrix: m, jobs: len(jobs), state: RunQueued, svc: svc, ck: ck}
 	s.mu.Lock()
@@ -306,14 +314,24 @@ func (s *Server) Submit(m Matrix) (RunInfo, error) {
 		s.order = append(s.order, r)
 	}
 	s.mu.Unlock()
+	if s.testBeforeOffer != nil {
+		s.testBeforeOffer()
+	}
 	if draining || !s.queue.offer(r, false) {
 		// Lost the race for the last slot (or to a drain): undo the
 		// admission completely — the directory must not resurrect the
-		// run at the next restart.
+		// run at the next restart. s.mu was released across offer, so a
+		// concurrent Submit may have appended behind r: splice r out by
+		// identity, never by position.
 		s.mu.Lock()
 		if s.runs[id] == r {
 			delete(s.runs, id)
-			s.order = s.order[:len(s.order)-1]
+			for i, it := range s.order {
+				if it == r {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
 		}
 		s.mu.Unlock()
 		ck.Destroy()
@@ -333,6 +351,11 @@ var (
 	ErrQueueFull = errors.New("campaign: server run queue is full")
 	// ErrDraining is returned once Shutdown has begun.
 	ErrDraining = errors.New("campaign: server is draining")
+	// errSubmitInternal wraps admission failures that are the server's
+	// fault (checkpoint I/O, service construction) rather than the
+	// client's matrix — the HTTP layer answers 500, not 400, so
+	// well-behaved clients keep retrying valid specs.
+	errSubmitInternal = errors.New("campaign: run admission failed server-side")
 )
 
 // Cancel cancels a queued or running campaign. A queued run never
@@ -359,9 +382,15 @@ func (s *Server) Cancel(id int) (RunInfo, error) {
 		if r.ck != nil {
 			r.ck.Destroy()
 			r.ck = nil
+		} else {
+			// Shutdown's drain already closed the checkpoint log; the
+			// directory must still go, or the next server start would
+			// resurrect a run its tenant explicitly canceled.
+			destroyRunDir(r.dir)
 		}
 		obsServerCanceled.Inc()
 	case RunRunning:
+		r.userCanceled = true
 		if r.cancel != nil {
 			r.cancel()
 		}
@@ -423,14 +452,15 @@ func (s *Server) execute(r *serverRun) {
 		r.state = RunCanceled
 		r.errMsg = err.Error()
 		obsServerCanceled.Inc()
-		if s.ctx.Err() != nil {
-			// Server drain: keep the checkpoint — the run resumes on the
-			// next start.
-			ck.Close()
-		} else {
+		if r.userCanceled {
 			// Explicit DELETE: the tenant discarded the run; its directory
-			// must not resurrect it at the next restart.
+			// must not resurrect it at the next restart — even when a
+			// server drain raced the unwind.
 			ck.Destroy()
+		} else {
+			// Server drain (or a deadline the engine surfaced): keep the
+			// checkpoint — the run resumes on the next start.
+			ck.Close()
 		}
 	default:
 		r.state = RunFailed
@@ -505,6 +535,8 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 		case errors.Is(err, ErrDraining):
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		case errors.Is(err, errSubmitInternal):
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		default:
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -500,6 +501,200 @@ func TestServerRejectsBadSubmissions(t *testing.T) {
 	if _, err := NewServer(ServerConfig{}); err == nil {
 		t.Error("NewServer accepted an empty BaseDir")
 	}
+}
+
+// TestServerSubmitUndoKeepsRivalRun pins the undo path of a Submit that
+// loses the race for the last queue slot: a rival Submit that landed in
+// the listing behind the loser must survive the loser's rollback
+// (splice by identity, never tail truncation).
+func TestServerSubmitUndoKeepsRivalRun(t *testing.T) {
+	m := Matrix{Circuits: []string{"c17"}, Scenarios: []Scenario{ScenarioQuality}, Patterns: 8}
+	release := make(chan struct{})
+	s := newTestServer(t, ServerConfig{
+		QueueCapacity: 1,
+		MaxActiveRuns: 1,
+		RunConfig:     blockingRunConfig(release),
+	})
+	h := s.Handler()
+
+	// One run occupies the only executor, leaving the single queue slot
+	// empty.
+	_, body := postRun(t, h, m)
+	blocker := decode[RunInfo](t, body)
+	waitRunState(t, h, blocker.ID, RunRunning)
+
+	// While the victim Submit sits between its listing insert and its
+	// queue offer, a rival Submit takes the last slot.
+	var rival RunInfo
+	var rivalErr error
+	s.testBeforeOffer = func() {
+		s.testBeforeOffer = nil // the rival's own Submit offers unimpeded
+		rival, rivalErr = s.Submit(m)
+	}
+	if _, err := s.Submit(m); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("victim Submit error = %v, want ErrQueueFull", err)
+	}
+	if rivalErr != nil {
+		t.Fatalf("rival Submit: %v", rivalErr)
+	}
+
+	// The listing must hold exactly the blocker and the rival — the
+	// rival not evicted, no phantom entry for the destroyed victim.
+	page := s.Runs(0, 0)
+	if page.Total != 2 {
+		t.Fatalf("/runs total = %d after undo, want 2", page.Total)
+	}
+	if page.Runs[1].ID != rival.ID {
+		t.Fatalf("listing holds run %d after undo, want rival %d", page.Runs[1].ID, rival.ID)
+	}
+	if _, err := os.Stat(rival.Dir); err != nil {
+		t.Fatalf("rival run lost its directory: %v", err)
+	}
+
+	// And the rival still executes to completion.
+	close(release)
+	waitRunState(t, h, blocker.ID, RunDone)
+	waitRunState(t, h, rival.ID, RunDone)
+}
+
+// TestServerCancelRunningDuringDrain pins the classification of a run
+// its tenant DELETEd while running when a server drain races the engine
+// unwind: the explicit discard wins — the directory is removed and the
+// run does not resurrect at the next start.
+func TestServerCancelRunningDuringDrain(t *testing.T) {
+	m := testMatrix()
+	base := t.TempDir()
+	gate := make(chan struct{})
+	s, err := NewServer(ServerConfig{
+		BaseDir: base,
+		RunConfig: Config{
+			Parallelism: 1,
+			// Ignores cancellation until the gate opens, so the drain
+			// reliably begins before the engine observes the DELETE.
+			runJob: func(_ context.Context, j Job) Result {
+				<-gate
+				return Result{Job: j, Err: "stub"}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	_, body := postRun(t, h, m)
+	info := decode[RunInfo](t, body)
+	waitRunState(t, h, info.ID, RunRunning)
+
+	if code, body := deleteRun(t, h, info.ID); code != http.StatusOK {
+		t.Fatalf("DELETE running run: status %d (%s)", code, body)
+	}
+	// Begin the drain, and only then let the engine unwind: at
+	// classification time the server context is already cancelled.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.ctx.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown never cancelled the server context")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if _, err := os.Stat(info.Dir); !os.IsNotExist(err) {
+		t.Errorf("DELETEd run kept its directory across a racing drain (err %v)", err)
+	}
+	s2 := newTestServer(t, ServerConfig{BaseDir: base, RunConfig: Config{Parallelism: 1}})
+	if got := s2.Recovered(); got != 0 {
+		t.Errorf("DELETEd run resurrected at restart: recovered %d, want 0", got)
+	}
+}
+
+// TestServerCancelQueuedAfterDrain pins DELETE of a queued run once
+// Shutdown's drain has already closed its checkpoint log: the directory
+// is still removed, so the canceled run cannot resurrect at the next
+// server start.
+func TestServerCancelQueuedAfterDrain(t *testing.T) {
+	m := testMatrix()
+	base := t.TempDir()
+	release := make(chan struct{})
+	defer close(release)
+	s, err := NewServer(ServerConfig{
+		BaseDir:       base,
+		QueueCapacity: 4,
+		MaxActiveRuns: 1,
+		RunConfig:     blockingRunConfig(release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	_, body := postRun(t, h, m)
+	running := decode[RunInfo](t, body)
+	waitRunState(t, h, running.ID, RunRunning)
+	_, body = postRun(t, h, m)
+	queued := decode[RunInfo](t, body)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The drain closed the queued run's checkpoint log; DELETE must
+	// still remove its directory.
+	if code, body := deleteRun(t, h, queued.ID); code != http.StatusOK {
+		t.Fatalf("DELETE queued run after drain: status %d (%s)", code, body)
+	}
+	if _, err := os.Stat(queued.Dir); !os.IsNotExist(err) {
+		t.Errorf("canceled queued run kept its directory after drain (err %v)", err)
+	}
+
+	// Only the drained running run resumes at the next start.
+	s2 := newTestServer(t, ServerConfig{BaseDir: base, RunConfig: Config{Parallelism: 2}})
+	if got := s2.Recovered(); got != 1 {
+		t.Errorf("recovered %d runs, want only the drained running run", got)
+	}
+	if _, ok := s2.lookup(queued.ID); ok {
+		t.Errorf("canceled queued run %d resurrected at restart", queued.ID)
+	}
+	waitRunState(t, s2.Handler(), running.ID, RunDone)
+}
+
+// TestServerSubmitInternalError pins the admission error split: a spec
+// failing matrix validation is the client's fault (400, covered by
+// TestServerRejectsBadSubmissions), but a server-side checkpoint
+// failure on a valid spec answers 500.
+func TestServerSubmitInternalError(t *testing.T) {
+	m := testMatrix()
+	base := t.TempDir()
+	s := newTestServer(t, ServerConfig{BaseDir: base, RunConfig: Config{Parallelism: 2}})
+	h := s.Handler()
+
+	// Occupy the next run directory's path with a regular file: the
+	// checkpoint's MkdirAll fails server-side on an otherwise valid spec.
+	if err := os.WriteFile(filepath.Join(base, runDirName(0)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, body := postRun(t, h, m)
+	if code != http.StatusInternalServerError {
+		t.Errorf("server-side admission failure: status %d (%s), want 500", code, body)
+	}
+
+	// The failure consumed only the colliding ID; a clean retry of the
+	// same valid spec is admitted and completes.
+	code, body = postRun(t, h, m)
+	if code != http.StatusAccepted {
+		t.Fatalf("retry after internal failure: status %d (%s)", code, body)
+	}
+	waitRunState(t, h, decode[RunInfo](t, body).ID, RunDone)
 }
 
 // TestServerRunsPaging pins /runs paging and the queue-state listing.
